@@ -1,0 +1,110 @@
+// Ablation: lookahead depth k ∈ {1, 2, 3}.
+//
+// §4.4 argues k = 2 is "a good trade-off between keeping a relatively low
+// computation time and minimizing the number of interactions" and that the
+// strategy approaches the (exponential) optimum as k grows. This bench
+// sweeps k and reports interactions vs selection time so the trade-off is
+// visible; EG (the §7 probabilistic-lookahead direction, expected-gain
+// scoring) is included as a fourth column.
+
+#include "bench_common.h"
+#include "core/signature_index.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace {
+
+void RunConfig(const workload::SyntheticConfig& config, uint64_t seed) {
+  auto inst = workload::GenerateSynthetic(config, seed);
+  JINFER_CHECK(inst.ok(), "generation");
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  JINFER_CHECK(index.ok(), "index");
+
+  size_t goals_per_size = bench::FullMode() ? 4 : 2;
+  auto by_size = workload::SampleGoalsBySize(*index, goals_per_size,
+                                             seed ^ 0xab1e);
+  JINFER_CHECK(by_size.ok(), "goals");
+
+  std::vector<core::StrategyKind> kinds = {
+      core::StrategyKind::kLookahead1, core::StrategyKind::kLookahead2,
+      core::StrategyKind::kLookahead3, core::StrategyKind::kExpectedGain};
+
+  std::printf("\nconfig %s  (classes=%zu)\n", config.ToString().c_str(),
+              index->num_classes());
+  std::string header = util::PadRight("goal size", 12);
+  for (auto kind : kinds) {
+    header += util::PadLeft(std::string(core::StrategyKindName(kind)) +
+                                " int/ms",
+                            16);
+  }
+  std::printf("%s\n", header.c_str());
+  bench::PrintRule(header.size());
+
+  for (const auto& [size, goals] : *by_size) {
+    if (size > 3) continue;
+    std::string line = util::PadRight(util::StrFormat("%zu", size), 12);
+    for (auto kind : kinds) {
+      auto stats =
+          workload::MeasureStrategyOverGoals(*index, goals, kind, 1, seed);
+      JINFER_CHECK(stats.ok(), "measure: %s",
+                   stats.status().ToString().c_str());
+      line += util::PadLeft(util::StrFormat("%.1f/%.1f",
+                                            stats->mean_interactions,
+                                            stats->mean_seconds * 1e3),
+                            16);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+void OptimalFloor(uint64_t seed) {
+  // §4.1's exponential minimax strategy on an instance small enough to
+  // afford it: the floor every practical strategy is judged against.
+  workload::SyntheticConfig config{2, 2, 20, 8};
+  auto inst = workload::GenerateSynthetic(config, seed);
+  JINFER_CHECK(inst.ok(), "generation");
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  JINFER_CHECK(index.ok(), "index");
+  auto by_size = workload::SampleGoalsBySize(*index, 2, seed);
+  JINFER_CHECK(by_size.ok(), "goals");
+
+  std::vector<core::StrategyKind> kinds = {
+      core::StrategyKind::kOptimal, core::StrategyKind::kLookahead2,
+      core::StrategyKind::kLookahead1, core::StrategyKind::kTopDown};
+
+  std::printf("\nOptimal floor, config %s (classes=%zu)\n",
+              config.ToString().c_str(), index->num_classes());
+  std::string header = util::PadRight("goal size", 12);
+  for (auto kind : kinds) {
+    header += util::PadLeft(core::StrategyKindName(kind), 10);
+  }
+  std::printf("%s  (mean interactions)\n", header.c_str());
+  bench::PrintRule(header.size() + 22);
+  for (const auto& [size, goals] : *by_size) {
+    std::string line = util::PadRight(util::StrFormat("%zu", size), 12);
+    for (auto kind : kinds) {
+      auto stats =
+          workload::MeasureStrategyOverGoals(*index, goals, kind, 1, seed);
+      JINFER_CHECK(stats.ok(), "measure");
+      line += util::PadLeft(util::StrFormat("%.1f", stats->mean_interactions),
+                            10);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace jinfer
+
+int main() {
+  using namespace jinfer;
+  bench::PrintBanner(
+      "Ablation — lookahead depth (L1S / L2S / L3S) and expected-gain",
+      "§4.4: deeper lookahead trades time for fewer interactions; k=2 is "
+      "the paper's sweet spot; LkS→optimal as k→#informative tuples");
+  uint64_t seed = bench::BaseSeed();
+  RunConfig({2, 3, 30, 30}, seed);
+  RunConfig({3, 3, 50, 100}, seed + 1);
+  OptimalFloor(seed + 2);
+  return 0;
+}

@@ -1,0 +1,203 @@
+// Shared plumbing for the paper-reproduction bench binaries: environment
+// knobs, table printing, and the strategy-grid runner.
+//
+// Every bench prints (a) the paper's reported values where the paper gives
+// them, and (b) our measured values, so EXPERIMENTS.md can be regenerated
+// by running `for b in build/bench/*; do $b; done`.
+//
+// Knobs (environment variables):
+//   JINFER_BENCH_FULL=1      heavier settings (more goals, more RND runs)
+//   JINFER_BENCH_SEED=<n>    base seed (default 20140324 — EDBT'14 day 1)
+
+#ifndef JINFER_BENCH_BENCH_COMMON_H_
+#define JINFER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lattice.h"
+#include "core/signature_index.h"
+#include "core/strategy.h"
+#include "util/check.h"
+#include "util/string_util.h"
+#include "workload/experiment.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace bench {
+
+inline bool FullMode() {
+  const char* v = std::getenv("JINFER_BENCH_FULL");
+  return v != nullptr && std::string(v) != "0";
+}
+
+inline uint64_t BaseSeed() {
+  const char* v = std::getenv("JINFER_BENCH_SEED");
+  if (v == nullptr) return 20140324;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Runs per strategy: deterministic strategies need one; RND is averaged.
+inline size_t RunsFor(core::StrategyKind kind) {
+  if (kind == core::StrategyKind::kRandom) return FullMode() ? 20 : 5;
+  return 1;
+}
+
+struct GridRow {
+  std::string label;
+  std::vector<workload::StrategyStats> stats;  // One per strategy.
+};
+
+/// Measures all paper strategies for one (index, goal set) cell.
+inline GridRow MeasureRow(const std::string& label,
+                          const core::SignatureIndex& index,
+                          const std::vector<core::JoinPredicate>& goals,
+                          size_t runs_per_goal_scale, uint64_t seed) {
+  GridRow row;
+  row.label = label;
+  for (core::StrategyKind kind : core::PaperStrategies()) {
+    auto stats = workload::MeasureStrategyOverGoals(
+        index, goals, kind, RunsFor(kind) * runs_per_goal_scale, seed);
+    JINFER_CHECK(stats.ok(), "%s / %s failed: %s", label.c_str(),
+                 core::StrategyKindName(kind),
+                 stats.status().ToString().c_str());
+    row.stats.push_back(*stats);
+  }
+  return row;
+}
+
+inline void PrintRule(size_t width) {
+  std::string rule(width, '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+/// Prints a grid: one line per row, one column per paper strategy.
+/// `value` selects interactions or seconds.
+enum class Measure { kInteractions, kSeconds };
+
+inline void PrintGrid(const std::string& title,
+                      const std::vector<GridRow>& rows, Measure measure) {
+  std::printf("\n%s\n", title.c_str());
+  size_t label_width = 24;
+  for (const auto& row : rows) {
+    label_width = std::max(label_width, row.label.size() + 2);
+  }
+  std::string header = util::PadRight("", label_width);
+  for (core::StrategyKind kind : core::PaperStrategies()) {
+    header += util::PadLeft(core::StrategyKindName(kind), 10);
+  }
+  std::printf("%s\n", header.c_str());
+  PrintRule(header.size());
+  for (const auto& row : rows) {
+    std::string line = util::PadRight(row.label, label_width);
+    for (const auto& s : row.stats) {
+      if (measure == Measure::kInteractions) {
+        line += util::PadLeft(util::StrFormat("%.1f", s.mean_interactions),
+                              10);
+      } else {
+        line += util::PadLeft(util::StrFormat("%.4f", s.mean_seconds), 10);
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+/// Pooled per-goal-size stats for a synthetic configuration, averaged over
+/// several generated instances (the paper averages over 100 runs; quick
+/// mode uses fewer). Returns one GridRow per goal size 0..4 that occurred.
+struct SyntheticSweepOptions {
+  size_t instances = 8;
+  size_t goals_per_size = 3;
+};
+
+inline std::vector<GridRow> SyntheticBySizeGrid(
+    const workload::SyntheticConfig& config,
+    const SyntheticSweepOptions& sweep, uint64_t seed,
+    std::string* where_line) {
+  struct Pool {
+    std::vector<workload::StrategyStats> sums;
+    size_t cells = 0;
+  };
+  std::map<size_t, Pool> pools;
+  uint64_t total_tuples = 0;
+  size_t total_classes = 0;
+  double total_ratio = 0;
+
+  for (size_t i = 0; i < sweep.instances; ++i) {
+    auto inst = workload::GenerateSynthetic(config, seed + i * 101);
+    JINFER_CHECK(inst.ok(), "generation");
+    auto index = core::SignatureIndex::Build(inst->r, inst->p);
+    JINFER_CHECK(index.ok(), "index");
+    total_tuples += index->num_tuples();
+    total_classes += index->num_classes();
+    total_ratio += core::JoinRatio(*index);
+    auto by_size = workload::SampleGoalsBySize(*index, sweep.goals_per_size,
+                                               seed + i);
+    JINFER_CHECK(by_size.ok(), "goals");
+    for (const auto& [size, goals] : *by_size) {
+      if (size > 4) continue;
+      Pool& pool = pools[size];
+      size_t k = 0;
+      for (core::StrategyKind kind : core::PaperStrategies()) {
+        auto stats = workload::MeasureStrategyOverGoals(
+            *index, goals, kind, RunsFor(kind), seed + i);
+        JINFER_CHECK(stats.ok(), "measure");
+        if (pool.sums.size() <= k) pool.sums.push_back(*stats);
+        else {
+          pool.sums[k].mean_interactions += stats->mean_interactions;
+          pool.sums[k].mean_seconds += stats->mean_seconds;
+          pool.sums[k].runs += stats->runs;
+        }
+        ++k;
+      }
+      ++pool.cells;
+    }
+  }
+
+  if (where_line != nullptr) {
+    *where_line = util::StrFormat(
+        "config %s   |D|=%llu   mean classes=%.1f   mean join ratio=%.3f   "
+        "(%zu instances)",
+        config.ToString().c_str(),
+        static_cast<unsigned long long>(total_tuples / sweep.instances),
+        static_cast<double>(total_classes) /
+            static_cast<double>(sweep.instances),
+        total_ratio / static_cast<double>(sweep.instances),
+        sweep.instances);
+  }
+
+  std::vector<GridRow> rows;
+  for (auto& [size, pool] : pools) {
+    GridRow row;
+    row.label = util::StrFormat("|goal|=%zu (%zu/%zu inst.)", size,
+                                pool.cells, sweep.instances);
+    for (auto& s : pool.sums) {
+      s.mean_interactions /= static_cast<double>(pool.cells);
+      s.mean_seconds /= static_cast<double>(pool.cells);
+      row.stats.push_back(s);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+inline void PrintBanner(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("Mode: %s  (JINFER_BENCH_FULL=1 for the heavier sweep)\n",
+              FullMode() ? "FULL" : "quick");
+  std::printf("Base seed: %llu\n",
+              static_cast<unsigned long long>(BaseSeed()));
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace bench
+}  // namespace jinfer
+
+#endif  // JINFER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Figure 7 (a)-(l): synthetic datasets — number of interactions and
+// inference time per strategy, for goal predicates grouped by size 0-4,
+// over the paper's six generator configurations.
+//
+// Paper reference points (best strategy per goal size, Table 1): size 0 →
+// BU with 1 interaction; size 1 → L2S with 4-5; size 2 → TD with 8-15;
+// sizes 3/4 → L2S with 7-14. The paper averages over ALL non-nullable
+// goals and 100 runs; this bench pools a bounded number of goals per size
+// over several fresh instances per configuration (goal sizes 3-4 only
+// exist on instances whose data happens to produce ≥3 coincidental matches
+// in one tuple, hence the x/y instance counts in the row labels).
+
+#include "bench_common.h"
+
+namespace jinfer {
+namespace {
+
+void RunConfig(const workload::SyntheticConfig& config, uint64_t seed) {
+  bench::SyntheticSweepOptions sweep;
+  sweep.instances = bench::FullMode() ? 20 : 8;
+  sweep.goals_per_size = bench::FullMode() ? 6 : 3;
+
+  std::string where;
+  std::vector<bench::GridRow> rows =
+      bench::SyntheticBySizeGrid(config, sweep, seed, &where);
+  bench::PrintGrid("Number of interactions, " + where, rows,
+                   bench::Measure::kInteractions);
+  bench::PrintGrid("Inference time (seconds), " + where, rows,
+                   bench::Measure::kSeconds);
+}
+
+}  // namespace
+}  // namespace jinfer
+
+int main() {
+  using namespace jinfer;
+  bench::PrintBanner(
+      "Figure 7 (a-l) — synthetic datasets: interactions and time by goal "
+      "size",
+      "Best per size (paper): 0→BU(1); 1→L2S(4-5); 2→TD(8-15); 3→L2S(7-14); "
+      "4→L2S(8-13). Size-2 goals are the hardest (mid-lattice).");
+  uint64_t seed = bench::BaseSeed();
+  for (const auto& config : workload::PaperSyntheticConfigs()) {
+    RunConfig(config, seed++);
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the inference
+// core: signature-index construction, certainty classification, entropy,
+// strategy selection, consistency checking, and the DPLL solver.
+
+#include <benchmark/benchmark.h>
+
+#include "core/consistency.h"
+#include "core/entropy.h"
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "core/oracle.h"
+#include "core/signature_index.h"
+#include "sat/dpll.h"
+#include "sat/random_cnf.h"
+#include "semijoin/consistency.h"
+#include "semijoin/reduction_3sat.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace jinfer {
+namespace {
+
+workload::SyntheticInstance MakeInstance(size_t rows, int64_t values) {
+  auto inst = workload::GenerateSynthetic({3, 3, rows, values}, 1234);
+  JINFER_CHECK(inst.ok(), "generation");
+  return std::move(inst).ValueOrDie();
+}
+
+void BM_SignatureIndexBuild(benchmark::State& state) {
+  auto inst = MakeInstance(static_cast<size_t>(state.range(0)), 100);
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    auto index = core::SignatureIndex::Build(inst.r, inst.p);
+    JINFER_CHECK(index.ok(), "build");
+    tuples = index->num_tuples();
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_SignatureIndexBuild)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_SignatureIndexBuildTpchJoin4(benchmark::State& state) {
+  auto db = workload::GenerateTpch(workload::MiniScaleA(), 7);
+  JINFER_CHECK(db.ok(), "tpch");
+  for (auto _ : state) {
+    auto index = core::SignatureIndex::Build(db->orders, db->lineitem);
+    JINFER_CHECK(index.ok(), "build");
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_SignatureIndexBuildTpchJoin4);
+
+void BM_Reclassify(benchmark::State& state) {
+  auto inst = MakeInstance(static_cast<size_t>(state.range(0)), 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState base(*index);
+  core::ClassId cls = base.InformativeClasses().front();
+  for (auto _ : state) {
+    // WithLabel copies and reclassifies the full state.
+    core::InferenceState next = base.WithLabel(cls, core::Label::kNegative);
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(index->num_classes()));
+}
+BENCHMARK(BM_Reclassify)->Arg(50)->Arg(200);
+
+void BM_CountNewlyUninformative(benchmark::State& state) {
+  auto inst = MakeInstance(100, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState st(*index);
+  auto informative = st.InformativeClasses();
+  size_t i = 0;
+  for (auto _ : state) {
+    core::ClassId c = informative[i++ % informative.size()];
+    benchmark::DoNotOptimize(
+        st.CountNewlyUninformative(c, core::Label::kPositive));
+  }
+}
+BENCHMARK(BM_CountNewlyUninformative);
+
+void BM_EntropyK(benchmark::State& state) {
+  auto inst = MakeInstance(50, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState st(*index);
+  core::ClassId c = st.InformativeClasses().front();
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EntropyKOf(st, c, depth));
+  }
+}
+BENCHMARK(BM_EntropyK)->Arg(1)->Arg(2);
+
+void BM_StrategySelection(benchmark::State& state) {
+  auto inst = MakeInstance(50, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState st(*index);
+  auto kind = static_cast<core::StrategyKind>(state.range(0));
+  auto strategy = core::MakeStrategy(kind, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->SelectNext(st));
+  }
+  state.SetLabel(core::StrategyKindName(kind));
+}
+BENCHMARK(BM_StrategySelection)
+    ->Arg(static_cast<int>(core::StrategyKind::kBottomUp))
+    ->Arg(static_cast<int>(core::StrategyKind::kTopDown))
+    ->Arg(static_cast<int>(core::StrategyKind::kLookahead1))
+    ->Arg(static_cast<int>(core::StrategyKind::kLookahead2));
+
+void BM_FullInferenceTD(benchmark::State& state) {
+  auto inst = MakeInstance(static_cast<size_t>(state.range(0)), 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::JoinPredicate goal;
+  goal.Set(0);
+  core::InferenceOptions options;
+  options.record_trace = false;
+  for (auto _ : state) {
+    auto strategy = core::MakeStrategy(core::StrategyKind::kTopDown);
+    core::GoalOracle oracle{goal};
+    auto result = core::RunInference(*index, *strategy, oracle, options);
+    JINFER_CHECK(result.ok(), "inference");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullInferenceTD)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  auto inst = MakeInstance(100, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::JoinPredicate goal;
+  goal.Set(1);
+  core::Sample sample;
+  for (core::ClassId c = 0; c < index->num_classes(); ++c) {
+    sample.push_back({c, index->Selects(goal, c) ? core::Label::kPositive
+                                                 : core::Label::kNegative});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::IsConsistent(*index, sample));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample.size()));
+}
+BENCHMARK(BM_ConsistencyCheck);
+
+void BM_NonNullableEnumeration(benchmark::State& state) {
+  auto inst = MakeInstance(50, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  for (auto _ : state) {
+    auto preds = core::NonNullablePredicates(*index);
+    JINFER_CHECK(preds.ok(), "closure");
+    benchmark::DoNotOptimize(preds);
+  }
+}
+BENCHMARK(BM_NonNullableEnumeration);
+
+void BM_Dpll3Sat(benchmark::State& state) {
+  util::Rng rng(42);
+  int vars = static_cast<int>(state.range(0));
+  sat::Cnf cnf =
+      sat::Random3Cnf(vars, static_cast<size_t>(vars * 4.3), rng);
+  for (auto _ : state) {
+    sat::DpllSolver solver;
+    benchmark::DoNotOptimize(solver.Solve(cnf));
+  }
+}
+BENCHMARK(BM_Dpll3Sat)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SemijoinConsistency(benchmark::State& state) {
+  util::Rng rng(42);
+  sat::Cnf phi =
+      sat::Random3Cnf(static_cast<int>(state.range(0)),
+                      static_cast<size_t>(state.range(0) * 4), rng);
+  auto reduced = semi::ReduceFrom3Sat(phi);
+  JINFER_CHECK(reduced.ok(), "reduction");
+  auto inst = semi::SemijoinInstance::Build(reduced->r, reduced->p);
+  JINFER_CHECK(inst.ok(), "instance");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        semi::CheckConsistencySat(*inst, reduced->sample));
+  }
+}
+BENCHMARK(BM_SemijoinConsistency)->Arg(6)->Arg(10);
+
+}  // namespace
+}  // namespace jinfer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Table 1: the summary of all experiments — Cartesian product size, join
+// ratio, best strategy w.r.t. number of interactions, and that strategy's
+// time — for the TPC-H joins (both scales) and the six synthetic
+// configurations (goal sizes 0-4).
+//
+// Paper reference rows are embedded in the output for side-by-side
+// comparison (see also EXPERIMENTS.md).
+
+#include "bench_common.h"
+#include "core/lattice.h"
+#include "core/signature_index.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace jinfer {
+namespace {
+
+struct SummaryRow {
+  std::string experiment;
+  uint64_t cartesian = 0;
+  double join_ratio = 0;
+  std::string best;
+  double best_interactions = 0;
+  double best_seconds = 0;
+};
+
+void PrintSummary(const std::vector<SummaryRow>& rows) {
+  std::printf("\n%s%s%s%s%s\n",
+              util::PadRight("Experiment", 34).c_str(),
+              util::PadLeft("|D|", 12).c_str(),
+              util::PadLeft("join ratio", 12).c_str(),
+              util::PadLeft("best (int.)", 16).c_str(),
+              util::PadLeft("time (s)", 12).c_str());
+  bench::PrintRule(86);
+  for (const auto& row : rows) {
+    std::printf("%s%s%s%s%s\n",
+                util::PadRight(row.experiment, 34).c_str(),
+                util::PadLeft(util::StrFormat("%.1e",
+                                              static_cast<double>(
+                                                  row.cartesian)),
+                              12)
+                    .c_str(),
+                util::PadLeft(util::StrFormat("%.3f", row.join_ratio), 12)
+                    .c_str(),
+                util::PadLeft(util::StrFormat("%s (%.1f)", row.best.c_str(),
+                                              row.best_interactions),
+                              16)
+                    .c_str(),
+                util::PadLeft(util::StrFormat("%.4f", row.best_seconds), 12)
+                    .c_str());
+  }
+}
+
+SummaryRow Summarize(const std::string& name,
+                     const core::SignatureIndex& index,
+                     const std::vector<core::JoinPredicate>& goals,
+                     uint64_t seed) {
+  bench::GridRow grid = bench::MeasureRow(name, index, goals, 1, seed);
+  size_t best = workload::BestStrategyIndex(grid.stats);
+  SummaryRow row;
+  row.experiment = name;
+  row.cartesian = index.num_tuples();
+  row.join_ratio = core::JoinRatio(index);
+  row.best = core::StrategyKindName(grid.stats[best].kind);
+  row.best_interactions = grid.stats[best].mean_interactions;
+  row.best_seconds = grid.stats[best].mean_seconds;
+  return row;
+}
+
+void TpchBlock(const workload::TpchScale& scale, uint64_t seed,
+               std::vector<SummaryRow>* rows) {
+  auto db = workload::GenerateTpch(scale, seed);
+  JINFER_CHECK(db.ok(), "tpch: %s", db.status().ToString().c_str());
+  for (const auto& join : workload::PaperTpchJoins(*db)) {
+    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    JINFER_CHECK(index.ok(), "index");
+    auto goal = index->omega().PredicateFromNames(join.equalities);
+    JINFER_CHECK(goal.ok(), "goal");
+    rows->push_back(Summarize(
+        util::StrFormat("%s Join %d (size %zu)", scale.name.c_str(),
+                        join.number, goal->Count()),
+        *index, {*goal}, seed));
+  }
+}
+
+void SyntheticBlock(const workload::SyntheticConfig& config, uint64_t seed,
+                    std::vector<SummaryRow>* rows) {
+  bench::SyntheticSweepOptions sweep;
+  sweep.instances = bench::FullMode() ? 12 : 6;
+  sweep.goals_per_size = bench::FullMode() ? 6 : 3;
+  std::string where;
+  std::vector<bench::GridRow> grid =
+      bench::SyntheticBySizeGrid(config, sweep, seed, &where);
+
+  // The |D| and join-ratio columns describe the configuration; recompute
+  // them once from a representative instance.
+  auto inst = workload::GenerateSynthetic(config, seed);
+  JINFER_CHECK(inst.ok(), "synthetic");
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  JINFER_CHECK(index.ok(), "index");
+
+  for (const auto& grid_row : grid) {
+    size_t best = workload::BestStrategyIndex(grid_row.stats);
+    SummaryRow row;
+    row.experiment = config.ToString() + " " + grid_row.label;
+    row.cartesian = index->num_tuples();
+    row.join_ratio = core::JoinRatio(*index);
+    row.best = core::StrategyKindName(grid_row.stats[best].kind);
+    row.best_interactions = grid_row.stats[best].mean_interactions;
+    row.best_seconds = grid_row.stats[best].mean_seconds;
+    rows->push_back(row);
+  }
+}
+
+}  // namespace
+}  // namespace jinfer
+
+int main() {
+  using namespace jinfer;
+  bench::PrintBanner(
+      "Table 1 — description and summary of all experiments",
+      "Paper: TPC-H size-1 joins best BU/TD/L2S at 2-4 int.; J5 TD at "
+      "25/12 int.; synthetic: size 0 BU(1), size 1 L2S(4-5), size 2 "
+      "TD(8-15), sizes 3-4 L2S(7-14); join ratios 1..2.1");
+
+  std::vector<SummaryRow> rows;
+  uint64_t seed = bench::BaseSeed();
+  TpchBlock(workload::MiniScaleA(), seed, &rows);
+  TpchBlock(workload::MiniScaleB(), seed + 1, &rows);
+  for (const auto& config : workload::PaperSyntheticConfigs()) {
+    SyntheticBlock(config, ++seed, &rows);
+  }
+  PrintSummary(rows);
+  return 0;
+}

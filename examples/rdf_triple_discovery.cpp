@@ -1,0 +1,67 @@
+// Joining RDF-ish triple stores (§5.2 motivation): the paper singles out
+// the (3,3,l,v) synthetic configurations "as they could represent triples
+// of RDF stores" — two subject/predicate/object tables whose join the user
+// cannot articulate. This example builds two small triple tables, hides a
+// goal ("object of R equals subject of P", i.e. traversing an edge), and
+// compares every strategy on the same inference task.
+//
+// Build & run:  ./build/examples/rdf_triple_discovery
+
+#include <cstdio>
+
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "core/oracle.h"
+#include "core/signature_index.h"
+#include "workload/synthetic.h"
+
+using namespace jinfer;
+
+int main() {
+  // Two "triple stores" R(S,P,O) and P(S,P,O) — numerically encoded IRIs.
+  workload::SyntheticConfig config{3, 3, 60, 40};
+  auto inst = workload::GenerateSynthetic(config, /*seed=*/271828);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "%s\n", inst.status().ToString().c_str());
+    return 1;
+  }
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  // Hidden goal: R.O = P.S — "follow the edge to its target's triples"
+  // (attribute 3 of R equals attribute 1 of P; A3 is index 2, B1 index 0).
+  core::JoinPredicate goal = index->omega().PredicateFromPairs({{2, 0}});
+
+  std::printf("Triple stores: R and P with %zu triples each, |D| = %llu "
+              "(%zu classes, join ratio %.3f)\n",
+              config.num_rows,
+              static_cast<unsigned long long>(index->num_tuples()),
+              index->num_classes(), core::JoinRatio(*index));
+  std::printf("Hidden goal: %s  (object-to-subject traversal)\n\n",
+              index->omega().Format(goal).c_str());
+
+  std::printf("%-10s %14s %12s %10s\n", "strategy", "interactions",
+              "time (ms)", "correct");
+  for (core::StrategyKind kind : core::PaperStrategies()) {
+    auto strategy = core::MakeStrategy(kind, /*seed=*/7);
+    core::GoalOracle oracle{goal};
+    auto result = core::RunInference(*index, *strategy, oracle);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", core::StrategyKindName(kind),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %14zu %12.2f %10s\n", core::StrategyKindName(kind),
+                result->num_interactions, result->seconds * 1e3,
+                index->EquivalentOnInstance(result->predicate, goal)
+                    ? "yes"
+                    : "NO");
+  }
+
+  std::printf("\nEvery strategy converges to an instance-equivalent join; "
+              "they differ only in how many triples the user must label.\n");
+  return 0;
+}

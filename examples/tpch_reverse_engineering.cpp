@@ -1,0 +1,79 @@
+// Reverse-engineering TPC-H joins (§5.1): infer the key/foreign-key joins
+// of a TPC-H-style database purely from Yes/No answers, with no access to
+// the constraints — and watch the strategies discard the coincidental
+// value matches (a "15" that is a size on one side and a quantity on the
+// other).
+//
+// Build & run:  ./build/examples/tpch_reverse_engineering
+
+#include <cstdio>
+
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "core/oracle.h"
+#include "core/signature_index.h"
+#include "workload/tpch.h"
+
+using namespace jinfer;
+
+int main() {
+  workload::TpchScale scale = workload::MiniScaleA();
+  std::printf("Generating TPC-H-style data (%zu parts, %zu suppliers, %zu "
+              "customers, %zu orders)...\n",
+              scale.parts, scale.suppliers, scale.customers, scale.orders);
+  auto db = workload::GenerateTpch(scale, /*seed=*/20140324);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const auto& join : workload::PaperTpchJoins(*db)) {
+    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    auto goal = index->omega().PredicateFromNames(join.equalities);
+    if (!goal.ok()) {
+      std::fprintf(stderr, "%s\n", goal.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("\nJoin %d: %s\n", join.number, join.description.c_str());
+    std::printf("  |Omega| = %zu candidate equality atoms, %llu candidate "
+                "tuples, %zu classes, join ratio %.3f\n",
+                index->omega().size(),
+                static_cast<unsigned long long>(index->num_tuples()),
+                index->num_classes(), core::JoinRatio(*index));
+
+    auto strategy = core::MakeStrategy(core::StrategyKind::kTopDown);
+    core::GoalOracle oracle{*goal};
+    auto result = core::RunInference(*index, *strategy, oracle);
+    if (!result.ok()) {
+      std::fprintf(stderr, "  inference failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("  TD inferred %s in %zu interactions (%.1f ms)\n",
+                index->omega().Format(result->predicate).c_str(),
+                result->num_interactions, result->seconds * 1e3);
+    std::printf("  instance-equivalent to the FK join: %s\n",
+                index->EquivalentOnInstance(result->predicate, *goal)
+                    ? "yes"
+                    : "NO (bug!)");
+
+    // What did the user actually look at? Show the first two questions.
+    for (size_t q = 0; q < result->trace.size() && q < 2; ++q) {
+      const auto& rec = result->trace[q];
+      const core::SignatureClass& cls = index->cls(rec.cls);
+      std::printf("    e.g. Q%zu: %s row %u vs %s row %u -> %s\n", q + 1,
+                  join.r->schema().relation_name().c_str(), cls.rep_r,
+                  join.p->schema().relation_name().c_str(), cls.rep_p,
+                  rec.label == core::Label::kPositive ? "yes" : "no");
+    }
+  }
+  std::printf("\nAll five §5.1 goal joins recovered without reading any "
+              "integrity constraints.\n");
+  return 0;
+}

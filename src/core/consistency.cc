@@ -1,0 +1,48 @@
+#include "core/consistency.h"
+
+namespace jinfer {
+namespace core {
+
+bool IsConsistent(const SignatureIndex& index, const Sample& sample) {
+  JoinPredicate most_specific = MostSpecificPredicate(index, sample);
+  for (const auto& ex : sample) {
+    if (ex.label == Label::kNegative &&
+        most_specific.IsSubsetOf(index.cls(ex.cls).signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+util::Result<JoinPredicate> MostSpecificConsistent(const SignatureIndex& index,
+                                                   const Sample& sample) {
+  JoinPredicate most_specific = MostSpecificPredicate(index, sample);
+  for (const auto& ex : sample) {
+    if (ex.label == Label::kNegative &&
+        most_specific.IsSubsetOf(index.cls(ex.cls).signature)) {
+      return util::Status::InconsistentSample(
+          "T(S+) = " + index.omega().Format(most_specific) +
+          " selects the negative example with signature " +
+          index.omega().Format(index.cls(ex.cls).signature));
+    }
+  }
+  return most_specific;
+}
+
+Sample ToClassSample(const SignatureIndex& index,
+                     const std::vector<TupleExample>& examples) {
+  Sample out;
+  out.reserve(examples.size());
+  for (const auto& ex : examples) {
+    JoinPredicate sig = index.SignatureOfPair(ex.r_row, ex.p_row);
+    auto cls = index.ClassOfSignature(sig);
+    JINFER_CHECK(cls.has_value(),
+                 "signature of (%zu,%zu) missing from index", ex.r_row,
+                 ex.p_row);
+    out.push_back(ClassExample{*cls, ex.label});
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace jinfer

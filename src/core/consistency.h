@@ -1,0 +1,42 @@
+// Consistency checking for equijoin samples (§3.1).
+//
+// A sample S is consistent iff some θ selects every positive and no
+// negative example. The paper's PTIME algorithm: θ = T(S+) is the most
+// specific predicate selecting all positives, and by anti-monotonicity S is
+// consistent iff T(S+) selects no negative example.
+
+#ifndef JINFER_CORE_CONSISTENCY_H_
+#define JINFER_CORE_CONSISTENCY_H_
+
+#include "core/sample.h"
+#include "core/signature_index.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// True iff some equijoin predicate is consistent with the sample.
+bool IsConsistent(const SignatureIndex& index, const Sample& sample);
+
+/// Returns the most specific consistent predicate T(S+), or
+/// InconsistentSample when none exists. (Any θ with
+/// T(S+) ⊇ θ ⊇ some consistent predicate is also consistent; T(S+) is the
+/// canonical answer the paper returns to the user.)
+util::Result<JoinPredicate> MostSpecificConsistent(const SignatureIndex& index,
+                                                   const Sample& sample);
+
+/// Tuple-level convenience: examples given as (r_row, p_row, label).
+struct TupleExample {
+  size_t r_row;
+  size_t p_row;
+  Label label;
+};
+
+/// Translates tuple-level examples to class-level ones via the index.
+Sample ToClassSample(const SignatureIndex& index,
+                     const std::vector<TupleExample>& examples);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_CONSISTENCY_H_

@@ -1,0 +1,123 @@
+#include "core/entropy.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace core {
+
+std::string Entropy::ToString() const {
+  auto part = [](uint64_t v) {
+    return v == kInfinity ? std::string("inf") : std::to_string(v);
+  };
+  return "(" + part(min_u) + "," + part(max_u) + ")";
+}
+
+bool Dominates(const Entropy& a, const Entropy& b) {
+  return a.min_u >= b.min_u && a.max_u >= b.max_u;
+}
+
+std::vector<Entropy> Skyline(std::vector<Entropy> entropies) {
+  std::sort(entropies.begin(), entropies.end());
+  entropies.erase(std::unique(entropies.begin(), entropies.end()),
+                  entropies.end());
+  // Sweep by min descending, max descending: an entry survives iff its max
+  // strictly exceeds every max seen so far (all earlier entries have min ≥).
+  std::sort(entropies.begin(), entropies.end(),
+            [](const Entropy& a, const Entropy& b) {
+              if (a.min_u != b.min_u) return a.min_u > b.min_u;
+              return a.max_u > b.max_u;
+            });
+  std::vector<Entropy> frontier;
+  uint64_t best_max = 0;
+  bool any = false;
+  for (const Entropy& e : entropies) {
+    if (!any || e.max_u > best_max) {
+      frontier.push_back(e);
+      best_max = e.max_u;
+      any = true;
+    }
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+Entropy SkylineMaxMin(const std::vector<Entropy>& entropies) {
+  JINFER_CHECK(!entropies.empty(), "SkylineMaxMin on empty set");
+  uint64_t m = 0;
+  for (const Entropy& e : entropies) m = std::max(m, e.min_u);
+  Entropy best{m, 0};
+  bool found = false;
+  for (const Entropy& e : entropies) {
+    if (e.min_u == m && (!found || e.max_u > best.max_u)) {
+      best = e;
+      found = true;
+    }
+  }
+  return best;
+}
+
+Entropy EntropyOf(const InferenceState& state, ClassId cls) {
+  uint64_t up = state.CountNewlyUninformative(cls, Label::kPositive);
+  uint64_t un = state.CountNewlyUninformative(cls, Label::kNegative);
+  return Entropy::OfCounts(up, un);
+}
+
+namespace {
+
+/// Recursive entropy^k. `root_weight` is the informative tuple weight of the
+/// original state; `depth` is the number of labels already applied below the
+/// root. Leaf counts are |Uninf(S ∪ labels) \ Uninf(S)| minus the labeled
+/// tuples themselves, computed incrementally (no state copy at leaves).
+Entropy EntropyRec(uint64_t root_weight, const InferenceState& state,
+                   ClassId cls, int remaining, uint64_t depth) {
+  if (remaining == 1) {
+    uint64_t removed_so_far = root_weight - state.InformativeTupleWeight();
+    uint64_t up = removed_so_far +
+                  state.CountNewlyUninformative(cls, Label::kPositive) - depth;
+    uint64_t un = removed_so_far +
+                  state.CountNewlyUninformative(cls, Label::kNegative) - depth;
+    return Entropy::OfCounts(up, un);
+  }
+
+  Entropy per_label[2];
+  for (Label label : {Label::kPositive, Label::kNegative}) {
+    InferenceState next = state.WithLabel(cls, label);
+    std::vector<ClassId> informative = next.InformativeClasses();
+    Entropy e;
+    if (informative.empty()) {
+      // Labeling this way ends the session: the best possible outcome
+      // (Algorithm 5 lines 3-5).
+      e = Entropy::Infinite();
+    } else {
+      std::vector<Entropy> inner;
+      inner.reserve(informative.size());
+      for (ClassId c2 : informative) {
+        inner.push_back(
+            EntropyRec(root_weight, next, c2, remaining - 1, depth + 1));
+      }
+      e = SkylineMaxMin(inner);
+    }
+    per_label[label == Label::kPositive ? 0 : 1] = e;
+  }
+
+  // Adversarial combine (Algorithm 5 lines 13-14): keep the label whose
+  // guaranteed information is smaller; on equal mins keep the smaller max
+  // (the more conservative promise).
+  const Entropy& ep = per_label[0];
+  const Entropy& en = per_label[1];
+  if (ep.min_u != en.min_u) return ep.min_u < en.min_u ? ep : en;
+  return ep.max_u <= en.max_u ? ep : en;
+}
+
+}  // namespace
+
+Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k) {
+  JINFER_CHECK(k >= 1, "entropy lookahead depth must be >= 1, got %d", k);
+  JINFER_CHECK(state.IsInformative(cls), "class %u is not informative", cls);
+  return EntropyRec(state.InformativeTupleWeight(), state, cls, k, 0);
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,72 @@
+// Entropy of a tuple (§4.4): the information that labeling it can bring.
+//
+//   entropy_S(t)  = (min(u+, u−), max(u+, u−))
+//   entropy²_S(t) = Algorithm 5 (two labels deep, counts relative to S)
+//   entropy^k     = the natural k-step generalization (k=1,2 match the
+//                   paper; k≥3 is provided for the lookahead-depth ablation)
+//
+// A pair e dominates e′ iff both components are ≥; the skyline of a set of
+// entropies is its Pareto frontier. (∞,∞) encodes "labeling ends the
+// session" (Algorithm 5 lines 3–5).
+
+#ifndef JINFER_CORE_ENTROPY_H_
+#define JINFER_CORE_ENTROPY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/inference_state.h"
+#include "core/types.h"
+
+namespace jinfer {
+namespace core {
+
+struct Entropy {
+  static constexpr uint64_t kInfinity = std::numeric_limits<uint64_t>::max();
+
+  uint64_t min_u = 0;
+  uint64_t max_u = 0;
+
+  static Entropy Infinite() { return {kInfinity, kInfinity}; }
+  static Entropy OfCounts(uint64_t a, uint64_t b) {
+    return a <= b ? Entropy{a, b} : Entropy{b, a};
+  }
+
+  friend bool operator==(const Entropy& a, const Entropy& b) {
+    return a.min_u == b.min_u && a.max_u == b.max_u;
+  }
+  /// Ordering for canonical sorting (by min, then max).
+  friend bool operator<(const Entropy& a, const Entropy& b) {
+    if (a.min_u != b.min_u) return a.min_u < b.min_u;
+    return a.max_u < b.max_u;
+  }
+
+  std::string ToString() const;
+};
+
+/// e dominates e′ iff e.min ≥ e′.min and e.max ≥ e′.max. (Not strict:
+/// equal pairs dominate each other; Skyline deduplicates first.)
+bool Dominates(const Entropy& a, const Entropy& b);
+
+/// Pareto frontier of the (deduplicated) entropy set, sorted ascending.
+std::vector<Entropy> Skyline(std::vector<Entropy> entropies);
+
+/// Picks the skyline element with min-component equal to
+/// max{min(e) | e ∈ E} — the selection rule shared by L1S and L2S
+/// (Algorithm 4 lines 2–3). E must be non-empty.
+Entropy SkylineMaxMin(const std::vector<Entropy>& entropies);
+
+/// entropy_S(t) for an informative class (one-step).
+Entropy EntropyOf(const InferenceState& state, ClassId cls);
+
+/// entropy^k_S(t); k = 1 is EntropyOf, k = 2 is the paper's Algorithm 5.
+/// Counts at the leaves are taken relative to `state` and exclude the k
+/// labeled tuples, matching lines 8–9 of Algorithm 5.
+Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_ENTROPY_H_

@@ -1,0 +1,59 @@
+#include "core/inference.h"
+
+#include "util/stopwatch.h"
+
+namespace jinfer {
+namespace core {
+
+util::Result<InferenceResult> RunInference(const SignatureIndex& index,
+                                           Strategy& strategy, Oracle& oracle,
+                                           const InferenceOptions& options) {
+  InferenceState state(index);
+  InferenceResult result;
+  util::Stopwatch watch;
+  double oracle_seconds = 0;
+
+  while (true) {
+    if (options.max_interactions > 0 &&
+        result.num_interactions >= options.max_interactions) {
+      result.halted_early = state.NumInformativeClasses() > 0;
+      break;
+    }
+    std::optional<ClassId> next = strategy.SelectNext(state);
+    if (!next) {
+      // Halt condition Γ: the strategy may only give up when no informative
+      // tuple remains.
+      JINFER_CHECK(state.NumInformativeClasses() == 0,
+                   "strategy %s returned no tuple with %zu informative "
+                   "classes remaining",
+                   strategy.name(), state.NumInformativeClasses());
+      break;
+    }
+    // The bundled strategies only present informative tuples; a custom
+    // strategy may present any unlabeled tuple (the user's answer is then
+    // either redundant or — if it contradicts the sample — caught below,
+    // Algorithm 1 lines 6-7).
+    JINFER_CHECK(state.state(*next) != TupleState::kLabeled,
+                 "strategy %s re-presented the already-labeled class %u",
+                 strategy.name(), *next);
+
+    uint64_t informative_before = state.InformativeTupleWeight();
+    util::Stopwatch oracle_watch;
+    Label label = oracle.LabelClass(index, *next);
+    oracle_seconds += oracle_watch.ElapsedSeconds();
+
+    JINFER_RETURN_NOT_OK(state.ApplyLabel(*next, label));
+    ++result.num_interactions;
+    if (options.record_trace) {
+      result.trace.push_back(
+          InteractionRecord{*next, label, informative_before});
+    }
+  }
+
+  result.predicate = state.InferredPredicate();
+  result.seconds = watch.ElapsedSeconds() - oracle_seconds;
+  return result;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,63 @@
+// The general inference algorithm (Algorithm 1, §4.1).
+//
+// Repeatedly asks the strategy for an informative tuple, obtains its label
+// from the oracle, and updates the inference state, until the halt
+// condition Γ (no informative tuple left) holds. Returns T(S+) — the most
+// specific predicate consistent with the collected sample, which is
+// instance-equivalent to the user's goal (§3.3). An oracle that labels
+// inconsistently makes the session fail with InconsistentSample.
+
+#ifndef JINFER_CORE_INFERENCE_H_
+#define JINFER_CORE_INFERENCE_H_
+
+#include <vector>
+
+#include "core/inference_state.h"
+#include "core/oracle.h"
+#include "core/strategy.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+struct InferenceOptions {
+  /// Stop after this many interactions even if informative tuples remain;
+  /// 0 means run to the halt condition Γ. (The paper notes the user may
+  /// stop early and accept the current T(S+).)
+  size_t max_interactions = 0;
+
+  /// Record the per-interaction trace in the result.
+  bool record_trace = true;
+};
+
+/// One user interaction as recorded in the trace.
+struct InteractionRecord {
+  ClassId cls;                  ///< Class of the presented tuple.
+  Label label;                  ///< The user's answer.
+  uint64_t informative_before;  ///< Informative tuple weight before asking.
+};
+
+struct InferenceResult {
+  JoinPredicate predicate;  ///< T(S+) at halt.
+  size_t num_interactions = 0;
+  double seconds = 0;  ///< Wall time excluding oracle think-time.
+  bool halted_early = false;  ///< True iff max_interactions cut the session.
+  std::vector<InteractionRecord> trace;
+};
+
+/// Runs Algorithm 1. Fails with InconsistentSample when the oracle's labels
+/// admit no consistent predicate.
+///
+/// Note on noisy oracles: labeling an *informative* tuple keeps the sample
+/// consistent whichever answer is given, so a lying user is only ever
+/// caught when answering a tuple whose label was already certain. The
+/// bundled strategies present informative tuples exclusively; under them a
+/// lie silently redirects the inference instead of failing it.
+util::Result<InferenceResult> RunInference(const SignatureIndex& index,
+                                           Strategy& strategy, Oracle& oracle,
+                                           const InferenceOptions& options = {});
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_INFERENCE_H_

@@ -1,0 +1,136 @@
+#include "core/inference_state.h"
+
+namespace jinfer {
+namespace core {
+
+InferenceState::InferenceState(const SignatureIndex& index)
+    : index_(&index),
+      states_(index.num_classes(), TupleState::kInformative),
+      labeled_(index.num_classes(), false),
+      pos_predicate_(index.omega().Full()) {
+  Reclassify();
+}
+
+util::Status InferenceState::ApplyLabel(ClassId cls, Label label) {
+  JINFER_CHECK(cls < index_->num_classes(), "class %u out of range", cls);
+  const JoinPredicate& sig = index_->cls(cls).signature;
+
+  if (labeled_[cls]) {
+    for (const auto& ex : sample_) {
+      if (ex.cls == cls && ex.label != label) {
+        return util::Status::InconsistentSample(
+            "tuple with signature " + index_->omega().Format(sig) +
+            " labeled both + and -");
+      }
+    }
+    return util::Status::OK();  // Duplicate example: a sample is a set.
+  }
+  if (label == Label::kPositive && CertainNegative(sig)) {
+    return util::Status::InconsistentSample(
+        "positive label contradicts the sample: no consistent predicate "
+        "selects the tuple with signature " +
+        index_->omega().Format(sig));
+  }
+  if (label == Label::kNegative && CertainPositive(sig)) {
+    return util::Status::InconsistentSample(
+        "negative label contradicts the sample: every consistent predicate "
+        "selects the tuple with signature " +
+        index_->omega().Format(sig));
+  }
+
+  sample_.push_back(ClassExample{cls, label});
+  labeled_[cls] = true;
+  if (label == Label::kPositive) {
+    pos_predicate_ &= sig;
+    has_positive_ = true;
+  } else {
+    negative_signatures_.push_back(sig);
+  }
+  Reclassify();
+  return util::Status::OK();
+}
+
+void InferenceState::Reclassify() {
+  num_informative_classes_ = 0;
+  informative_weight_ = 0;
+  for (ClassId c = 0; c < index_->num_classes(); ++c) {
+    const SignatureClass& sc = index_->cls(c);
+    TupleState st;
+    if (labeled_[c]) {
+      st = TupleState::kLabeled;
+    } else if (CertainPositive(sc.signature)) {
+      st = TupleState::kCertainPositive;
+    } else if (CertainNegative(sc.signature)) {
+      st = TupleState::kCertainNegative;
+    } else {
+      st = TupleState::kInformative;
+      ++num_informative_classes_;
+      informative_weight_ += sc.count;
+    }
+    states_[c] = st;
+  }
+}
+
+std::vector<ClassId> InferenceState::InformativeClasses() const {
+  std::vector<ClassId> out;
+  out.reserve(num_informative_classes_);
+  for (ClassId c = 0; c < index_->num_classes(); ++c) {
+    if (states_[c] == TupleState::kInformative) out.push_back(c);
+  }
+  return out;
+}
+
+uint64_t InferenceState::CountNewlyUninformative(ClassId cls,
+                                                 Label label) const {
+  JINFER_CHECK(IsInformative(cls), "class %u is not informative", cls);
+  const SignatureClass& labeled_class = index_->cls(cls);
+  // The remaining members of the labeled tuple's own class always become
+  // uninformative; the labeled tuple itself is excluded (Figure 5).
+  uint64_t newly = labeled_class.count - 1;
+
+  if (label == Label::kPositive) {
+    // T(S+) shrinks to P′ = T(S+) ∩ T(t): classes above P′ become certain+
+    // (Lemma 3.3) and the Cert− test must be re-evaluated against P′
+    // (Lemma 3.4), since shrinking T(S+) weakens its premise.
+    JoinPredicate pos2 = pos_predicate_ & labeled_class.signature;
+    for (ClassId c = 0; c < index_->num_classes(); ++c) {
+      if (c == cls || states_[c] != TupleState::kInformative) continue;
+      const JoinPredicate& sig = index_->cls(c).signature;
+      if (pos2.IsSubsetOf(sig)) {
+        newly += index_->cls(c).count;
+        continue;
+      }
+      JoinPredicate key = pos2 & sig;
+      for (const JoinPredicate& neg : negative_signatures_) {
+        if (key.IsSubsetOf(neg)) {
+          newly += index_->cls(c).count;
+          break;
+        }
+      }
+    }
+  } else {
+    // T(S+) is unchanged; only the new negative witness T(t) can newly
+    // certify classes negative (existing witnesses already failed for every
+    // currently-informative class).
+    for (ClassId c = 0; c < index_->num_classes(); ++c) {
+      if (c == cls || states_[c] != TupleState::kInformative) continue;
+      const JoinPredicate& sig = index_->cls(c).signature;
+      if ((pos_predicate_ & sig).IsSubsetOf(labeled_class.signature)) {
+        newly += index_->cls(c).count;
+      }
+    }
+  }
+  return newly;
+}
+
+InferenceState InferenceState::WithLabel(ClassId cls, Label label) const {
+  JINFER_CHECK(IsInformative(cls), "class %u is not informative", cls);
+  InferenceState copy = *this;
+  util::Status st = copy.ApplyLabel(cls, label);
+  JINFER_CHECK(st.ok(), "labeling an informative class cannot fail: %s",
+               st.ToString().c_str());
+  return copy;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,112 @@
+// InferenceState: the mutable state of one interactive inference session —
+// the sample gathered so far plus the certain/informative classification of
+// every signature class (§3.4).
+//
+// Classification is by the paper's PTIME characterizations:
+//   Lemma 3.3: t ∈ Cert+(S)  iff  T(S+) ⊆ T(t)
+//   Lemma 3.4: t ∈ Cert−(S)  iff  ∃ t′ ∈ S−. T(S+) ∩ T(t) ⊆ T(t′)
+// A tuple is informative iff it is unlabeled and in neither Cert set
+// (Theorem 3.5). T(S+) is maintained incrementally as a bitset intersection;
+// re-classification after a label is O(#classes · |S−|) word operations.
+//
+// The state is cheaply copyable (O(#classes)), which is how the lookahead
+// strategies simulate labelings.
+
+#ifndef JINFER_CORE_INFERENCE_STATE_H_
+#define JINFER_CORE_INFERENCE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sample.h"
+#include "core/signature_index.h"
+#include "core/types.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// Classification of a class w.r.t. the current sample.
+enum class TupleState : uint8_t {
+  kInformative,
+  kLabeled,
+  kCertainPositive,
+  kCertainNegative,
+};
+
+class InferenceState {
+ public:
+  explicit InferenceState(const SignatureIndex& index);
+
+  const SignatureIndex& index() const { return *index_; }
+
+  /// Records the user's label for an (informative) class and re-classifies.
+  /// Fails with InconsistentSample when the label contradicts the sample —
+  /// i.e. when the class was certain for the opposite label (Algorithm 1
+  /// lines 6–7); the state is left unchanged in that case.
+  util::Status ApplyLabel(ClassId cls, Label label);
+
+  TupleState state(ClassId cls) const { return states_[cls]; }
+  bool IsInformative(ClassId cls) const {
+    return states_[cls] == TupleState::kInformative;
+  }
+
+  /// Classes still informative, in increasing ClassId order.
+  std::vector<ClassId> InformativeClasses() const;
+
+  /// Number of informative classes.
+  size_t NumInformativeClasses() const { return num_informative_classes_; }
+
+  /// Number of informative *tuples* of D (classes weighted by multiplicity).
+  uint64_t InformativeTupleWeight() const { return informative_weight_; }
+
+  /// The sample gathered so far, in labeling order.
+  const Sample& sample() const { return sample_; }
+
+  /// T(S+); equals Ω while no positive example exists. This is also the
+  /// predicate returned to the user at halt (§3.3 instance-equivalence).
+  const JoinPredicate& InferredPredicate() const { return pos_predicate_; }
+
+  bool HasPositiveExample() const { return has_positive_; }
+
+  /// u_α(t): the number of tuples (weighted) that would newly become
+  /// uninformative if class `cls` were labeled `label`, excluding the
+  /// labeled tuple itself — the paper's u± quantities feeding entropy
+  /// (§4.4). `cls` must be informative.
+  uint64_t CountNewlyUninformative(ClassId cls, Label label) const;
+
+  /// Copy of the state with one more label applied. `cls` must be
+  /// informative (then either label keeps the sample consistent).
+  InferenceState WithLabel(ClassId cls, Label label) const;
+
+ private:
+  /// Recomputes states_ and the informative counters from
+  /// pos_predicate_/negative_signatures_/labels.
+  void Reclassify();
+
+  bool CertainPositive(const JoinPredicate& sig) const {
+    return pos_predicate_.IsSubsetOf(sig);
+  }
+  bool CertainNegative(const JoinPredicate& sig) const {
+    JoinPredicate key = pos_predicate_ & sig;
+    for (const JoinPredicate& neg : negative_signatures_) {
+      if (key.IsSubsetOf(neg)) return true;
+    }
+    return false;
+  }
+
+  const SignatureIndex* index_;
+  Sample sample_;
+  std::vector<TupleState> states_;
+  std::vector<bool> labeled_;
+  JoinPredicate pos_predicate_;  // T(S+), starts at Ω.
+  bool has_positive_ = false;
+  std::vector<JoinPredicate> negative_signatures_;  // {T(t) | t ∈ S−}
+  size_t num_informative_classes_ = 0;
+  uint64_t informative_weight_ = 0;
+};
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_INFERENCE_STATE_H_

@@ -1,0 +1,83 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace core {
+
+namespace {
+
+void SortBySizeThenBits(std::vector<JoinPredicate>* preds) {
+  std::sort(preds->begin(), preds->end(),
+            [](const JoinPredicate& a, const JoinPredicate& b) {
+              size_t ca = a.Count(), cb = b.Count();
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+}
+
+}  // namespace
+
+double JoinRatio(const SignatureIndex& index) {
+  JINFER_CHECK(index.num_classes() > 0, "empty index");
+  uint64_t total = 0;
+  for (const auto& c : index.classes()) total += c.signature.Count();
+  return static_cast<double>(total) /
+         static_cast<double>(index.num_classes());
+}
+
+std::vector<JoinPredicate> DistinctSignatures(const SignatureIndex& index) {
+  std::vector<JoinPredicate> out;
+  out.reserve(index.num_classes());
+  for (const auto& c : index.classes()) out.push_back(c.signature);
+  SortBySizeThenBits(&out);
+  return out;
+}
+
+std::vector<JoinPredicate> MaximalSignatures(const SignatureIndex& index) {
+  std::vector<JoinPredicate> out;
+  for (const auto& c : index.classes()) {
+    if (c.maximal) out.push_back(c.signature);
+  }
+  SortBySizeThenBits(&out);
+  return out;
+}
+
+util::Result<std::vector<JoinPredicate>> NonNullablePredicates(
+    const SignatureIndex& index, size_t limit) {
+  // Down-closure by repeated single-bit removal from the maximal
+  // signatures; a hash set deduplicates across overlapping cones.
+  std::unordered_set<JoinPredicate, util::SmallBitsetHash> closed;
+  std::vector<JoinPredicate> frontier = MaximalSignatures(index);
+  for (const auto& s : frontier) closed.insert(s);
+
+  while (!frontier.empty()) {
+    if (closed.size() > limit) {
+      return util::Status::CapacityExceeded(util::StrFormat(
+          "non-nullable predicate closure exceeds limit %zu", limit));
+    }
+    std::vector<JoinPredicate> next;
+    for (const auto& pred : frontier) {
+      pred.ForEachSetBit([&](size_t bit) {
+        JoinPredicate child = pred;
+        child.Reset(bit);
+        if (closed.insert(child).second) next.push_back(child);
+      });
+    }
+    frontier = std::move(next);
+  }
+  if (closed.size() > limit) {
+    return util::Status::CapacityExceeded(util::StrFormat(
+        "non-nullable predicate closure exceeds limit %zu", limit));
+  }
+
+  std::vector<JoinPredicate> out(closed.begin(), closed.end());
+  SortBySizeThenBits(&out);
+  return out;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,43 @@
+// The lattice of join predicates (P(Ω), ⊆) restricted to the instance
+// (§4.2), plus the join-ratio instance-complexity measure (§5.3).
+//
+// A predicate is *non-nullable* iff it selects at least one tuple of D,
+// i.e. iff it is a subset of some tuple signature. The non-nullable
+// predicates form the down-closure of the distinct signatures; the paper
+// uses them as goal predicates in the synthetic experiments.
+
+#ifndef JINFER_CORE_LATTICE_H_
+#define JINFER_CORE_LATTICE_H_
+
+#include <vector>
+
+#include "core/signature_index.h"
+#include "core/types.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// Join ratio of the instance: the mean size of the distinct tuple
+/// signatures ("unique join predicates" in §5.3). Example 2.1's instance
+/// has join ratio 2.
+double JoinRatio(const SignatureIndex& index);
+
+/// All distinct tuple signatures (the lattice nodes that have corresponding
+/// tuples — the boxed nodes of Figure 4), sorted by size then bit order.
+std::vector<JoinPredicate> DistinctSignatures(const SignatureIndex& index);
+
+/// The ⊆-maximal distinct signatures (what the TD strategy proposes first).
+std::vector<JoinPredicate> MaximalSignatures(const SignatureIndex& index);
+
+/// Enumerates every non-nullable predicate (down-closure of the signatures),
+/// sorted by size then bit order. Fails with CapacityExceeded when the
+/// closure would exceed `limit` predicates (the closure can be exponential;
+/// the synthetic experiment configurations stay ≤ 2^10).
+util::Result<std::vector<JoinPredicate>> NonNullablePredicates(
+    const SignatureIndex& index, size_t limit = size_t{1} << 20);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_LATTICE_H_

@@ -1,0 +1,92 @@
+// Omega: the universe of candidate equality atoms attrs(R) × attrs(P).
+//
+// The paper's predicates are subsets θ ⊆ Ω. Omega fixes the bit layout
+// (pair (i, j) ↔ bit i*m + j), enforces the 256-atom capacity of
+// JoinPredicate, and renders predicates in the paper's notation.
+
+#ifndef JINFER_CORE_OMEGA_H_
+#define JINFER_CORE_OMEGA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "relational/join.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+class Omega {
+ public:
+  Omega() = default;
+
+  /// Builds Ω for the given pair of schemas. Fails with CapacityExceeded
+  /// when |attrs(R)| * |attrs(P)| > SmallBitset::kMaxBits.
+  static util::Result<Omega> Make(const rel::Schema& r, const rel::Schema& p);
+
+  /// Number of R attributes (n in the paper).
+  size_t num_r_attrs() const { return num_r_attrs_; }
+  /// Number of P attributes (m in the paper).
+  size_t num_p_attrs() const { return num_p_attrs_; }
+  /// |Ω| = n * m.
+  size_t size() const { return num_r_attrs_ * num_p_attrs_; }
+
+  /// Bit index of the atom (Ai, Bj).
+  size_t BitOf(size_t i, size_t j) const {
+    JINFER_CHECK(i < num_r_attrs_ && j < num_p_attrs_,
+                 "atom (%zu,%zu) outside Omega %zux%zu", i, j, num_r_attrs_,
+                 num_p_attrs_);
+    return i * num_p_attrs_ + j;
+  }
+
+  /// Atom (Ai, Bj) of a bit index.
+  std::pair<size_t, size_t> PairOf(size_t bit) const {
+    JINFER_CHECK(bit < size(), "bit %zu outside Omega of size %zu", bit,
+                 size());
+    return {bit / num_p_attrs_, bit % num_p_attrs_};
+  }
+
+  /// The most specific predicate: Ω itself (all atoms set).
+  JoinPredicate Full() const { return JoinPredicate::AllSet(size()); }
+
+  /// Builds a predicate from attribute-index pairs.
+  JoinPredicate PredicateFromPairs(
+      const std::vector<std::pair<size_t, size_t>>& pairs) const;
+
+  /// Builds a predicate from attribute names, e.g.
+  /// {{"To","City"},{"Airline","Discount"}}. Fails on unknown names.
+  util::Result<JoinPredicate> PredicateFromNames(
+      const std::vector<std::pair<std::string, std::string>>& pairs) const;
+
+  /// Decomposes a predicate into attribute-index pairs (sorted by bit).
+  std::vector<std::pair<size_t, size_t>> PairsOf(
+      const JoinPredicate& theta) const;
+
+  /// Converts to the representation rel::EquijoinIndices consumes.
+  std::vector<rel::AttrPair> ToAttrPairs(const JoinPredicate& theta) const;
+
+  /// Paper-style rendering: "{(A1,B3),(A2,B1)}" using real attribute names;
+  /// "{}" for the empty predicate.
+  std::string Format(const JoinPredicate& theta) const;
+
+  const std::string& r_attr_name(size_t i) const { return r_names_[i]; }
+  const std::string& p_attr_name(size_t j) const { return p_names_[j]; }
+  const std::string& r_relation_name() const { return r_relation_; }
+  const std::string& p_relation_name() const { return p_relation_; }
+
+ private:
+  size_t num_r_attrs_ = 0;
+  size_t num_p_attrs_ = 0;
+  std::string r_relation_;
+  std::string p_relation_;
+  std::vector<std::string> r_names_;
+  std::vector<std::string> p_names_;
+};
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_OMEGA_H_

@@ -1,0 +1,70 @@
+// Oracles: the "user" of the interactive scenario (§3.2).
+//
+// The experiments simulate the user with GoalOracle, which labels tuples
+// consistently with a goal predicate θG — exactly the paper's setup. The
+// LyingOracle injects label noise for failure testing (Algorithm 1 must
+// detect the resulting inconsistency). Interactive (stdin) oracles live in
+// the examples, not the library.
+
+#ifndef JINFER_CORE_ORACLE_H_
+#define JINFER_CORE_ORACLE_H_
+
+#include "core/signature_index.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace core {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Labels one tuple (presented as its signature class).
+  virtual Label LabelClass(const SignatureIndex& index, ClassId cls) = 0;
+};
+
+/// Labels a tuple + iff θG selects it, i.e. iff θG ⊆ T(t).
+class GoalOracle : public Oracle {
+ public:
+  explicit GoalOracle(JoinPredicate goal) : goal_(goal) {}
+
+  Label LabelClass(const SignatureIndex& index, ClassId cls) override {
+    return goal_.IsSubsetOf(index.cls(cls).signature) ? Label::kPositive
+                                                      : Label::kNegative;
+  }
+
+  const JoinPredicate& goal() const { return goal_; }
+
+ private:
+  JoinPredicate goal_;
+};
+
+/// A GoalOracle that flips each label independently with probability
+/// `lie_probability` — failure injection for the consistency check of
+/// Algorithm 1 (lines 6-7).
+class LyingOracle : public Oracle {
+ public:
+  LyingOracle(JoinPredicate goal, double lie_probability, uint64_t seed)
+      : goal_(goal), lie_probability_(lie_probability), rng_(seed) {}
+
+  Label LabelClass(const SignatureIndex& index, ClassId cls) override {
+    Label truth = goal_.IsSubsetOf(index.cls(cls).signature)
+                      ? Label::kPositive
+                      : Label::kNegative;
+    if (rng_.NextBool(lie_probability_)) {
+      return truth == Label::kPositive ? Label::kNegative : Label::kPositive;
+    }
+    return truth;
+  }
+
+ private:
+  JoinPredicate goal_;
+  double lie_probability_;
+  util::Rng rng_;
+};
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_ORACLE_H_

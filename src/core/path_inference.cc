@@ -1,0 +1,59 @@
+#include "core/path_inference.h"
+
+namespace jinfer {
+namespace core {
+
+namespace {
+
+/// Adapts the per-edge PathOracle to the single-pair Oracle interface.
+class StepOracle : public Oracle {
+ public:
+  StepOracle(PathOracle* oracle, size_t step)
+      : oracle_(oracle), step_(step) {}
+
+  Label LabelClass(const SignatureIndex& index, ClassId cls) override {
+    return oracle_->LabelStep(step_, index, cls);
+  }
+
+ private:
+  PathOracle* oracle_;
+  size_t step_;
+};
+
+}  // namespace
+
+util::Result<PathInferenceResult> RunPathInference(
+    const std::vector<const rel::Relation*>& path, StrategyKind kind,
+    uint64_t seed, PathOracle& oracle, const InferenceOptions& options) {
+  if (path.size() < 2) {
+    return util::Status::InvalidArgument(
+        "a join path needs at least two relations");
+  }
+  for (const rel::Relation* rel : path) {
+    if (rel == nullptr) {
+      return util::Status::InvalidArgument("null relation in path");
+    }
+  }
+
+  PathInferenceResult result;
+  for (size_t step = 0; step + 1 < path.size(); ++step) {
+    JINFER_ASSIGN_OR_RETURN(
+        SignatureIndex index,
+        SignatureIndex::Build(*path[step], *path[step + 1]));
+    auto strategy = MakeStrategy(kind, seed + step);
+    StepOracle step_oracle(&oracle, step);
+    JINFER_ASSIGN_OR_RETURN(
+        InferenceResult edge,
+        RunInference(index, *strategy, step_oracle, options));
+    PathStepResult step_result;
+    step_result.predicate = edge.predicate;
+    step_result.num_interactions = edge.num_interactions;
+    step_result.seconds = edge.seconds;
+    result.total_interactions += edge.num_interactions;
+    result.steps.push_back(step_result);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace jinfer

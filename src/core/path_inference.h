@@ -1,0 +1,82 @@
+// Join-path inference — the paper's §7 "extend our approach to join
+// paths" direction.
+//
+// A join path is a chain R1 — R2 — ... — Rk; the user's goal is a
+// conjunction of per-edge equijoin predicates θi ⊆ attrs(Ri) × attrs(Ri+1)
+// (e.g. Customer—Orders—Lineitem along the TPC-H foreign keys). Because
+// the edges constrain disjoint attribute universes, the interactive
+// problem decomposes: each edge runs the §4 machinery on its own
+// Cartesian product, and the per-edge guarantees compose — every inferred
+// θi is instance-equivalent to the user's θGi, so the chained join result
+// over the instance is identical to the goal's.
+//
+// The user-facing consequence is the paper's: the total number of
+// questions is the sum of per-edge interactions, each minimized by the
+// chosen strategy.
+
+#ifndef JINFER_CORE_PATH_INFERENCE_H_
+#define JINFER_CORE_PATH_INFERENCE_H_
+
+#include <vector>
+
+#include "core/inference.h"
+#include "core/signature_index.h"
+#include "core/strategy.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// Labels tuples from the Cartesian product of edge `step`'s two
+/// relations (step i joins path[i] with path[i+1]).
+class PathOracle {
+ public:
+  virtual ~PathOracle() = default;
+  virtual Label LabelStep(size_t step, const SignatureIndex& index,
+                          ClassId cls) = 0;
+};
+
+/// Simulated user holding one goal predicate per edge.
+class GoalPathOracle : public PathOracle {
+ public:
+  explicit GoalPathOracle(std::vector<JoinPredicate> goals)
+      : goals_(std::move(goals)) {}
+
+  Label LabelStep(size_t step, const SignatureIndex& index,
+                  ClassId cls) override {
+    JINFER_CHECK(step < goals_.size(), "step %zu beyond path", step);
+    return goals_[step].IsSubsetOf(index.cls(cls).signature)
+               ? Label::kPositive
+               : Label::kNegative;
+  }
+
+  const std::vector<JoinPredicate>& goals() const { return goals_; }
+
+ private:
+  std::vector<JoinPredicate> goals_;
+};
+
+struct PathStepResult {
+  JoinPredicate predicate;  ///< Inferred θi for edge i.
+  size_t num_interactions = 0;
+  double seconds = 0;
+};
+
+struct PathInferenceResult {
+  std::vector<PathStepResult> steps;  ///< One per edge, in path order.
+  size_t total_interactions = 0;
+};
+
+/// Runs Algorithm 1 once per edge of the path (a fresh strategy instance
+/// per edge, seeded with seed + edge index). Fails on paths shorter than
+/// two relations, on capacity/emptiness errors from any edge's index, or
+/// on inconsistent oracle labels.
+util::Result<PathInferenceResult> RunPathInference(
+    const std::vector<const rel::Relation*>& path, StrategyKind kind,
+    uint64_t seed, PathOracle& oracle, const InferenceOptions& options = {});
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_PATH_INFERENCE_H_

@@ -1,0 +1,18 @@
+#include "core/sample.h"
+
+namespace jinfer {
+namespace core {
+
+JoinPredicate MostSpecificPredicate(const SignatureIndex& index,
+                                    const Sample& sample) {
+  JoinPredicate theta = index.omega().Full();
+  for (const auto& ex : sample) {
+    if (ex.label == Label::kPositive) {
+      theta &= index.cls(ex.cls).signature;
+    }
+  }
+  return theta;
+}
+
+}  // namespace core
+}  // namespace jinfer

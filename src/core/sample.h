@@ -1,0 +1,40 @@
+// Samples: sets of labeled examples (§3).
+//
+// An example is a tuple of D with a +/− label. Because tuples with equal
+// T(t) are interchangeable, examples are stored at the class level; the
+// tuple-level view is recovered through class representatives.
+
+#ifndef JINFER_CORE_SAMPLE_H_
+#define JINFER_CORE_SAMPLE_H_
+
+#include <vector>
+
+#include "core/signature_index.h"
+#include "core/types.h"
+
+namespace jinfer {
+namespace core {
+
+/// One labeled example at class granularity.
+struct ClassExample {
+  ClassId cls;
+  Label label;
+
+  friend bool operator==(const ClassExample& a, const ClassExample& b) {
+    return a.cls == b.cls && a.label == b.label;
+  }
+};
+
+/// A sample S as an ordered list of examples (order = interaction order).
+using Sample = std::vector<ClassExample>;
+
+/// T(S+): the intersection of the positive examples' signatures; Ω when the
+/// sample has no positive example (the identity of intersection, matching
+/// §3.3's convention that only negatives yields Ω).
+JoinPredicate MostSpecificPredicate(const SignatureIndex& index,
+                                    const Sample& sample);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_SAMPLE_H_

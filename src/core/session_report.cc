@@ -1,0 +1,109 @@
+#include "core/session_report.h"
+
+#include <sstream>
+
+#include "relational/csv.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace core {
+
+namespace {
+
+void AppendRowValues(const rel::Relation& rel, size_t row,
+                     std::ostringstream* os) {
+  *os << rel.schema().relation_name() << '(';
+  for (size_t c = 0; c < rel.num_attributes(); ++c) {
+    if (c) *os << ", ";
+    *os << rel.at(row, c).ToString();
+  }
+  *os << ')';
+}
+
+}  // namespace
+
+std::string RenderTranscript(const SignatureIndex& index,
+                             const rel::Relation& r, const rel::Relation& p,
+                             const InferenceResult& result) {
+  std::ostringstream os;
+  for (size_t q = 0; q < result.trace.size(); ++q) {
+    const InteractionRecord& rec = result.trace[q];
+    const SignatureClass& cls = index.cls(rec.cls);
+    os << "Q" << q + 1 << " [" << rec.informative_before
+       << " informative left]: ";
+    AppendRowValues(r, cls.rep_r, &os);
+    os << " x ";
+    AppendRowValues(p, cls.rep_p, &os);
+    os << " -> " << (rec.label == Label::kPositive ? "YES" : "no") << '\n';
+  }
+  os << "Inferred predicate";
+  if (result.halted_early) os << " (stopped early)";
+  os << ": " << index.omega().Format(result.predicate) << '\n';
+  return os.str();
+}
+
+std::string TraceToCsv(const SignatureIndex& index,
+                       const InferenceResult& result) {
+  std::ostringstream os;
+  os << "question,r_row,p_row,label,signature,informative_before\n";
+  for (size_t q = 0; q < result.trace.size(); ++q) {
+    const InteractionRecord& rec = result.trace[q];
+    const SignatureClass& cls = index.cls(rec.cls);
+    os << q + 1 << ',' << cls.rep_r << ',' << cls.rep_p << ','
+       << LabelToString(rec.label) << ",\""
+       << index.omega().Format(cls.signature) << "\","
+       << rec.informative_before << '\n';
+  }
+  return os.str();
+}
+
+util::Result<Sample> SampleFromTraceCsv(const SignatureIndex& index,
+                                        const std::string& csv_text) {
+  JINFER_ASSIGN_OR_RETURN(rel::Relation trace,
+                          rel::ReadRelationCsvText(csv_text, "trace"));
+  const rel::Schema& schema = trace.schema();
+  auto r_col = schema.IndexOf("r_row");
+  auto p_col = schema.IndexOf("p_row");
+  auto label_col = schema.IndexOf("label");
+  if (!r_col || !p_col || !label_col) {
+    return util::Status::ParseError(
+        "trace CSV must have r_row, p_row and label columns");
+  }
+
+  Sample sample;
+  for (size_t row = 0; row < trace.num_rows(); ++row) {
+    const rel::Value& rv = trace.at(row, *r_col);
+    const rel::Value& pv = trace.at(row, *p_col);
+    const rel::Value& lv = trace.at(row, *label_col);
+    if (!rv.is_int() || !pv.is_int() || !lv.is_string()) {
+      return util::Status::ParseError(util::StrFormat(
+          "trace row %zu: expected integer rows and string label", row + 1));
+    }
+    if (lv.AsString() != "+" && lv.AsString() != "-") {
+      return util::Status::ParseError("label must be '+' or '-', got " +
+                                      lv.AsString());
+    }
+    if (rv.AsInt() < 0 || pv.AsInt() < 0) {
+      return util::Status::OutOfRange("negative row index in trace");
+    }
+    size_t r_row = static_cast<size_t>(rv.AsInt());
+    size_t p_row = static_cast<size_t>(pv.AsInt());
+    if (r_row >= index.num_r_rows() || p_row >= index.num_p_rows()) {
+      return util::Status::OutOfRange(util::StrFormat(
+          "trace tuple (%zu,%zu) outside the %zux%zu instance", r_row,
+          p_row, index.num_r_rows(), index.num_p_rows()));
+    }
+    JoinPredicate sig = index.SignatureOfPair(r_row, p_row);
+    auto cls = index.ClassOfSignature(sig);
+    if (!cls) {
+      return util::Status::NotFound(util::StrFormat(
+          "tuple (%zu,%zu) has no class in this index", r_row, p_row));
+    }
+    sample.push_back(ClassExample{
+        *cls, lv.AsString() == "+" ? Label::kPositive : Label::kNegative});
+  }
+  return sample;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,46 @@
+// Session reports: human-readable transcripts and machine-readable CSV
+// exports of an inference session's trace.
+//
+// The interactive scenario is an audit trail by nature — which tuples the
+// user saw, what they answered, and how much of the candidate space each
+// answer eliminated. Examples print transcripts; the CSV export feeds the
+// session into spreadsheets or downstream tooling, and round-trips through
+// rel::ReadRelationCsvText.
+
+#ifndef JINFER_CORE_SESSION_REPORT_H_
+#define JINFER_CORE_SESSION_REPORT_H_
+
+#include <string>
+
+#include "core/inference.h"
+#include "core/signature_index.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// Renders the session as indented text: one line per interaction with the
+/// representative tuple's values, the label, and the informative weight
+/// before the question; ends with the inferred predicate. `r` and `p` must
+/// be the relations the index was built from.
+std::string RenderTranscript(const SignatureIndex& index,
+                             const rel::Relation& r, const rel::Relation& p,
+                             const InferenceResult& result);
+
+/// Serializes the trace as CSV with header
+///   question,r_row,p_row,label,signature,informative_before
+/// (label is "+"/"-", signature in the paper's {(Ai,Bj),...} notation).
+std::string TraceToCsv(const SignatureIndex& index,
+                       const InferenceResult& result);
+
+/// Rebuilds the class-level sample from a TraceToCsv export against the
+/// same instance. Fails on malformed text or rows that do not exist in the
+/// index.
+util::Result<Sample> SampleFromTraceCsv(const SignatureIndex& index,
+                                        const std::string& csv_text);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_SESSION_REPORT_H_

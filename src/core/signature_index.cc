@@ -1,0 +1,243 @@
+#include "core/signature_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <unordered_set>
+
+#include "relational/value.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace core {
+
+namespace {
+
+/// Dictionary-encodes every cell of both relations. Equal non-null values
+/// get equal codes; every NULL gets a fresh code (NULL never matches
+/// anything, per rel::Value semantics).
+struct Dictionary {
+  std::unordered_map<rel::Value, uint32_t, rel::ValueHash> codes;
+  uint32_t next_code = 0;
+
+  uint32_t Encode(const rel::Value& v) {
+    if (v.is_null()) return next_code++;
+    auto [it, inserted] = codes.try_emplace(v, next_code);
+    if (inserted) ++next_code;
+    return it->second;
+  }
+
+  std::vector<std::vector<uint32_t>> EncodeRelation(const rel::Relation& rel) {
+    std::vector<std::vector<uint32_t>> out(rel.num_rows());
+    for (size_t i = 0; i < rel.num_rows(); ++i) {
+      out[i].reserve(rel.num_attributes());
+      for (const auto& v : rel.row(i)) out[i].push_back(Encode(v));
+    }
+    return out;
+  }
+};
+
+/// A distinct encoded row with its multiplicity and a representative
+/// original row index.
+struct DistinctRow {
+  const std::vector<uint32_t>* codes;
+  uint64_t count;
+  uint32_t rep;
+};
+
+std::vector<DistinctRow> Deduplicate(
+    const std::vector<std::vector<uint32_t>>& rows) {
+  std::map<std::vector<uint32_t>, size_t> seen;
+  std::vector<DistinctRow> out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto [it, inserted] = seen.try_emplace(rows[i], out.size());
+    if (inserted) {
+      out.push_back(DistinctRow{&rows[i], 1, static_cast<uint32_t>(i)});
+    } else {
+      ++out[it->second].count;
+    }
+  }
+  return out;
+}
+
+/// Per-P-row lookup structure: sorted (code, bitmask-of-j-positions).
+struct PRowLookup {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;  // (code, j-mask)
+
+  explicit PRowLookup(const std::vector<uint32_t>& codes) {
+    for (size_t j = 0; j < codes.size(); ++j) {
+      entries.emplace_back(codes[j], uint32_t{1} << j);
+    }
+    std::sort(entries.begin(), entries.end());
+    // Collapse duplicate codes within the row into one mask.
+    size_t w = 0;
+    for (size_t k = 0; k < entries.size(); ++k) {
+      if (w > 0 && entries[w - 1].first == entries[k].first) {
+        entries[w - 1].second |= entries[k].second;
+      } else {
+        entries[w++] = entries[k];
+      }
+    }
+    entries.resize(w);
+  }
+
+  /// Bitmask of P attribute positions j whose value code equals `code`.
+  uint32_t Match(uint32_t code) const {
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), code,
+        [](const auto& e, uint32_t c) { return e.first < c; });
+    if (it != entries.end() && it->first == code) return it->second;
+    return 0;
+  }
+};
+
+}  // namespace
+
+util::Result<SignatureIndex> SignatureIndex::Build(
+    const rel::Relation& r, const rel::Relation& p,
+    const SignatureIndexOptions& options) {
+  if (r.num_rows() == 0 || p.num_rows() == 0) {
+    return util::Status::InvalidArgument(
+        "SignatureIndex requires non-empty instances of both relations");
+  }
+  JINFER_ASSIGN_OR_RETURN(Omega omega, Omega::Make(r.schema(), p.schema()));
+
+  SignatureIndex index;
+  index.omega_ = std::move(omega);
+  index.num_tuples_ =
+      static_cast<uint64_t>(r.num_rows()) * static_cast<uint64_t>(p.num_rows());
+
+  Dictionary dict;
+  index.r_codes_ = dict.EncodeRelation(r);
+  index.p_codes_ = dict.EncodeRelation(p);
+
+  std::vector<DistinctRow> r_rows, p_rows;
+  if (options.compress) {
+    r_rows = Deduplicate(index.r_codes_);
+    p_rows = Deduplicate(index.p_codes_);
+  } else {
+    for (size_t i = 0; i < index.r_codes_.size(); ++i) {
+      r_rows.push_back(
+          DistinctRow{&index.r_codes_[i], 1, static_cast<uint32_t>(i)});
+    }
+    for (size_t j = 0; j < index.p_codes_.size(); ++j) {
+      p_rows.push_back(
+          DistinctRow{&index.p_codes_[j], 1, static_cast<uint32_t>(j)});
+    }
+  }
+
+  // Codes appearing anywhere in P: R attributes whose value is absent from P
+  // can never contribute an atom and are skipped per R row.
+  std::unordered_set<uint32_t> codes_in_p;
+  for (const auto& pr : p_rows) {
+    for (uint32_t c : *pr.codes) codes_in_p.insert(c);
+  }
+
+  std::vector<PRowLookup> p_lookups;
+  p_lookups.reserve(p_rows.size());
+  for (const auto& pr : p_rows) p_lookups.emplace_back(*pr.codes);
+
+  const size_t m = index.omega_.num_p_attrs();
+  std::vector<std::pair<size_t, uint32_t>> active;  // (i, code), code in P
+  for (const auto& rr : r_rows) {
+    active.clear();
+    for (size_t i = 0; i < rr.codes->size(); ++i) {
+      uint32_t code = (*rr.codes)[i];
+      if (codes_in_p.contains(code)) active.emplace_back(i, code);
+    }
+    for (size_t pk = 0; pk < p_rows.size(); ++pk) {
+      JoinPredicate sig;
+      for (const auto& [i, code] : active) {
+        uint32_t jmask = p_lookups[pk].Match(code);
+        while (jmask != 0) {
+          size_t j = static_cast<size_t>(std::countr_zero(jmask));
+          sig.Set(i * m + j);
+          jmask &= jmask - 1;
+        }
+      }
+      uint64_t weight = rr.count * p_rows[pk].count;
+      if (options.compress) {
+        auto [it, inserted] = index.class_of_signature_.try_emplace(
+            sig, static_cast<ClassId>(index.classes_.size()));
+        if (inserted) {
+          index.classes_.push_back(
+              SignatureClass{sig, weight, rr.rep, p_rows[pk].rep, false});
+        } else {
+          index.classes_[it->second].count += weight;
+        }
+      } else {
+        // Ablation mode: one singleton class per tuple; the signature map
+        // keeps the first class holding each signature.
+        index.class_of_signature_.try_emplace(
+            sig, static_cast<ClassId>(index.classes_.size()));
+        index.classes_.push_back(
+            SignatureClass{sig, 1, rr.rep, p_rows[pk].rep, false});
+      }
+    }
+  }
+
+  // Mark ⊆-maximal signatures (needed by the top-down strategy).
+  for (size_t a = 0; a < index.classes_.size(); ++a) {
+    bool maximal = true;
+    for (size_t b = 0; b < index.classes_.size(); ++b) {
+      if (a != b && index.classes_[a].signature.IsStrictSubsetOf(
+                        index.classes_[b].signature)) {
+        maximal = false;
+        break;
+      }
+    }
+    index.classes_[a].maximal = maximal;
+  }
+  return index;
+}
+
+std::optional<ClassId> SignatureIndex::ClassOfSignature(
+    const JoinPredicate& sig) const {
+  auto it = class_of_signature_.find(sig);
+  if (it == class_of_signature_.end()) return std::nullopt;
+  return it->second;
+}
+
+JoinPredicate SignatureIndex::SignatureOfPair(size_t r_row,
+                                              size_t p_row) const {
+  JINFER_CHECK(r_row < r_codes_.size() && p_row < p_codes_.size(),
+               "tuple (%zu,%zu) outside instance", r_row, p_row);
+  const auto& rc = r_codes_[r_row];
+  const auto& pc = p_codes_[p_row];
+  JoinPredicate sig;
+  const size_t m = omega_.num_p_attrs();
+  for (size_t i = 0; i < rc.size(); ++i) {
+    for (size_t j = 0; j < pc.size(); ++j) {
+      if (rc[i] == pc[j]) sig.Set(i * m + j);
+    }
+  }
+  return sig;
+}
+
+uint64_t SignatureIndex::CountSelected(const JoinPredicate& theta) const {
+  uint64_t total = 0;
+  for (const auto& c : classes_) {
+    if (theta.IsSubsetOf(c.signature)) total += c.count;
+  }
+  return total;
+}
+
+bool SignatureIndex::EquivalentOnInstance(const JoinPredicate& theta1,
+                                          const JoinPredicate& theta2) const {
+  for (const auto& c : classes_) {
+    if (theta1.IsSubsetOf(c.signature) != theta2.IsSubsetOf(c.signature)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SignatureIndex::IsNonNullable(const JoinPredicate& theta) const {
+  for (const auto& c : classes_) {
+    if (theta.IsSubsetOf(c.signature)) return true;
+  }
+  return false;
+}
+
+}  // namespace core
+}  // namespace jinfer

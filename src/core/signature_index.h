@@ -1,0 +1,110 @@
+// SignatureIndex: precomputes T(t) — the most specific equijoin predicate
+// selecting tuple t — for every tuple of the Cartesian product D = R × P,
+// and groups D into *signature classes*.
+//
+// Two tuples with equal T(t) are interchangeable for every notion in the
+// paper (consistency, certainty, entropy, the lattice), so the index stores
+// one class per distinct signature together with its tuple count and a
+// representative (row_r, row_p) pair. All inference state is then O(#classes)
+// instead of O(|D|); the paper's per-tuple counts are recovered from the
+// class multiplicities.
+//
+// Build cost: one pass over R × P on dictionary-encoded rows, with
+// duplicate-row compression applied to each side first.
+
+#ifndef JINFER_CORE_SIGNATURE_INDEX_H_
+#define JINFER_CORE_SIGNATURE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/omega.h"
+#include "core/types.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace core {
+
+/// One equivalence class of Cartesian-product tuples sharing a signature.
+struct SignatureClass {
+  JoinPredicate signature;   ///< T(t) for every member tuple.
+  uint64_t count = 0;        ///< Number of member tuples in D.
+  uint32_t rep_r = 0;        ///< Representative R row index.
+  uint32_t rep_p = 0;        ///< Representative P row index.
+  bool maximal = false;      ///< No other class signature strictly contains
+                             ///< this one (used by the TD strategy).
+};
+
+struct SignatureIndexOptions {
+  /// Group tuples with equal signatures into weighted classes (the default
+  /// and the production configuration). When false, every tuple of D gets
+  /// its own singleton class — quadratic state, kept only for the
+  /// compression ablation bench.
+  bool compress = true;
+};
+
+class SignatureIndex {
+ public:
+  /// Builds the index for an instance of two relations. Fails when Ω
+  /// exceeds predicate capacity or a relation is empty.
+  static util::Result<SignatureIndex> Build(
+      const rel::Relation& r, const rel::Relation& p,
+      const SignatureIndexOptions& options = {});
+
+  const Omega& omega() const { return omega_; }
+
+  size_t num_classes() const { return classes_.size(); }
+  const SignatureClass& cls(ClassId id) const { return classes_[id]; }
+  const std::vector<SignatureClass>& classes() const { return classes_; }
+
+  /// |D| = |R| * |P|.
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  /// Row counts of the underlying instance.
+  size_t num_r_rows() const { return r_codes_.size(); }
+  size_t num_p_rows() const { return p_codes_.size(); }
+
+  /// Class holding the given signature, if any tuple has it.
+  std::optional<ClassId> ClassOfSignature(const JoinPredicate& sig) const;
+
+  /// T(t) for an arbitrary tuple (by original row indices), recomputed from
+  /// the encoded rows. Agrees with the class signatures by construction.
+  JoinPredicate SignatureOfPair(size_t r_row, size_t p_row) const;
+
+  /// True iff θ selects the tuples of class `id`: θ ⊆ signature.
+  bool Selects(const JoinPredicate& theta, ClassId id) const {
+    return theta.IsSubsetOf(classes_[id].signature);
+  }
+
+  /// Number of tuples of D selected by θ (weighted by class counts).
+  uint64_t CountSelected(const JoinPredicate& theta) const;
+
+  /// True iff θ1 and θ2 select exactly the same subset of D — the paper's
+  /// instance-equivalence (§3.3).
+  bool EquivalentOnInstance(const JoinPredicate& theta1,
+                            const JoinPredicate& theta2) const;
+
+  /// True iff θ selects at least one tuple of D (θ is non-nullable).
+  bool IsNonNullable(const JoinPredicate& theta) const;
+
+ private:
+  SignatureIndex() = default;
+
+  Omega omega_;
+  std::vector<SignatureClass> classes_;
+  std::unordered_map<JoinPredicate, ClassId, util::SmallBitsetHash>
+      class_of_signature_;
+  uint64_t num_tuples_ = 0;
+
+  // Dictionary-encoded original rows, for SignatureOfPair.
+  std::vector<std::vector<uint32_t>> r_codes_;
+  std::vector<std::vector<uint32_t>> p_codes_;
+};
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_SIGNATURE_INDEX_H_

@@ -1,0 +1,56 @@
+#include "core/strategies/lookahead_strategy.h"
+
+#include <cstdio>
+
+namespace jinfer {
+namespace core {
+
+LookaheadStrategy::LookaheadStrategy(int depth) : depth_(depth) {
+  JINFER_CHECK(depth >= 1, "lookahead depth must be >= 1, got %d", depth);
+  std::snprintf(name_, sizeof(name_), "L%dS", depth);
+}
+
+std::optional<ClassId> LookaheadStrategy::SelectNext(
+    const InferenceState& state) {
+  std::vector<ClassId> informative = state.InformativeClasses();
+  if (informative.empty()) return std::nullopt;
+  // With one informative tuple left its label ends the session either way;
+  // skip the (expensive and ill-defined at k>1) entropy evaluation.
+  if (informative.size() == 1) return informative.front();
+
+  std::vector<Entropy> entropies;
+  entropies.reserve(informative.size());
+  for (ClassId c : informative) {
+    entropies.push_back(EntropyKOf(state, c, depth_));
+  }
+  Entropy chosen = SkylineMaxMin(entropies);
+  for (size_t k = 0; k < informative.size(); ++k) {
+    if (entropies[k] == chosen) return informative[k];
+  }
+  JINFER_CHECK(false, "skyline entropy %s not among candidates",
+               chosen.ToString().c_str());
+  return std::nullopt;
+}
+
+std::optional<ClassId> ExpectedGainStrategy::SelectNext(
+    const InferenceState& state) {
+  std::optional<ClassId> best;
+  double best_score = -1;
+  uint64_t best_min = 0;
+  for (ClassId c : state.InformativeClasses()) {
+    uint64_t up = state.CountNewlyUninformative(c, Label::kPositive);
+    uint64_t un = state.CountNewlyUninformative(c, Label::kNegative);
+    double score = 0.5 * (static_cast<double>(up) + static_cast<double>(un));
+    uint64_t min_u = std::min(up, un);
+    if (!best || score > best_score ||
+        (score == best_score && min_u > best_min)) {
+      best = c;
+      best_score = score;
+      best_min = min_u;
+    }
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,46 @@
+// Lookahead skyline strategies (§4.4): LkS for k ∈ {1, 2, 3}.
+//
+// Algorithm 4 (k = 1) / Algorithm 6 (k = 2): compute entropy^k for every
+// informative tuple, take m = max of the entropy minima, and present a
+// tuple whose entropy is the skyline element with minimum m (the unique
+// skyline entry with that minimum). Ties between tuples sharing that
+// entropy break to the lowest ClassId (the paper leaves this arbitrary).
+
+#ifndef JINFER_CORE_STRATEGIES_LOOKAHEAD_STRATEGY_H_
+#define JINFER_CORE_STRATEGIES_LOOKAHEAD_STRATEGY_H_
+
+#include "core/entropy.h"
+#include "core/strategy.h"
+
+namespace jinfer {
+namespace core {
+
+class LookaheadStrategy : public Strategy {
+ public:
+  /// `depth` is the lookahead k ≥ 1.
+  explicit LookaheadStrategy(int depth);
+
+  const char* name() const override { return name_; }
+  int depth() const { return depth_; }
+
+  std::optional<ClassId> SelectNext(const InferenceState& state) override;
+
+ private:
+  int depth_;
+  char name_[16];
+};
+
+/// Expected-gain heuristic (extension; the paper's §7 suggests probabilistic
+/// lookahead as future work). Scores each informative tuple by the mean of
+/// u+ and u− — the expected pruning under an uninformed 50/50 label prior —
+/// and presents the maximizer, breaking ties by the larger min(u+, u−).
+class ExpectedGainStrategy : public Strategy {
+ public:
+  const char* name() const override { return "EG"; }
+  std::optional<ClassId> SelectNext(const InferenceState& state) override;
+};
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_STRATEGIES_LOOKAHEAD_STRATEGY_H_

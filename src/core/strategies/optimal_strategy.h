@@ -1,0 +1,57 @@
+// OPT — the optimal strategy of §4.1.
+//
+// The paper notes that an optimal strategy (minimizing the worst-case
+// number of interactions) exists by the standard minimax construction and
+// is exponential, which "renders it unusable in practice". We implement it
+// anyway, memoized, for small instances: it gives the tests and the
+// lookahead-depth ablation a ground-truth floor against which BU/TD/LkS
+// are judged.
+//
+//   V(S) = 0                                   if no informative tuple
+//   V(S) = min over informative t of
+//            1 + max over α∈{+,−} V(S ∪ {(t,α)})   otherwise
+//
+// Memoization keys on the sample set (order-independent); branch-and-bound
+// prunes children that cannot beat the best candidate so far. Guarded by a
+// node budget: instances beyond ~20 classes are not what OPT is for.
+
+#ifndef JINFER_CORE_STRATEGIES_OPTIMAL_STRATEGY_H_
+#define JINFER_CORE_STRATEGIES_OPTIMAL_STRATEGY_H_
+
+#include <cstdint>
+
+#include "core/strategy.h"
+
+namespace jinfer {
+namespace core {
+
+class OptimalStrategy : public Strategy {
+ public:
+  /// `node_budget` bounds the memoized search; exceeding it aborts (use a
+  /// cheaper strategy for such instances).
+  explicit OptimalStrategy(uint64_t node_budget = 5'000'000)
+      : node_budget_(node_budget) {}
+
+  const char* name() const override { return "OPT"; }
+  std::optional<ClassId> SelectNext(const InferenceState& state) override;
+
+ private:
+  uint64_t node_budget_;
+};
+
+/// Worst-case number of interactions to reach the halt condition Γ from
+/// `state` under optimal play — the minimax value of §4.1.
+size_t MinimaxInteractions(const InferenceState& state,
+                           uint64_t node_budget = 5'000'000);
+
+/// Worst-case number of interactions the given strategy needs on `index`
+/// over ALL possible goal behaviors (i.e., against an adversarial oracle
+/// answering any consistent label). Used by tests to compare strategies
+/// with the optimum. Exponential like OPT; small instances only.
+size_t WorstCaseInteractions(const SignatureIndex& index, Strategy& strategy,
+                             uint64_t node_budget = 5'000'000);
+
+}  // namespace core
+}  // namespace jinfer
+
+#endif  // JINFER_CORE_STRATEGIES_OPTIMAL_STRATEGY_H_

@@ -1,0 +1,23 @@
+#include "core/strategies/random_strategy.h"
+
+namespace jinfer {
+namespace core {
+
+std::optional<ClassId> RandomStrategy::SelectNext(
+    const InferenceState& state) {
+  uint64_t total = state.InformativeTupleWeight();
+  if (total == 0) return std::nullopt;
+  uint64_t target = rng_.NextBelow(total);
+  const SignatureIndex& index = state.index();
+  for (ClassId c = 0; c < index.num_classes(); ++c) {
+    if (!state.IsInformative(c)) continue;
+    uint64_t w = index.cls(c).count;
+    if (target < w) return c;
+    target -= w;
+  }
+  JINFER_CHECK(false, "weighted sampling fell off the end");
+  return std::nullopt;
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,74 @@
+#include "core/strategy.h"
+
+#include "core/strategies/local_strategies.h"
+#include "core/strategies/lookahead_strategy.h"
+#include "core/strategies/optimal_strategy.h"
+#include "core/strategies/random_strategy.h"
+
+namespace jinfer {
+namespace core {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "RND";
+    case StrategyKind::kBottomUp:
+      return "BU";
+    case StrategyKind::kTopDown:
+      return "TD";
+    case StrategyKind::kLookahead1:
+      return "L1S";
+    case StrategyKind::kLookahead2:
+      return "L2S";
+    case StrategyKind::kLookahead3:
+      return "L3S";
+    case StrategyKind::kExpectedGain:
+      return "EG";
+    case StrategyKind::kOptimal:
+      return "OPT";
+  }
+  return "?";
+}
+
+util::Result<StrategyKind> StrategyKindFromName(const std::string& name) {
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kBottomUp, StrategyKind::kTopDown,
+        StrategyKind::kLookahead1, StrategyKind::kLookahead2,
+        StrategyKind::kLookahead3, StrategyKind::kExpectedGain,
+        StrategyKind::kOptimal}) {
+    if (name == StrategyKindName(kind)) return kind;
+  }
+  return util::Status::NotFound("unknown strategy: " + name);
+}
+
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind, uint64_t seed) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomStrategy>(seed);
+    case StrategyKind::kBottomUp:
+      return std::make_unique<BottomUpStrategy>();
+    case StrategyKind::kTopDown:
+      return std::make_unique<TopDownStrategy>();
+    case StrategyKind::kLookahead1:
+      return std::make_unique<LookaheadStrategy>(1);
+    case StrategyKind::kLookahead2:
+      return std::make_unique<LookaheadStrategy>(2);
+    case StrategyKind::kLookahead3:
+      return std::make_unique<LookaheadStrategy>(3);
+    case StrategyKind::kExpectedGain:
+      return std::make_unique<ExpectedGainStrategy>();
+    case StrategyKind::kOptimal:
+      return std::make_unique<OptimalStrategy>();
+  }
+  JINFER_CHECK(false, "unreachable strategy kind");
+  return nullptr;
+}
+
+std::vector<StrategyKind> PaperStrategies() {
+  return {StrategyKind::kBottomUp, StrategyKind::kTopDown,
+          StrategyKind::kLookahead1, StrategyKind::kLookahead2,
+          StrategyKind::kRandom};
+}
+
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,151 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace rel {
+
+namespace {
+
+/// Splits one CSV record into fields, honoring double-quote quoting.
+/// `quoted[i]` records whether field i was quoted (a quoted empty field is
+/// the empty string, not NULL).
+util::Status SplitCsvRecord(const std::string& line,
+                            std::vector<std::string>* fields,
+                            std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return util::Status::ParseError("unterminated quote in CSV record: " +
+                                    line);
+  }
+  fields->push_back(std::move(cur));
+  quoted->push_back(was_quoted);
+  return util::Status::OK();
+}
+
+std::string EscapeCsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+util::Result<Relation> ReadRelationCsvText(const std::string& text,
+                                           const std::string& relation_name) {
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line)) {
+    return util::Status::ParseError("empty CSV input for relation " +
+                                    relation_name);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  std::vector<std::string> header;
+  std::vector<bool> header_quoted;
+  JINFER_RETURN_NOT_OK(SplitCsvRecord(line, &header, &header_quoted));
+  for (auto& h : header) h = std::string(util::Trim(h));
+  JINFER_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Make(relation_name, std::move(header)));
+
+  Relation out(std::move(schema));
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    JINFER_RETURN_NOT_OK(SplitCsvRecord(line, &fields, &quoted));
+    if (fields.size() != out.num_attributes()) {
+      return util::Status::ParseError(util::StrFormat(
+          "%s line %zu: expected %zu fields, got %zu",
+          relation_name.c_str(), lineno, out.num_attributes(), fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      // A quoted field is always a string (even a quoted number or "").
+      if (quoted[i]) {
+        row.emplace_back(fields[i]);
+      } else {
+        row.push_back(Value::FromCsvField(fields[i]));
+      }
+    }
+    JINFER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+util::Result<Relation> ReadRelationCsvFile(const std::string& path,
+                                           const std::string& relation_name) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadRelationCsvText(buf.str(), relation_name);
+}
+
+std::string WriteRelationCsv(const Relation& relation) {
+  std::ostringstream os;
+  const auto& names = relation.schema().attribute_names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    os << (i ? "," : "") << EscapeCsvField(names[i]);
+  }
+  os << '\n';
+  for (const auto& row : relation.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      if (row[i].is_string()) {
+        os << EscapeCsvField(row[i].AsString());
+      } else {
+        os << row[i].ToString();
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rel
+}  // namespace jinfer

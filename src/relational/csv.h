@@ -1,0 +1,35 @@
+// CSV reader/writer for relations.
+//
+// Format: first line is the header (attribute names); fields are comma-
+// separated; a field may be double-quoted, with "" as the embedded-quote
+// escape. Unquoted empty fields parse as NULL. Type inference per field:
+// integer, then double, then string (see Value::FromCsvField).
+
+#ifndef JINFER_RELATIONAL_CSV_H_
+#define JINFER_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace rel {
+
+/// Parses a relation named `relation_name` from CSV text.
+util::Result<Relation> ReadRelationCsvText(const std::string& text,
+                                           const std::string& relation_name);
+
+/// Reads a relation from a CSV file.
+util::Result<Relation> ReadRelationCsvFile(const std::string& path,
+                                           const std::string& relation_name);
+
+/// Serializes a relation to CSV (header + rows). String fields containing
+/// commas, quotes, or newlines are quoted.
+std::string WriteRelationCsv(const Relation& relation);
+
+}  // namespace rel
+}  // namespace jinfer
+
+#endif  // JINFER_RELATIONAL_CSV_H_

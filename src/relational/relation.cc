@@ -1,0 +1,71 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace rel {
+
+util::Result<Relation> Relation::Make(std::string name,
+                                      std::vector<std::string> attributes,
+                                      std::vector<Row> rows) {
+  JINFER_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Make(std::move(name), std::move(attributes)));
+  Relation r(std::move(schema));
+  for (auto& row : rows) {
+    JINFER_RETURN_NOT_OK(r.AppendRow(std::move(row)));
+  }
+  return r;
+}
+
+util::Status Relation::AppendRow(Row row) {
+  if (row.size() != schema_.num_attributes()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "row arity %zu does not match schema arity %zu of %s", row.size(),
+        schema_.num_attributes(), schema_.relation_name().c_str()));
+  }
+  rows_.push_back(std::move(row));
+  return util::Status::OK();
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  size_t limit = max_rows == 0 ? rows_.size() : std::min(max_rows,
+                                                         rows_.size());
+  size_t cols = schema_.num_attributes();
+
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    width[c] = schema_.attribute_names()[c].size();
+  }
+  std::vector<std::vector<std::string>> cells(limit);
+  for (size_t r = 0; r < limit; ++r) {
+    cells[r].resize(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << schema_.relation_name() << " (" << rows_.size() << " rows)\n";
+  for (size_t c = 0; c < cols; ++c) {
+    os << (c ? " | " : "  ")
+       << util::PadRight(schema_.attribute_names()[c], width[c]);
+  }
+  os << '\n';
+  for (size_t r = 0; r < limit; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      os << (c ? " | " : "  ") << util::PadRight(cells[r][c], width[c]);
+    }
+    os << '\n';
+  }
+  if (limit < rows_.size()) {
+    os << "  ... (" << rows_.size() - limit << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace rel
+}  // namespace jinfer

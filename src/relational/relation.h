@@ -1,0 +1,58 @@
+// Relation: a schema plus a bag of rows (row-major storage).
+//
+// The inference core never scans Relations directly on the hot path; it
+// dictionary-encodes them once into a core::SignatureIndex. Relation is the
+// user-facing, CSV-loadable representation.
+
+#ifndef JINFER_RELATIONAL_RELATION_H_
+#define JINFER_RELATIONAL_RELATION_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace rel {
+
+using Row = std::vector<Value>;
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Convenience builder for tests and examples:
+  ///   Relation::Make("R", {"A1","A2"}, {{0,1},{0,2}});
+  /// Fails on schema errors or arity mismatches.
+  static util::Result<Relation> Make(
+      std::string name, std::vector<std::string> attributes,
+      std::vector<Row> rows);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  util::Status AppendRow(Row row);
+
+  /// Pretty-prints the relation as an aligned text table (first `max_rows`
+  /// rows; 0 means all).
+  std::string ToString(size_t max_rows = 0) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rel
+}  // namespace jinfer
+
+#endif  // JINFER_RELATIONAL_RELATION_H_

@@ -1,0 +1,47 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace rel {
+
+util::Result<Schema> Schema::Make(std::string relation_name,
+                                  std::vector<std::string> attribute_names) {
+  if (relation_name.empty()) {
+    return util::Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (attribute_names.empty()) {
+    return util::Status::InvalidArgument(
+        "schema must have at least one attribute");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& name : attribute_names) {
+    if (name.empty()) {
+      return util::Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!seen.insert(name).second) {
+      return util::Status::InvalidArgument("duplicate attribute name: " +
+                                           name);
+    }
+  }
+  Schema s;
+  s.relation_name_ = std::move(relation_name);
+  s.attribute_names_ = std::move(attribute_names);
+  return s;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  return relation_name_ + "(" + util::Join(attribute_names_, ", ") + ")";
+}
+
+}  // namespace rel
+}  // namespace jinfer

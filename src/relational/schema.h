@@ -1,0 +1,55 @@
+// Schema: an ordered list of attribute names belonging to a named relation.
+//
+// The paper assumes attrs(R) and attrs(P) are disjoint; that property is
+// enforced at the core::Omega level (which qualifies attributes with the
+// relation name), not here.
+
+#ifndef JINFER_RELATIONAL_SCHEMA_H_
+#define JINFER_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace jinfer {
+namespace rel {
+
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema. Fails on an empty relation name, empty attribute list,
+  /// or duplicate attribute names.
+  static util::Result<Schema> Make(std::string relation_name,
+                                   std::vector<std::string> attribute_names);
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  size_t num_attributes() const { return attribute_names_.size(); }
+
+  /// Index of the attribute with the given name, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// "Relation(A1, A2, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.relation_name_ == b.relation_name_ &&
+           a.attribute_names_ == b.attribute_names_;
+  }
+
+ private:
+  std::string relation_name_;
+  std::vector<std::string> attribute_names_;
+};
+
+}  // namespace rel
+}  // namespace jinfer
+
+#endif  // JINFER_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,74 @@
+#include "relational/value.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace jinfer {
+namespace rel {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t Value::Hash() const {
+  struct Visitor {
+    size_t operator()(const Null&) const { return Mix(0x6e756c6cULL); }
+    size_t operator()(int64_t v) const {
+      return Mix(0x696e74ULL ^ static_cast<uint64_t>(v));
+    }
+    size_t operator()(double v) const {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      return Mix(0x646f75ULL ^ bits);
+    }
+    size_t operator()(const std::string& s) const {
+      uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+      for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+      return Mix(0x737472ULL ^ h);
+    }
+  };
+  return std::visit(Visitor{}, repr_);
+}
+
+std::string Value::ToString() const {
+  struct Visitor {
+    std::string operator()(const Null&) const { return ""; }
+    std::string operator()(int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return buf;
+    }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, repr_);
+}
+
+Value Value::FromCsvField(std::string_view field) {
+  if (field.empty()) return Value();
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+
+  int64_t ival = 0;
+  auto [iptr, ierr] = std::from_chars(begin, end, ival);
+  if (ierr == std::errc() && iptr == end) return Value(ival);
+
+  double dval = 0;
+  auto [dptr, derr] = std::from_chars(begin, end, dval);
+  if (derr == std::errc() && dptr == end) return Value(dval);
+
+  return Value(std::string(field));
+}
+
+}  // namespace rel
+}  // namespace jinfer

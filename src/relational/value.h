@@ -1,0 +1,79 @@
+// Value: the dynamically-typed cell of a relation.
+//
+// Equality is what the whole paper runs on (equijoin predicates are
+// conjunctions of equalities between attributes), so the semantics here are
+// load-bearing:
+//   * values of different runtime types are never equal (1 != "1", 1 != 1.0);
+//   * Null follows SQL: Null == Null is FALSE. The appendix A.1 reduction
+//     depends on its bottom values not matching anything, including each
+//     other.
+
+#ifndef JINFER_RELATIONAL_VALUE_H_
+#define JINFER_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace jinfer {
+namespace rel {
+
+/// SQL-style NULL marker (the appendix's bottom value).
+struct Null {
+  friend bool operator==(const Null&, const Null&) { return false; }
+};
+
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : repr_(Null{}) {}
+  Value(Null) : repr_(Null{}) {}                     // NOLINT
+  Value(int64_t v) : repr_(v) {}                     // NOLINT
+  Value(int v) : repr_(static_cast<int64_t>(v)) {}   // NOLINT
+  Value(double v) : repr_(v) {}                      // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}      // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}    // NOLINT
+
+  bool is_null() const { return std::holds_alternative<Null>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Accessors; calling the wrong one throws std::bad_variant_access.
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Join-equality: same type and same payload; anything involving NULL is
+  /// not equal (including NULL vs NULL).
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_null() || b.is_null()) return false;
+    return a.repr_ == b.repr_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Hash consistent with operator== for non-null values. All NULLs hash
+  /// alike (they land in one bucket but never compare equal; dictionary
+  /// encoding handles them specially).
+  size_t Hash() const;
+
+  /// Renders the value for display and CSV output. NULL renders as "".
+  std::string ToString() const;
+
+  /// Parses a CSV field: "" -> NULL, integer literal -> int, floating
+  /// literal -> double, anything else -> string.
+  static Value FromCsvField(std::string_view field);
+
+ private:
+  std::variant<Null, int64_t, double, std::string> repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rel
+}  // namespace jinfer
+
+#endif  // JINFER_RELATIONAL_VALUE_H_

@@ -1,0 +1,46 @@
+#include "sat/cnf.h"
+
+#include <sstream>
+
+namespace jinfer {
+namespace sat {
+
+void Cnf::AddClause(Clause clause) {
+  for (Literal lit : clause) {
+    JINFER_CHECK(lit != 0, "literal 0 in clause");
+    JINFER_CHECK(VarOf(lit) <= num_vars_,
+                 "literal %d references variable beyond num_vars %d", lit,
+                 num_vars_);
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  JINFER_CHECK(assignment.size() >= static_cast<size_t>(num_vars_) + 1,
+               "assignment too short: %zu for %d vars", assignment.size(),
+               num_vars_);
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (Literal lit : clause) {
+      if (assignment[static_cast<size_t>(VarOf(lit))] == IsPositive(lit)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::ostringstream os;
+  os << "p cnf " << num_vars_ << ' ' << clauses_.size() << '\n';
+  for (const Clause& clause : clauses_) {
+    for (Literal lit : clause) os << lit << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace sat
+}  // namespace jinfer

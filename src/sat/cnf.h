@@ -1,0 +1,68 @@
+// CNF formulas: the propositional substrate behind §6.
+//
+// The paper proves CONS⋉ (semijoin-consistency) NP-complete by reduction
+// from 3SAT. We exercise both directions: semi::reduction_3sat encodes 3CNF
+// formulas as semijoin instances, and semi::consistency decides CONS⋉ by
+// encoding it back into CNF and solving with the DPLL solver (sat/dpll.h).
+//
+// Conventions: variables are 1-based ints; a literal is +v or -v (DIMACS
+// style); a clause is a disjunction of literals; a formula is a conjunction
+// of clauses.
+
+#ifndef JINFER_SAT_CNF_H_
+#define JINFER_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jinfer {
+namespace sat {
+
+/// DIMACS-style literal: +v for variable v, -v for its negation. Never 0.
+using Literal = int;
+
+inline int VarOf(Literal lit) {
+  JINFER_CHECK(lit != 0, "literal 0");
+  return lit > 0 ? lit : -lit;
+}
+inline bool IsPositive(Literal lit) { return lit > 0; }
+
+using Clause = std::vector<Literal>;
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Allocates a fresh variable and returns its index.
+  int NewVar() { return ++num_vars_; }
+
+  /// Adds a clause; literals must reference variables ≤ num_vars (call
+  /// NewVar first). The empty clause makes the formula unsatisfiable.
+  void AddClause(Clause clause);
+
+  /// Convenience for unit/binary/ternary clauses.
+  void AddUnit(Literal a) { AddClause({a}); }
+  void AddBinary(Literal a, Literal b) { AddClause({a, b}); }
+  void AddTernary(Literal a, Literal b, Literal c) { AddClause({a, b, c}); }
+
+  /// Evaluates under a full assignment (assignment[v] for v in 1..n).
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace sat
+}  // namespace jinfer
+
+#endif  // JINFER_SAT_CNF_H_

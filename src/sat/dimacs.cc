@@ -1,0 +1,72 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace sat {
+
+util::Result<Cnf> ParseDimacs(const std::string& text) {
+  std::istringstream is(text);
+  std::string token;
+  int num_vars = -1;
+  size_t num_clauses = 0;
+  Cnf cnf;
+  Clause current;
+  size_t clauses_seen = 0;
+
+  while (is >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      if (!(is >> fmt) || fmt != "cnf" || !(is >> num_vars >> num_clauses)) {
+        return util::Status::ParseError("malformed DIMACS problem line");
+      }
+      if (num_vars < 0) {
+        return util::Status::ParseError("negative variable count");
+      }
+      cnf = Cnf(num_vars);
+      continue;
+    }
+    if (num_vars < 0) {
+      return util::Status::ParseError(
+          "clause data before the 'p cnf' problem line");
+    }
+    int lit;
+    try {
+      lit = std::stoi(token);
+    } catch (...) {
+      return util::Status::ParseError("bad DIMACS token: " + token);
+    }
+    if (lit == 0) {
+      cnf.AddClause(std::move(current));
+      current.clear();
+      ++clauses_seen;
+    } else {
+      if (VarOf(lit) > num_vars) {
+        return util::Status::ParseError(util::StrFormat(
+            "literal %d exceeds declared variable count %d", lit, num_vars));
+      }
+      current.push_back(lit);
+    }
+  }
+  if (!current.empty()) {
+    return util::Status::ParseError("last clause not 0-terminated");
+  }
+  if (clauses_seen != num_clauses) {
+    return util::Status::ParseError(
+        util::StrFormat("declared %zu clauses, found %zu", num_clauses,
+                        clauses_seen));
+  }
+  return cnf;
+}
+
+std::string ToDimacs(const Cnf& cnf) { return cnf.ToString(); }
+
+}  // namespace sat
+}  // namespace jinfer

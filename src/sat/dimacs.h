@@ -1,0 +1,24 @@
+// DIMACS CNF text format: parsing and serialization.
+
+#ifndef JINFER_SAT_DIMACS_H_
+#define JINFER_SAT_DIMACS_H_
+
+#include <string>
+
+#include "sat/cnf.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace sat {
+
+/// Parses DIMACS CNF text ("c" comments, "p cnf <vars> <clauses>" header,
+/// 0-terminated clauses; clauses may span lines).
+util::Result<Cnf> ParseDimacs(const std::string& text);
+
+/// Serializes to DIMACS (same as Cnf::ToString; provided for symmetry).
+std::string ToDimacs(const Cnf& cnf);
+
+}  // namespace sat
+}  // namespace jinfer
+
+#endif  // JINFER_SAT_DIMACS_H_

@@ -1,0 +1,37 @@
+#include "sat/random_cnf.h"
+
+#include <algorithm>
+
+namespace jinfer {
+namespace sat {
+
+Cnf RandomKCnf(int num_vars, size_t num_clauses, int k, util::Rng& rng) {
+  JINFER_CHECK(k >= 1 && num_vars >= k, "need num_vars >= k >= 1");
+  Cnf cnf(num_vars);
+  std::vector<int> vars(static_cast<size_t>(k));
+  for (size_t c = 0; c < num_clauses; ++c) {
+    // Draw k distinct variables by rejection (k is tiny).
+    for (size_t i = 0; i < vars.size(); ++i) {
+      while (true) {
+        int v = static_cast<int>(
+                    rng.NextBelow(static_cast<uint64_t>(num_vars))) +
+                1;
+        if (std::find(vars.begin(), vars.begin() + static_cast<long>(i), v) ==
+            vars.begin() + static_cast<long>(i)) {
+          vars[i] = v;
+          break;
+        }
+      }
+    }
+    Clause clause;
+    clause.reserve(vars.size());
+    for (int v : vars) {
+      clause.push_back(rng.NextBool(0.5) ? v : -v);
+    }
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+}  // namespace sat
+}  // namespace jinfer

@@ -1,0 +1,24 @@
+// Random k-CNF generator for property tests and the §6 scaling bench.
+
+#ifndef JINFER_SAT_RANDOM_CNF_H_
+#define JINFER_SAT_RANDOM_CNF_H_
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace sat {
+
+/// Uniform random k-CNF: each clause draws k distinct variables and
+/// independent polarities. num_vars must be ≥ k. At clause/variable ratio
+/// ≈ 4.27 and k = 3 this produces the classic hard region.
+Cnf RandomKCnf(int num_vars, size_t num_clauses, int k, util::Rng& rng);
+
+inline Cnf Random3Cnf(int num_vars, size_t num_clauses, util::Rng& rng) {
+  return RandomKCnf(num_vars, num_clauses, 3, rng);
+}
+
+}  // namespace sat
+}  // namespace jinfer
+
+#endif  // JINFER_SAT_RANDOM_CNF_H_

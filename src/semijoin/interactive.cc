@@ -1,0 +1,59 @@
+#include "semijoin/interactive.h"
+
+#include <optional>
+
+namespace jinfer {
+namespace semi {
+
+util::Result<SemijoinInferenceResult> RunSemijoinInference(
+    const SemijoinInstance& instance, SemijoinOracle& oracle) {
+  SemijoinInferenceResult result;
+  RowSample& sample = result.sample;
+  std::vector<bool> labeled(instance.num_rows(), false);
+
+  auto consistent_with = [&](size_t row, core::Label label) {
+    sample.push_back(RowExample{row, label});
+    bool ok = CheckConsistencySat(instance, sample).consistent;
+    sample.pop_back();
+    ++result.sat_calls;
+    return ok;
+  };
+
+  while (true) {
+    std::optional<size_t> pick;
+    size_t pick_sigs = 0;
+    for (size_t row = 0; row < instance.num_rows(); ++row) {
+      if (labeled[row]) continue;
+      if (!consistent_with(row, core::Label::kPositive)) continue;
+      if (!consistent_with(row, core::Label::kNegative)) continue;
+      size_t sigs = instance.MaximalSignatures(row).size();
+      if (!pick || sigs < pick_sigs) {
+        pick = row;
+        pick_sigs = sigs;
+      }
+    }
+    if (!pick) break;  // No informative row: halt.
+
+    core::Label label = oracle.LabelRow(*pick);
+    sample.push_back(RowExample{*pick, label});
+    labeled[*pick] = true;
+    ++result.num_interactions;
+
+    if (!CheckConsistencySat(instance, sample).consistent) {
+      return util::Status::InconsistentSample(
+          "semijoin labels admit no consistent predicate");
+    }
+  }
+
+  ConsistencyResult final = CheckConsistencySat(instance, sample);
+  ++result.sat_calls;
+  if (!final.consistent) {
+    return util::Status::InconsistentSample(
+        "semijoin labels admit no consistent predicate");
+  }
+  result.predicate = final.witness;
+  return result;
+}
+
+}  // namespace semi
+}  // namespace jinfer

@@ -1,0 +1,65 @@
+// Heuristic interactive inference of semijoin predicates — the paper's §7
+// future-work direction ("design heuristics for the interactive inference
+// of semijoins").
+//
+// Theorem 6.1 rules out a PTIME informativeness test, so informativeness is
+// decided with two CONS⋉ SAT calls per candidate row: a row is informative
+// iff both labelings keep the sample consistent. When no informative row
+// remains, every consistent predicate classifies every row identically, so
+// the returned witness is semijoin-equivalent to the user's goal on the
+// instance — the analogue of the §3.3 guarantee, at exponential worst-case
+// cost instead of PTIME.
+//
+// Row-selection heuristic: among informative rows, prefer the one with the
+// fewest maximal signatures (its labels constrain θ through the fewest
+// disjuncts, i.e. most directly), ties to the lowest row index.
+
+#ifndef JINFER_SEMIJOIN_INTERACTIVE_H_
+#define JINFER_SEMIJOIN_INTERACTIVE_H_
+
+#include "semijoin/consistency.h"
+#include "semijoin/semijoin_instance.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace semi {
+
+class SemijoinOracle {
+ public:
+  virtual ~SemijoinOracle() = default;
+  virtual core::Label LabelRow(size_t r_row) = 0;
+};
+
+/// Labels a row + iff θG semijoin-selects it.
+class GoalSemijoinOracle : public SemijoinOracle {
+ public:
+  GoalSemijoinOracle(const SemijoinInstance& instance,
+                     core::JoinPredicate goal)
+      : instance_(&instance), goal_(goal) {}
+
+  core::Label LabelRow(size_t r_row) override {
+    return instance_->Selects(goal_, r_row) ? core::Label::kPositive
+                                            : core::Label::kNegative;
+  }
+
+ private:
+  const SemijoinInstance* instance_;
+  core::JoinPredicate goal_;
+};
+
+struct SemijoinInferenceResult {
+  core::JoinPredicate predicate;  ///< Consistent witness at halt.
+  size_t num_interactions = 0;
+  uint64_t sat_calls = 0;  ///< Total CONS⋉ decisions spent.
+  RowSample sample;        ///< Labels gathered, in interaction order.
+};
+
+/// Runs the interactive loop until no informative row remains. Fails with
+/// InconsistentSample when the oracle lies.
+util::Result<SemijoinInferenceResult> RunSemijoinInference(
+    const SemijoinInstance& instance, SemijoinOracle& oracle);
+
+}  // namespace semi
+}  // namespace jinfer
+
+#endif  // JINFER_SEMIJOIN_INTERACTIVE_H_

@@ -1,0 +1,135 @@
+#include "semijoin/reduction_3sat.h"
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace semi {
+
+namespace {
+
+std::string ClauseId(size_t i) { return util::StrFormat("c%zu+", i + 1); }
+std::string VarId(int v) { return util::StrFormat("x%d*", v); }
+
+}  // namespace
+
+util::Result<ReductionOutput> ReduceFrom3Sat(const sat::Cnf& formula) {
+  const int n = formula.num_vars();
+  const size_t k = formula.num_clauses();
+  if (n == 0 || k == 0) {
+    return util::Status::InvalidArgument(
+        "reduction requires at least one variable and one clause");
+  }
+  for (const sat::Clause& clause : formula.clauses()) {
+    if (clause.size() != 3) {
+      return util::Status::InvalidArgument(
+          "reduction requires exactly 3 literals per clause");
+    }
+    if (sat::VarOf(clause[0]) == sat::VarOf(clause[1]) ||
+        sat::VarOf(clause[0]) == sat::VarOf(clause[2]) ||
+        sat::VarOf(clause[1]) == sat::VarOf(clause[2])) {
+      return util::Status::InvalidArgument(
+          "reduction requires distinct variables within a clause");
+    }
+  }
+
+  // Rφ(idR, A1..An).
+  std::vector<std::string> r_attrs = {"idR"};
+  for (int j = 1; j <= n; ++j) r_attrs.push_back(util::StrFormat("A%d", j));
+  rel::Relation r;
+  {
+    JINFER_ASSIGN_OR_RETURN(rel::Schema schema,
+                            rel::Schema::Make("R_phi", std::move(r_attrs)));
+    r = rel::Relation(std::move(schema));
+  }
+  auto base_row = [n](rel::Value id) {
+    rel::Row row = {std::move(id)};
+    for (int j = 1; j <= n; ++j) row.emplace_back(int64_t{j});
+    return row;
+  };
+  RowSample sample;
+  for (size_t i = 0; i < k; ++i) {  // tR,i — positive examples.
+    JINFER_RETURN_NOT_OK(r.AppendRow(base_row(ClauseId(i))));
+    sample.push_back(RowExample{i, core::Label::kPositive});
+  }
+  JINFER_RETURN_NOT_OK(r.AppendRow(base_row("X")));  // t′R,0.
+  sample.push_back(RowExample{k, core::Label::kNegative});
+  for (int i = 1; i <= n; ++i) {  // t′R,i.
+    JINFER_RETURN_NOT_OK(r.AppendRow(base_row(VarId(i))));
+    sample.push_back(
+        RowExample{k + static_cast<size_t>(i), core::Label::kNegative});
+  }
+
+  // Pφ(idP, B1t, B1f, ..., Bnt, Bnf).
+  std::vector<std::string> p_attrs = {"idP"};
+  for (int j = 1; j <= n; ++j) {
+    p_attrs.push_back(util::StrFormat("B%dt", j));
+    p_attrs.push_back(util::StrFormat("B%df", j));
+  }
+  rel::Relation p;
+  {
+    JINFER_ASSIGN_OR_RETURN(rel::Schema schema,
+                            rel::Schema::Make("P_phi", std::move(p_attrs)));
+    p = rel::Relation(std::move(schema));
+  }
+  // Column of Bjt is 1 + 2*(j-1); Bjf follows it.
+  for (size_t i = 0; i < k; ++i) {
+    for (sat::Literal lit : formula.clauses()[i]) {
+      int v = sat::VarOf(lit);
+      rel::Row row = {rel::Value(ClauseId(i))};
+      for (int j = 1; j <= n; ++j) {
+        if (j != v) {
+          row.emplace_back(int64_t{j});  // Bjt
+          row.emplace_back(int64_t{j});  // Bjf
+        } else if (sat::IsPositive(lit)) {
+          row.emplace_back(int64_t{j});   // Bjt = j
+          row.emplace_back(rel::Null{});  // Bjf = ⊥
+        } else {
+          row.emplace_back(rel::Null{});  // Bjt = ⊥
+          row.emplace_back(int64_t{j});   // Bjf = j
+        }
+      }
+      JINFER_RETURN_NOT_OK(p.AppendRow(std::move(row)));
+    }
+  }
+  {
+    rel::Row row = {rel::Value("Y")};  // t′P,0.
+    for (int j = 1; j <= n; ++j) {
+      row.emplace_back(int64_t{j});
+      row.emplace_back(int64_t{j});
+    }
+    JINFER_RETURN_NOT_OK(p.AppendRow(std::move(row)));
+  }
+  for (int i = 1; i <= n; ++i) {  // t′P,i.
+    rel::Row row = {rel::Value(VarId(i))};
+    for (int j = 1; j <= n; ++j) {
+      if (j == i) {
+        row.emplace_back(rel::Null{});
+        row.emplace_back(rel::Null{});
+      } else {
+        row.emplace_back(int64_t{j});
+        row.emplace_back(int64_t{j});
+      }
+    }
+    JINFER_RETURN_NOT_OK(p.AppendRow(std::move(row)));
+  }
+
+  return ReductionOutput{std::move(r), std::move(p), std::move(sample)};
+}
+
+std::vector<bool> ValuationFromPredicate(const sat::Cnf& formula,
+                                         const core::Omega& omega,
+                                         const core::JoinPredicate& theta) {
+  const int n = formula.num_vars();
+  std::vector<bool> assignment(static_cast<size_t>(n) + 1, false);
+  for (int v = 1; v <= n; ++v) {
+    // Attribute Av is R column v; Bvt / Bvf are P columns 2v-1 / 2v.
+    size_t av = static_cast<size_t>(v);
+    bool has_t = theta.Test(omega.BitOf(av, static_cast<size_t>(2 * v - 1)));
+    bool has_f = theta.Test(omega.BitOf(av, static_cast<size_t>(2 * v)));
+    assignment[static_cast<size_t>(v)] = has_t || !has_f;
+  }
+  return assignment;
+}
+
+}  // namespace semi
+}  // namespace jinfer

@@ -1,0 +1,55 @@
+// The appendix A.1 reduction: 3SAT ≤p CONS⋉ (proof of Theorem 6.1).
+//
+// Given a 3-CNF formula φ over variables x1..xn with clauses c1..ck, builds
+// relations Rφ, Pφ and a sample Sφ such that φ is satisfiable iff
+// (Rφ, Pφ, Sφ) ∈ CONS⋉. Construction (verbatim from the paper):
+//
+//   Rφ(idR, A1..An):
+//     tR,i  (1 ≤ i ≤ k): idR = "c<i>+", Aj = j          — positive examples
+//     t′R,0           : idR = "X",     Aj = j           — negative example
+//     t′R,i (1 ≤ i ≤ n): idR = "x<i>*", Aj = j          — negative examples
+//   Pφ(idP, B1t, B1f, ..., Bnt, Bnf):
+//     tP,il (clause i, literal l on variable v): idP = "c<i>+";
+//       Bjt = Bjf = j for j ≠ v; for j = v: the column matching the
+//       literal's polarity holds v, the other holds ⊥ (NULL)
+//     t′P,0: idP = "Y",     Bjt = Bjf = j
+//     t′P,i: idP = "x<i>*", Bjt = Bjf = j for j ≠ i, ⊥ for j = i
+//
+// A consistent θ must contain (idR, idP) (else t′R,0 joins t′P,0) and, for
+// each variable i, at least one of (Ai, Bit), (Ai, Bif) (else t′R,i joins
+// t′P,i); the t/f choice per variable reads off a satisfying valuation.
+
+#ifndef JINFER_SEMIJOIN_REDUCTION_3SAT_H_
+#define JINFER_SEMIJOIN_REDUCTION_3SAT_H_
+
+#include "relational/relation.h"
+#include "sat/cnf.h"
+#include "semijoin/semijoin_instance.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace semi {
+
+struct ReductionOutput {
+  rel::Relation r;     ///< Rφ
+  rel::Relation p;     ///< Pφ
+  RowSample sample;    ///< Sφ (positives first, then negatives)
+};
+
+/// Builds (Rφ, Pφ, Sφ) from a CNF whose clauses all have exactly 3
+/// literals over distinct variables. Fails otherwise.
+util::Result<ReductionOutput> ReduceFrom3Sat(const sat::Cnf& formula);
+
+/// Reads a satisfying valuation off a consistent semijoin predicate for a
+/// reduction instance. A variable whose θ-atoms are single-polarity gets
+/// that polarity; a variable carrying both polarity atoms can never appear
+/// in a join witness tuple, so its value is irrelevant to the clause
+/// witnesses and defaults to true.
+std::vector<bool> ValuationFromPredicate(const sat::Cnf& formula,
+                                         const core::Omega& omega,
+                                         const core::JoinPredicate& theta);
+
+}  // namespace semi
+}  // namespace jinfer
+
+#endif  // JINFER_SEMIJOIN_REDUCTION_3SAT_H_

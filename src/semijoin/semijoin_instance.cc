@@ -1,0 +1,90 @@
+#include "semijoin/semijoin_instance.h"
+
+#include <algorithm>
+
+#include "core/signature_index.h"
+
+namespace jinfer {
+namespace semi {
+
+namespace {
+
+/// Keeps only the ⊆-maximal predicates of a deduplicated set.
+std::vector<core::JoinPredicate> MaximalOnly(
+    std::vector<core::JoinPredicate> sigs) {
+  std::sort(sigs.begin(), sigs.end());
+  sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+  std::vector<core::JoinPredicate> out;
+  for (size_t a = 0; a < sigs.size(); ++a) {
+    bool maximal = true;
+    for (size_t b = 0; b < sigs.size(); ++b) {
+      if (a != b && sigs[a].IsStrictSubsetOf(sigs[b])) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.push_back(sigs[a]);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<SemijoinInstance> SemijoinInstance::Build(
+    const rel::Relation& r, const rel::Relation& p) {
+  JINFER_ASSIGN_OR_RETURN(core::SignatureIndex index,
+                          core::SignatureIndex::Build(r, p));
+  SemijoinInstance instance;
+  instance.omega_ = index.omega();
+  instance.row_signatures_.resize(r.num_rows());
+  std::vector<core::JoinPredicate> sigs;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    sigs.clear();
+    sigs.reserve(p.num_rows());
+    for (size_t j = 0; j < p.num_rows(); ++j) {
+      sigs.push_back(index.SignatureOfPair(i, j));
+    }
+    instance.row_signatures_[i] = MaximalOnly(std::move(sigs));
+  }
+  return instance;
+}
+
+bool SemijoinInstance::Selects(const core::JoinPredicate& theta,
+                               size_t row) const {
+  JINFER_CHECK(row < row_signatures_.size(), "row %zu out of range", row);
+  for (const core::JoinPredicate& sig : row_signatures_[row]) {
+    if (theta.IsSubsetOf(sig)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> SemijoinInstance::Semijoin(
+    const core::JoinPredicate& theta) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < row_signatures_.size(); ++i) {
+    if (Selects(theta, i)) out.push_back(i);
+  }
+  return out;
+}
+
+bool SemijoinInstance::EquivalentOnInstance(
+    const core::JoinPredicate& theta1,
+    const core::JoinPredicate& theta2) const {
+  for (size_t i = 0; i < row_signatures_.size(); ++i) {
+    if (Selects(theta1, i) != Selects(theta2, i)) return false;
+  }
+  return true;
+}
+
+bool SemijoinInstance::ConsistentWith(const core::JoinPredicate& theta,
+                                      const RowSample& sample) const {
+  for (const RowExample& ex : sample) {
+    bool selected = Selects(theta, ex.r_row);
+    if (ex.label == core::Label::kPositive && !selected) return false;
+    if (ex.label == core::Label::kNegative && selected) return false;
+  }
+  return true;
+}
+
+}  // namespace semi
+}  // namespace jinfer

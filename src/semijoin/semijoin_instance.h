@@ -1,0 +1,68 @@
+// Semijoin instances (§6): R ⋉θ P with examples labeled on R rows.
+//
+// For a fixed R row t, whether θ selects t depends only on the set of
+// signatures {T(t, t′) | t′ ∈ P}: t ∈ R ⋉θ P iff θ ⊆ σ for some σ in the
+// set. Only the ⊆-maximal signatures matter, so the instance precomputes
+// those per row.
+
+#ifndef JINFER_SEMIJOIN_SEMIJOIN_INSTANCE_H_
+#define JINFER_SEMIJOIN_SEMIJOIN_INSTANCE_H_
+
+#include <vector>
+
+#include "core/omega.h"
+#include "core/types.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace semi {
+
+/// One labeled semijoin example: an R row with a +/− label.
+struct RowExample {
+  size_t r_row;
+  core::Label label;
+};
+
+using RowSample = std::vector<RowExample>;
+
+class SemijoinInstance {
+ public:
+  /// Precomputes the per-row maximal signature sets. Fails when Ω exceeds
+  /// predicate capacity or either relation is empty.
+  static util::Result<SemijoinInstance> Build(const rel::Relation& r,
+                                              const rel::Relation& p);
+
+  const core::Omega& omega() const { return omega_; }
+  size_t num_rows() const { return row_signatures_.size(); }
+
+  /// The ⊆-maximal signatures among {T(t_row, t′) | t′ ∈ P}.
+  const std::vector<core::JoinPredicate>& MaximalSignatures(
+      size_t row) const {
+    return row_signatures_[row];
+  }
+
+  /// True iff row ∈ R ⋉θ P.
+  bool Selects(const core::JoinPredicate& theta, size_t row) const;
+
+  /// R ⋉θ P as sorted row indices.
+  std::vector<size_t> Semijoin(const core::JoinPredicate& theta) const;
+
+  /// True iff θ1 and θ2 produce the same semijoin result on this instance.
+  bool EquivalentOnInstance(const core::JoinPredicate& theta1,
+                            const core::JoinPredicate& theta2) const;
+
+  /// True iff θ selects every positive and no negative example of the
+  /// sample.
+  bool ConsistentWith(const core::JoinPredicate& theta,
+                      const RowSample& sample) const;
+
+ private:
+  core::Omega omega_;
+  std::vector<std::vector<core::JoinPredicate>> row_signatures_;
+};
+
+}  // namespace semi
+}  // namespace jinfer
+
+#endif  // JINFER_SEMIJOIN_SEMIJOIN_INSTANCE_H_

@@ -1,0 +1,22 @@
+#include "util/bitset.h"
+
+#include <sstream>
+
+namespace jinfer {
+namespace util {
+
+std::string SmallBitset::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  ForEachSetBit([&](size_t bit) {
+    if (!first) os << ',';
+    os << bit;
+    first = false;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace util
+}  // namespace jinfer

@@ -1,0 +1,204 @@
+// SmallBitset: a fixed-capacity (256-bit) bitset with the set-algebra
+// operations the inference core needs: subset tests, intersection, union,
+// popcount, iteration over set bits, and hashing.
+//
+// 256 bits covers Omega = attrs(R) x attrs(P) for tables of up to 16x16
+// attributes (e.g. TPC-H Lineitem(16) x Part(9)). Capacity violations are
+// caught at the API boundary (core::Omega), not here.
+
+#ifndef JINFER_UTIL_BITSET_H_
+#define JINFER_UTIL_BITSET_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/check.h"
+
+namespace jinfer {
+namespace util {
+
+class SmallBitset {
+ public:
+  static constexpr size_t kMaxBits = 256;
+  static constexpr size_t kWords = kMaxBits / 64;
+
+  /// Constructs the empty set.
+  constexpr SmallBitset() : words_{0, 0, 0, 0} {}
+
+  /// Returns a bitset with bits [0, n) set.
+  static SmallBitset AllSet(size_t n) {
+    JINFER_CHECK(n <= kMaxBits, "AllSet(%zu) exceeds capacity %zu", n,
+                 kMaxBits);
+    SmallBitset b;
+    size_t full = n / 64;
+    for (size_t w = 0; w < full; ++w) b.words_[w] = ~uint64_t{0};
+    if (n % 64 != 0) b.words_[full] = (uint64_t{1} << (n % 64)) - 1;
+    return b;
+  }
+
+  /// Returns a singleton {bit}.
+  static SmallBitset Singleton(size_t bit) {
+    SmallBitset b;
+    b.Set(bit);
+    return b;
+  }
+
+  void Set(size_t bit) {
+    JINFER_CHECK(bit < kMaxBits, "Set(%zu) out of range", bit);
+    words_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+
+  void Reset(size_t bit) {
+    JINFER_CHECK(bit < kMaxBits, "Reset(%zu) out of range", bit);
+    words_[bit / 64] &= ~(uint64_t{1} << (bit % 64));
+  }
+
+  bool Test(size_t bit) const {
+    JINFER_CHECK(bit < kMaxBits, "Test(%zu) out of range", bit);
+    return (words_[bit / 64] >> (bit % 64)) & 1;
+  }
+
+  bool Empty() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+    return c;
+  }
+
+  /// True iff *this is a subset of `other` (not necessarily strict).
+  bool IsSubsetOf(const SmallBitset& other) const {
+    for (size_t w = 0; w < kWords; ++w) {
+      if ((words_[w] & ~other.words_[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff *this is a strict subset of `other`.
+  bool IsStrictSubsetOf(const SmallBitset& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+
+  bool Intersects(const SmallBitset& other) const {
+    for (size_t w = 0; w < kWords; ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  SmallBitset operator&(const SmallBitset& o) const {
+    SmallBitset r;
+    for (size_t w = 0; w < kWords; ++w) r.words_[w] = words_[w] & o.words_[w];
+    return r;
+  }
+  SmallBitset operator|(const SmallBitset& o) const {
+    SmallBitset r;
+    for (size_t w = 0; w < kWords; ++w) r.words_[w] = words_[w] | o.words_[w];
+    return r;
+  }
+  SmallBitset operator^(const SmallBitset& o) const {
+    SmallBitset r;
+    for (size_t w = 0; w < kWords; ++w) r.words_[w] = words_[w] ^ o.words_[w];
+    return r;
+  }
+  /// Set difference: bits in *this but not in `o`.
+  SmallBitset operator-(const SmallBitset& o) const {
+    SmallBitset r;
+    for (size_t w = 0; w < kWords; ++w) r.words_[w] = words_[w] & ~o.words_[w];
+    return r;
+  }
+  SmallBitset& operator&=(const SmallBitset& o) {
+    for (size_t w = 0; w < kWords; ++w) words_[w] &= o.words_[w];
+    return *this;
+  }
+  SmallBitset& operator|=(const SmallBitset& o) {
+    for (size_t w = 0; w < kWords; ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+
+  friend bool operator==(const SmallBitset& a, const SmallBitset& b) {
+    return a.words_ == b.words_;
+  }
+  friend bool operator!=(const SmallBitset& a, const SmallBitset& b) {
+    return !(a == b);
+  }
+  /// Lexicographic-by-word order; any strict total order works for use as
+  /// std::map keys and canonical sorting.
+  friend bool operator<(const SmallBitset& a, const SmallBitset& b) {
+    for (size_t w = kWords; w-- > 0;) {
+      if (a.words_[w] != b.words_[w]) return a.words_[w] < b.words_[w];
+    }
+    return false;
+  }
+
+  /// Index of the lowest set bit; kMaxBits when empty.
+  size_t FirstSetBit() const {
+    for (size_t w = 0; w < kWords; ++w) {
+      if (words_[w] != 0) {
+        return w * 64 + static_cast<size_t>(std::countr_zero(words_[w]));
+      }
+    }
+    return kMaxBits;
+  }
+
+  /// Index of the lowest set bit that is >= `from`; kMaxBits when none.
+  size_t NextSetBit(size_t from) const {
+    if (from >= kMaxBits) return kMaxBits;
+    size_t w = from / 64;
+    uint64_t masked = words_[w] & (~uint64_t{0} << (from % 64));
+    while (true) {
+      if (masked != 0) {
+        return w * 64 + static_cast<size_t>(std::countr_zero(masked));
+      }
+      if (++w == kWords) return kMaxBits;
+      masked = words_[w];
+    }
+  }
+
+  /// Calls fn(bit) for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < kWords; ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        size_t bit = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        fn(bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// 64-bit mix hash over the words (splitmix-style combiner).
+  size_t Hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t w : words_) {
+      uint64_t x = w + 0x9e3779b97f4a7c15ULL + h;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      h = x ^ (x >> 31);
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// Debug string, e.g. "{0,3,17}".
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kWords> words_;
+};
+
+struct SmallBitsetHash {
+  size_t operator()(const SmallBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_BITSET_H_

@@ -1,0 +1,23 @@
+// JINFER_CHECK: internal invariant assertion, enabled in all build types
+// (the algorithms here are cheap relative to the checks, and silent
+// corruption of inference state would invalidate experiments).
+
+#ifndef JINFER_UTIL_CHECK_H_
+#define JINFER_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a printf-style message when `cond` is false.
+#define JINFER_CHECK(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "JINFER_CHECK failed at %s:%d: ", __FILE__, \
+                   __LINE__);                                          \
+      std::fprintf(stderr, __VA_ARGS__);                               \
+      std::fprintf(stderr, "\n");                                      \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#endif  // JINFER_UTIL_CHECK_H_

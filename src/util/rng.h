@@ -1,0 +1,87 @@
+// Deterministic 64-bit RNG (xoshiro256** seeded via SplitMix64).
+//
+// Every randomized component of the library (RND strategy, workload
+// generators, random CNF) takes an explicit seed so experiments are exactly
+// reproducible; std::mt19937 is avoided because its distributions are not
+// specified identically across standard libraries.
+
+#ifndef JINFER_UTIL_RNG_H_
+#define JINFER_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace jinfer {
+namespace util {
+
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams on all
+  /// platforms.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state, per the
+    // reference implementation recommendation.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be positive. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound) {
+    JINFER_CHECK(bound > 0, "NextBelow(0)");
+    uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    JINFER_CHECK(lo <= hi, "NextInRange(%lld, %lld)",
+                 static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(span == 0 ? Next() : NextBelow(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_RNG_H_

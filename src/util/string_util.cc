@@ -1,0 +1,69 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace jinfer {
+namespace util {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view Trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<size_t>(len));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace util
+}  // namespace jinfer

@@ -1,0 +1,33 @@
+// Small string helpers shared by CSV parsing and report printing.
+
+#ifndef JINFER_UTIL_STRING_UTIL_H_
+#define JINFER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jinfer {
+namespace util {
+
+/// Splits `s` on `sep`; adjacent separators yield empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads or truncates `s` to exactly `width` characters (for tables).
+std::string PadLeft(std::string s, size_t width);
+std::string PadRight(std::string s, size_t width);
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_STRING_UTIL_H_

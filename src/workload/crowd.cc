@@ -1,0 +1,93 @@
+#include "workload/crowd.h"
+
+namespace jinfer {
+namespace workload {
+
+CrowdOracle::CrowdOracle(core::JoinPredicate goal, const CrowdConfig& config)
+    : goal_(goal), config_(config), rng_(config.seed) {
+  JINFER_CHECK(config.num_workers > 0, "need at least one worker");
+  JINFER_CHECK(config.error_rate >= 0 && config.error_rate <= 1,
+               "error rate %f out of [0,1]", config.error_rate);
+}
+
+core::Label CrowdOracle::LabelClass(const core::SignatureIndex& index,
+                                    core::ClassId cls) {
+  core::Label truth = goal_.IsSubsetOf(index.cls(cls).signature)
+                          ? core::Label::kPositive
+                          : core::Label::kNegative;
+  size_t positive_votes = 0;
+  for (size_t w = 0; w < config_.num_workers; ++w) {
+    core::Label vote = truth;
+    if (rng_.NextBool(config_.error_rate)) {
+      vote = truth == core::Label::kPositive ? core::Label::kNegative
+                                             : core::Label::kPositive;
+    }
+    if (vote == core::Label::kPositive) ++positive_votes;
+    ++votes_purchased_;
+  }
+  core::Label majority = 2 * positive_votes >= config_.num_workers
+                             ? core::Label::kPositive
+                             : core::Label::kNegative;
+  if (majority != truth) ++majority_errors_;
+  return majority;
+}
+
+util::Result<CrowdTrialResult> RunCrowdTrial(
+    const core::SignatureIndex& index, const core::JoinPredicate& goal,
+    core::StrategyKind kind, const CrowdConfig& config) {
+  auto strategy = core::MakeStrategy(kind, config.seed ^ 0xc0ffee);
+  CrowdOracle oracle(goal, config);
+  core::InferenceOptions options;
+  options.record_trace = false;
+
+  CrowdTrialResult trial;
+  auto result = core::RunInference(index, *strategy, oracle, options);
+  if (!result.ok()) {
+    // A noisy crowd can label an already-certain tuple inconsistently only
+    // through a custom strategy; with the bundled informative-only
+    // strategies this branch is unreachable, but a caller plugging in a
+    // custom strategy still gets a well-formed "not recovered" trial.
+    if (result.status().IsInconsistentSample()) {
+      trial.recovered = false;
+      trial.votes_purchased = oracle.votes_purchased();
+      trial.majority_errors = oracle.majority_errors();
+      return trial;
+    }
+    return result.status();
+  }
+  trial.recovered = index.EquivalentOnInstance(result->predicate, goal);
+  trial.interactions = result->num_interactions;
+  trial.votes_purchased = oracle.votes_purchased();
+  trial.majority_errors = oracle.majority_errors();
+  return trial;
+}
+
+util::Result<CrowdSweepPoint> MeasureCrowdPoint(
+    const core::SignatureIndex& index, const core::JoinPredicate& goal,
+    core::StrategyKind kind, size_t num_workers, double error_rate,
+    size_t trials, uint64_t seed) {
+  if (trials == 0) {
+    return util::Status::InvalidArgument("trials must be positive");
+  }
+  CrowdSweepPoint point;
+  point.num_workers = num_workers;
+  point.error_rate = error_rate;
+  for (size_t t = 0; t < trials; ++t) {
+    CrowdConfig config;
+    config.num_workers = num_workers;
+    config.error_rate = error_rate;
+    config.seed = seed + t * 6151;
+    JINFER_ASSIGN_OR_RETURN(CrowdTrialResult trial,
+                            RunCrowdTrial(index, goal, kind, config));
+    point.recovery_rate += trial.recovered ? 1.0 : 0.0;
+    point.mean_interactions += static_cast<double>(trial.interactions);
+    point.mean_votes += static_cast<double>(trial.votes_purchased);
+  }
+  point.recovery_rate /= static_cast<double>(trials);
+  point.mean_interactions /= static_cast<double>(trials);
+  point.mean_votes /= static_cast<double>(trials);
+  return point;
+}
+
+}  // namespace workload
+}  // namespace jinfer

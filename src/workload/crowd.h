@@ -1,0 +1,92 @@
+// Crowdsourced labeling (§1 and §7): the paper motivates join inference by
+// crowdsourcing scenarios, where each membership question is answered by
+// paid, *noisy* workers and minimizing interactions minimizes cost.
+//
+// This module simulates that deployment: a CrowdOracle aggregates k
+// independent workers (each a goal-following labeler with its own error
+// rate) by majority vote, tracking the number of votes purchased. The
+// inference engine is unchanged — the oracle abstraction absorbs the
+// crowd. CrowdTrial measures the end-to-end effect of noise: whether the
+// inferred predicate is still instance-equivalent to the goal, and what
+// the session cost.
+//
+// A design consequence documented in core/inference.h applies here with
+// force: lies on informative tuples are *individually consistent*, so a
+// noisy crowd silently redirects the inference instead of failing it —
+// redundancy (more workers), not the consistency check, is what buys
+// accuracy back.
+
+#ifndef JINFER_WORKLOAD_CROWD_H_
+#define JINFER_WORKLOAD_CROWD_H_
+
+#include <cstdint>
+
+#include "core/inference.h"
+#include "core/oracle.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace workload {
+
+struct CrowdConfig {
+  size_t num_workers = 3;      ///< Votes per question (odd ⇒ no ties).
+  double error_rate = 0.1;     ///< Per-worker independent flip probability.
+  uint64_t seed = 0;           ///< Seeds all workers deterministically.
+};
+
+/// Majority vote over `num_workers` simulated workers, each following the
+/// goal predicate but flipping each answer independently with
+/// `error_rate`. Ties (even worker counts) resolve positive.
+class CrowdOracle : public core::Oracle {
+ public:
+  CrowdOracle(core::JoinPredicate goal, const CrowdConfig& config);
+
+  core::Label LabelClass(const core::SignatureIndex& index,
+                         core::ClassId cls) override;
+
+  /// Total worker answers purchased so far (questions × workers).
+  uint64_t votes_purchased() const { return votes_purchased_; }
+
+  /// Questions whose majority answer disagreed with the true label.
+  uint64_t majority_errors() const { return majority_errors_; }
+
+ private:
+  core::JoinPredicate goal_;
+  CrowdConfig config_;
+  util::Rng rng_;
+  uint64_t votes_purchased_ = 0;
+  uint64_t majority_errors_ = 0;
+};
+
+struct CrowdTrialResult {
+  bool recovered = false;  ///< Inferred predicate instance-equivalent?
+  size_t interactions = 0;
+  uint64_t votes_purchased = 0;
+  uint64_t majority_errors = 0;
+};
+
+/// Runs one full inference session against a crowd.
+util::Result<CrowdTrialResult> RunCrowdTrial(
+    const core::SignatureIndex& index, const core::JoinPredicate& goal,
+    core::StrategyKind kind, const CrowdConfig& config);
+
+struct CrowdSweepPoint {
+  size_t num_workers = 0;
+  double error_rate = 0;
+  double recovery_rate = 0;   ///< Fraction of trials that recovered θG.
+  double mean_interactions = 0;
+  double mean_votes = 0;
+};
+
+/// Recovery rate and cost across `trials` sessions at one (workers, error)
+/// setting.
+util::Result<CrowdSweepPoint> MeasureCrowdPoint(
+    const core::SignatureIndex& index, const core::JoinPredicate& goal,
+    core::StrategyKind kind, size_t num_workers, double error_rate,
+    size_t trials, uint64_t seed);
+
+}  // namespace workload
+}  // namespace jinfer
+
+#endif  // JINFER_WORKLOAD_CROWD_H_

@@ -1,0 +1,60 @@
+// Experiment harness: runs (instance, goal, strategy) grids and aggregates
+// the paper's two measures — number of interactions and inference time —
+// validating on every run that the inferred predicate is instance-
+// equivalent to the goal (§3.3), so a bench that prints numbers has also
+// proven correctness.
+
+#ifndef JINFER_WORKLOAD_EXPERIMENT_H_
+#define JINFER_WORKLOAD_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/signature_index.h"
+#include "core/strategy.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace workload {
+
+struct StrategyStats {
+  core::StrategyKind kind = core::StrategyKind::kRandom;
+  double mean_interactions = 0;
+  double mean_seconds = 0;
+  size_t runs = 0;
+};
+
+/// Runs `runs` inference sessions for one goal under one strategy (only RND
+/// varies across runs; deterministic strategies still honor `runs` so time
+/// averaging is uniform). Fails if any session errors or produces a
+/// predicate not instance-equivalent to the goal.
+util::Result<StrategyStats> MeasureStrategy(const core::SignatureIndex& index,
+                                            const core::JoinPredicate& goal,
+                                            core::StrategyKind kind,
+                                            size_t runs, uint64_t seed);
+
+/// Pools MeasureStrategy over a set of goals (the synthetic experiments
+/// average over all goals of a size group).
+util::Result<StrategyStats> MeasureStrategyOverGoals(
+    const core::SignatureIndex& index,
+    const std::vector<core::JoinPredicate>& goals, core::StrategyKind kind,
+    size_t runs_per_goal, uint64_t seed);
+
+/// Index of the strategy with the fewest mean interactions, ties broken by
+/// mean time (the paper's "best strategy" column in Table 1).
+size_t BestStrategyIndex(const std::vector<StrategyStats>& stats);
+
+/// Groups the instance's non-nullable predicates by |θ| and uniformly
+/// samples at most `max_per_size` goals from each group — the synthetic
+/// experiments' goal sets. (The paper uses *all* non-nullable predicates;
+/// sampling bounds bench time and is reported in the bench output.)
+util::Result<std::map<size_t, std::vector<core::JoinPredicate>>>
+SampleGoalsBySize(const core::SignatureIndex& index, size_t max_per_size,
+                  uint64_t seed);
+
+}  // namespace workload
+}  // namespace jinfer
+
+#endif  // JINFER_WORKLOAD_EXPERIMENT_H_

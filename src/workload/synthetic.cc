@@ -1,0 +1,68 @@
+#include "workload/synthetic.h"
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace workload {
+
+std::string SyntheticConfig::ToString() const {
+  return util::StrFormat("(%zu,%zu,%zu,%lld)", num_r_attrs, num_p_attrs,
+                         num_rows, static_cast<long long>(num_values));
+}
+
+std::vector<SyntheticConfig> PaperSyntheticConfigs() {
+  return {
+      {3, 3, 100, 100}, {3, 3, 50, 100}, {3, 4, 50, 100},
+      {2, 5, 50, 100},  {2, 4, 50, 50},  {2, 4, 50, 100},
+  };
+}
+
+namespace {
+
+util::Result<rel::Relation> GenerateRelation(const std::string& name,
+                                             const char* attr_prefix,
+                                             size_t num_attrs, size_t num_rows,
+                                             int64_t num_values,
+                                             util::Rng& rng) {
+  std::vector<std::string> attrs;
+  for (size_t i = 1; i <= num_attrs; ++i) {
+    attrs.push_back(util::StrFormat("%s%zu", attr_prefix, i));
+  }
+  JINFER_ASSIGN_OR_RETURN(rel::Schema schema,
+                          rel::Schema::Make(name, std::move(attrs)));
+  rel::Relation out(std::move(schema));
+  for (size_t r = 0; r < num_rows; ++r) {
+    rel::Row row;
+    row.reserve(num_attrs);
+    for (size_t c = 0; c < num_attrs; ++c) {
+      row.emplace_back(static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(num_values))));
+    }
+    JINFER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<SyntheticInstance> GenerateSynthetic(
+    const SyntheticConfig& config, uint64_t seed) {
+  if (config.num_r_attrs == 0 || config.num_p_attrs == 0 ||
+      config.num_rows == 0 || config.num_values <= 0) {
+    return util::Status::InvalidArgument(
+        "synthetic configuration components must be positive");
+  }
+  util::Rng rng(seed);
+  JINFER_ASSIGN_OR_RETURN(
+      rel::Relation r,
+      GenerateRelation("R", "A", config.num_r_attrs, config.num_rows,
+                       config.num_values, rng));
+  JINFER_ASSIGN_OR_RETURN(
+      rel::Relation p,
+      GenerateRelation("P", "B", config.num_p_attrs, config.num_rows,
+                       config.num_values, rng));
+  return SyntheticInstance{std::move(r), std::move(p)};
+}
+
+}  // namespace workload
+}  // namespace jinfer

@@ -1,0 +1,46 @@
+// Synthetic dataset generator (§5.2).
+//
+// A configuration is the paper's quadruple (|attrs(R)|, |attrs(P)|, l, v):
+// both relations get l rows; every cell is an integer drawn uniformly from
+// {0, ..., v-1}. The paper's six evaluation configurations are provided as
+// constants.
+
+#ifndef JINFER_WORKLOAD_SYNTHETIC_H_
+#define JINFER_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace workload {
+
+struct SyntheticConfig {
+  size_t num_r_attrs = 0;  ///< |attrs(R)|
+  size_t num_p_attrs = 0;  ///< |attrs(P)|
+  size_t num_rows = 0;     ///< l — rows per relation
+  int64_t num_values = 0;  ///< v — attribute domain {0..v-1}
+
+  /// Paper notation: "(3,3,50,100)".
+  std::string ToString() const;
+};
+
+/// The six configurations of Figure 7 / Table 1, in the paper's order.
+std::vector<SyntheticConfig> PaperSyntheticConfigs();
+
+struct SyntheticInstance {
+  rel::Relation r;  ///< R(A1..An)
+  rel::Relation p;  ///< P(B1..Bm)
+};
+
+/// Generates one instance; deterministic in (config, seed).
+util::Result<SyntheticInstance> GenerateSynthetic(const SyntheticConfig& config,
+                                                  uint64_t seed);
+
+}  // namespace workload
+}  // namespace jinfer
+
+#endif  // JINFER_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,314 @@
+#include "workload/tpch.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace workload {
+
+namespace {
+
+const char* kColors[] = {"almond", "azure",  "beige",  "blush",  "chartreuse",
+                         "coral",  "forest", "indigo", "maroon", "sienna"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                              "CAN", "DRUM"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                        "FOB"};
+
+template <size_t N>
+const char* Pick(const char* (&vocab)[N], util::Rng& rng) {
+  return vocab[rng.NextBelow(N)];
+}
+
+/// A date as the integer YYYYMMDD, uniform over 1992-01-01..1998-08-02
+/// (TPC-H's date window). Day-in-month capped at 28 for simplicity.
+int64_t RandomDate(util::Rng& rng) {
+  int64_t year = rng.NextInRange(1992, 1998);
+  int64_t month = rng.NextInRange(1, 12);
+  int64_t day = rng.NextInRange(1, 28);
+  return year * 10000 + month * 100 + day;
+}
+
+/// Shifts a YYYYMMDD date by up to `max_days` days (coarse: only within the
+/// month grid, clamping at 28). Good enough for commit/receipt dates.
+int64_t ShiftDate(int64_t date, int64_t days, util::Rng&) {
+  int64_t day = date % 100 + days;
+  int64_t month = (date / 100) % 100;
+  int64_t year = date / 10000;
+  while (day > 28) {
+    day -= 28;
+    if (++month > 12) {
+      month = 1;
+      ++year;
+    }
+  }
+  return year * 10000 + month * 100 + day;
+}
+
+/// Opaque short token for comment columns: unlikely to collide, but typed
+/// like every other text column.
+std::string Token(const char* prefix, util::Rng& rng) {
+  return util::StrFormat("%s%06llx",
+                         prefix,
+                         static_cast<unsigned long long>(rng.Next() & 0xffffff));
+}
+
+std::string Phone(util::Rng& rng) {
+  return util::StrFormat(
+      "%02lld-%03lld-%03lld-%04lld", static_cast<long long>(rng.NextInRange(10, 34)),
+      static_cast<long long>(rng.NextInRange(100, 999)),
+      static_cast<long long>(rng.NextInRange(100, 999)),
+      static_cast<long long>(rng.NextInRange(1000, 9999)));
+}
+
+}  // namespace
+
+TpchScale MiniScaleA() {
+  return TpchScale{"SF-A", /*parts=*/150, /*suppliers=*/150,
+                   /*partsupp_per_part=*/3, /*customers=*/200,
+                   /*orders=*/600, /*max_lineitems_per_order=*/4};
+}
+
+TpchScale MiniScaleB() {
+  return TpchScale{"SF-B", /*parts=*/400, /*suppliers=*/400,
+                   /*partsupp_per_part=*/3, /*customers=*/500,
+                   /*orders=*/1500, /*max_lineitems_per_order=*/4};
+}
+
+util::Result<TpchDatabase> GenerateTpch(const TpchScale& scale,
+                                        uint64_t seed) {
+  if (scale.parts == 0 || scale.suppliers == 0 ||
+      scale.partsupp_per_part == 0 || scale.customers == 0 ||
+      scale.orders == 0 || scale.max_lineitems_per_order == 0) {
+    return util::Status::InvalidArgument(
+        "all TPC-H scale components must be positive");
+  }
+  util::Rng rng(seed);
+  TpchDatabase db;
+
+  // --- Part ---------------------------------------------------------------
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make("Part",
+                          {"p_partkey", "p_name", "p_mfgr", "p_brand",
+                           "p_type", "p_size", "p_container", "p_retailprice",
+                           "p_comment"}));
+    db.part = rel::Relation(std::move(schema));
+    for (size_t i = 1; i <= scale.parts; ++i) {
+      int64_t mfgr = rng.NextInRange(1, 5);
+      JINFER_RETURN_NOT_OK(db.part.AppendRow({
+          static_cast<int64_t>(i),
+          util::StrFormat("%s %s", Pick(kColors, rng), Pick(kColors, rng)),
+          util::StrFormat("Manufacturer#%lld", static_cast<long long>(mfgr)),
+          util::StrFormat("Brand#%lld%lld", static_cast<long long>(mfgr),
+                          static_cast<long long>(rng.NextInRange(1, 5))),
+          util::StrFormat("%s %s %s", Pick(kTypes1, rng), Pick(kTypes2, rng),
+                          Pick(kTypes3, rng)),
+          rng.NextInRange(1, 50),                // p_size: collides with keys,
+                                                 // quantities, availqty
+          util::StrFormat("%s %s", Pick(kContainers1, rng),
+                          Pick(kContainers2, rng)),
+          rng.NextInRange(901, 2098),            // whole-dollar price
+          Token("p", rng),
+      }));
+    }
+  }
+
+  // --- Supplier -----------------------------------------------------------
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make("Supplier",
+                          {"s_suppkey", "s_name", "s_address", "s_nationkey",
+                           "s_phone", "s_acctbal", "s_comment"}));
+    db.supplier = rel::Relation(std::move(schema));
+    for (size_t i = 1; i <= scale.suppliers; ++i) {
+      JINFER_RETURN_NOT_OK(db.supplier.AppendRow({
+          static_cast<int64_t>(i),
+          util::StrFormat("Supplier#%09zu", i),
+          Token("addr", rng),
+          rng.NextInRange(0, 24),  // s_nationkey: shared domain with customer
+          Phone(rng),
+          rng.NextInRange(-999, 9999),
+          Token("s", rng),
+      }));
+    }
+  }
+
+  // --- Partsupp -----------------------------------------------------------
+  // TPC-H assigns each part its suppliers by a fixed stride so the pairs
+  // are distinct; we do the same.
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make("Partsupp", {"ps_partkey", "ps_suppkey",
+                                       "ps_availqty", "ps_supplycost",
+                                       "ps_comment"}));
+    db.partsupp = rel::Relation(std::move(schema));
+    for (size_t i = 1; i <= scale.parts; ++i) {
+      for (size_t k = 0; k < scale.partsupp_per_part; ++k) {
+        size_t suppkey =
+            (i + k * (scale.suppliers / scale.partsupp_per_part + 1)) %
+                scale.suppliers +
+            1;
+        JINFER_RETURN_NOT_OK(db.partsupp.AppendRow({
+            static_cast<int64_t>(i),
+            static_cast<int64_t>(suppkey),
+            rng.NextInRange(1, 9999),   // availqty: overlaps keys and sizes
+            rng.NextInRange(1, 1000),   // supplycost: overlaps keys, prices
+            Token("ps", rng),
+        }));
+      }
+    }
+  }
+
+  // --- Customer -----------------------------------------------------------
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make("Customer",
+                          {"c_custkey", "c_name", "c_address", "c_nationkey",
+                           "c_phone", "c_acctbal", "c_mktsegment",
+                           "c_comment"}));
+    db.customer = rel::Relation(std::move(schema));
+    for (size_t i = 1; i <= scale.customers; ++i) {
+      JINFER_RETURN_NOT_OK(db.customer.AppendRow({
+          static_cast<int64_t>(i),
+          util::StrFormat("Customer#%09zu", i),
+          Token("addr", rng),
+          rng.NextInRange(0, 24),
+          Phone(rng),
+          rng.NextInRange(-999, 9999),  // c_acctbal: overlaps keys
+          std::string(Pick(kSegments, rng)),
+          Token("c", rng),
+      }));
+    }
+  }
+
+  // --- Orders -------------------------------------------------------------
+  std::vector<int64_t> order_dates(scale.orders + 1);
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make("Orders",
+                          {"o_orderkey", "o_custkey", "o_orderstatus",
+                           "o_totalprice", "o_orderdate", "o_orderpriority",
+                           "o_clerk", "o_shippriority", "o_comment"}));
+    db.orders = rel::Relation(std::move(schema));
+    const char* statuses[] = {"F", "O", "P"};
+    for (size_t i = 1; i <= scale.orders; ++i) {
+      order_dates[i] = RandomDate(rng);
+      JINFER_RETURN_NOT_OK(db.orders.AppendRow({
+          static_cast<int64_t>(i),
+          rng.NextInRange(1, static_cast<int64_t>(scale.customers)),
+          std::string(statuses[rng.NextBelow(3)]),  // shares "F","O" with
+                                                    // l_linestatus
+          rng.NextInRange(1000, 30000),
+          order_dates[i],  // shares the YYYYMMDD domain with lineitem dates
+          std::string(Pick(kPriorities, rng)),
+          util::StrFormat("Clerk#%09lld",
+                          static_cast<long long>(rng.NextInRange(1, 20))),
+          int64_t{0},  // o_shippriority is constant 0 in TPC-H
+          Token("o", rng),
+      }));
+    }
+  }
+
+  // --- Lineitem -----------------------------------------------------------
+  {
+    JINFER_ASSIGN_OR_RETURN(
+        rel::Schema schema,
+        rel::Schema::Make(
+            "Lineitem",
+            {"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+             "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+             "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+             "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"}));
+    db.lineitem = rel::Relation(std::move(schema));
+    const char* returnflags[] = {"R", "A", "N"};
+    const char* linestatuses[] = {"O", "F"};
+    for (size_t o = 1; o <= scale.orders; ++o) {
+      int64_t lines = rng.NextInRange(
+          1, static_cast<int64_t>(scale.max_lineitems_per_order));
+      for (int64_t ln = 1; ln <= lines; ++ln) {
+        // FK chain: the line's (partkey, suppkey) is one of the part's
+        // actual Partsupp offerings.
+        int64_t partkey =
+            rng.NextInRange(1, static_cast<int64_t>(scale.parts));
+        size_t k = rng.NextBelow(scale.partsupp_per_part);
+        int64_t suppkey = static_cast<int64_t>(
+            (static_cast<size_t>(partkey) +
+             k * (scale.suppliers / scale.partsupp_per_part + 1)) %
+                scale.suppliers +
+            1);
+        int64_t shipdate = ShiftDate(order_dates[o],
+                                     rng.NextInRange(1, 121), rng);
+        JINFER_RETURN_NOT_OK(db.lineitem.AppendRow({
+            static_cast<int64_t>(o),
+            partkey,
+            suppkey,
+            ln,                       // l_linenumber: tiny ints, collide with
+                                      // keys/sizes/priorities
+            rng.NextInRange(1, 50),   // l_quantity: same domain as p_size
+            rng.NextInRange(901, 104400),
+            rng.NextInRange(0, 10),   // l_discount (%): contains 0 —
+                                      // collides with o_shippriority
+            rng.NextInRange(0, 8),
+            std::string(returnflags[rng.NextBelow(3)]),
+            std::string(linestatuses[rng.NextBelow(2)]),
+            shipdate,
+            ShiftDate(shipdate, rng.NextInRange(1, 30), rng),
+            ShiftDate(shipdate, rng.NextInRange(1, 30), rng),
+            std::string(Pick(kInstructions, rng)),
+            std::string(Pick(kModes, rng)),
+            Token("l", rng),
+        }));
+      }
+    }
+  }
+
+  return db;
+}
+
+std::vector<TpchJoin> PaperTpchJoins(const TpchDatabase& db) {
+  std::vector<TpchJoin> joins;
+  joins.push_back(TpchJoin{1, "Part[Partkey] = Partsupp[Partkey]", &db.part,
+                           &db.partsupp,
+                           {{"p_partkey", "ps_partkey"}}});
+  joins.push_back(TpchJoin{2, "Supplier[Suppkey] = Partsupp[Suppkey]",
+                           &db.supplier,
+                           &db.partsupp,
+                           {{"s_suppkey", "ps_suppkey"}}});
+  joins.push_back(TpchJoin{3, "Customer[Custkey] = Orders[Custkey]",
+                           &db.customer,
+                           &db.orders,
+                           {{"c_custkey", "o_custkey"}}});
+  joins.push_back(TpchJoin{4, "Orders[Orderkey] = Lineitem[Orderkey]",
+                           &db.orders,
+                           &db.lineitem,
+                           {{"o_orderkey", "l_orderkey"}}});
+  joins.push_back(TpchJoin{
+      5,
+      "Partsupp[Partkey] = Lineitem[Partkey] AND "
+      "Partsupp[Suppkey] = Lineitem[Suppkey]",
+      &db.partsupp,
+      &db.lineitem,
+      {{"ps_partkey", "l_partkey"}, {"ps_suppkey", "l_suppkey"}}});
+  return joins;
+}
+
+}  // namespace workload
+}  // namespace jinfer

@@ -1,0 +1,71 @@
+// TPC-H-style data generator (§5.1 substitution — see DESIGN.md).
+//
+// Emits the six tables the paper's five goal joins touch, with TPC-H's
+// schema, key/foreign-key structure, and deliberately overlapping value
+// domains: keys, sizes, quantities, priorities, dates and prices share
+// integer ranges, and status flags share single-letter vocabularies, so a
+// value "15" may be a key, a size, a price or a quantity (§5.1). The
+// inference strategies are never told which attributes are keys; evicting
+// the coincidental matches is exactly the behaviour under test.
+//
+// Scale points are row counts chosen so the five Cartesian products keep
+// the paper's ordering: |Join1| = |Join2| < |Join3| < |Join5| < |Join4|.
+
+#ifndef JINFER_WORKLOAD_TPCH_H_
+#define JINFER_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace workload {
+
+struct TpchScale {
+  std::string name;
+  size_t parts = 0;
+  size_t suppliers = 0;
+  size_t partsupp_per_part = 0;
+  size_t customers = 0;
+  size_t orders = 0;
+  size_t max_lineitems_per_order = 0;
+};
+
+/// The two scale points reported in the benches (the paper reports its
+/// smallest and largest TPC-H scaling factors; these are our analogues).
+TpchScale MiniScaleA();  ///< small: Cartesian products 6.0e4 .. 1.4e6
+TpchScale MiniScaleB();  ///< large: Cartesian products 4.0e5 .. 9.0e6
+
+struct TpchDatabase {
+  rel::Relation part;      ///< Part(p_partkey, ..., p_comment)         9 attrs
+  rel::Relation supplier;  ///< Supplier(s_suppkey, ..., s_comment)     7 attrs
+  rel::Relation partsupp;  ///< Partsupp(ps_partkey, ..., ps_comment)   5 attrs
+  rel::Relation customer;  ///< Customer(c_custkey, ..., c_comment)     8 attrs
+  rel::Relation orders;    ///< Orders(o_orderkey, ..., o_comment)      9 attrs
+  rel::Relation lineitem;  ///< Lineitem(l_orderkey, ..., l_comment)   16 attrs
+};
+
+/// Generates a database; deterministic in (scale, seed). Foreign keys are
+/// honored: every ps_partkey references a part, every l_suppkey one of the
+/// suppliers offering that part, etc.
+util::Result<TpchDatabase> GenerateTpch(const TpchScale& scale, uint64_t seed);
+
+/// One of the paper's five goal joins (§5.1), described against a database.
+struct TpchJoin {
+  int number = 0;           ///< 1..5 as in the paper.
+  std::string description;  ///< e.g. "Part[Partkey] = Partsupp[Partkey]"
+  const rel::Relation* r = nullptr;
+  const rel::Relation* p = nullptr;
+  /// Key/foreign-key equalities by attribute name (R side, P side).
+  std::vector<std::pair<std::string, std::string>> equalities;
+};
+
+/// The five goal joins over `db` (which must outlive the result).
+std::vector<TpchJoin> PaperTpchJoins(const TpchDatabase& db);
+
+}  // namespace workload
+}  // namespace jinfer
+
+#endif  // JINFER_WORKLOAD_TPCH_H_

@@ -1,0 +1,173 @@
+// Property suite for the paper's central PTIME machinery: verifies the
+// characterizations of Lemmas 3.3 and 3.4 (and, through Lemma 3.2, the
+// definition of uninformative tuples) against brute-force enumeration of
+// all predicates θ ∈ C(S) on small random instances.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inference_state.h"
+#include "core/signature_index.h"
+#include "testing/paper_fixtures.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+rel::Relation RandomRelation(const std::string& name,
+                             std::vector<std::string> attrs, size_t rows,
+                             int64_t domain, util::Rng& rng) {
+  std::vector<rel::Row> data;
+  for (size_t i = 0; i < rows; ++i) {
+    rel::Row row;
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      row.emplace_back(rng.NextInRange(0, domain - 1));
+    }
+    data.push_back(std::move(row));
+  }
+  auto rel = rel::Relation::Make(name, std::move(attrs), std::move(data));
+  return std::move(rel).ValueOrDie();
+}
+
+/// All predicates consistent with the sample, by brute force.
+std::vector<JoinPredicate> ConsistentPredicates(const SignatureIndex& index,
+                                                const Sample& sample) {
+  const size_t n = index.omega().size();
+  std::vector<JoinPredicate> out;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    JoinPredicate theta;
+    for (size_t b = 0; b < n; ++b) {
+      if ((mask >> b) & 1) theta.Set(b);
+    }
+    bool consistent = true;
+    for (const auto& ex : sample) {
+      bool selected = index.Selects(theta, ex.cls);
+      if ((ex.label == Label::kPositive) != selected) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) out.push_back(theta);
+  }
+  return out;
+}
+
+struct BruteForceCertainty {
+  bool certain_positive;
+  bool certain_negative;
+};
+
+/// Cert± by the definition in §3.4: quantification over all of C(S).
+BruteForceCertainty CertainByDefinition(
+    const SignatureIndex& index, const std::vector<JoinPredicate>& c_of_s,
+    ClassId cls) {
+  BruteForceCertainty result{true, true};
+  for (const JoinPredicate& theta : c_of_s) {
+    if (index.Selects(theta, cls)) {
+      result.certain_negative = false;
+    } else {
+      result.certain_positive = false;
+    }
+  }
+  return result;
+}
+
+class CertainPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CertainPropertyTest, LemmasMatchBruteForceOnRandomInstances) {
+  util::Rng rng(GetParam());
+  // 2x2 attributes -> |Ω| = 4 -> 16 predicates: cheap to enumerate.
+  rel::Relation r = RandomRelation("R", {"A1", "A2"}, 8, 4, rng);
+  rel::Relation p = RandomRelation("P", {"B1", "B2"}, 8, 4, rng);
+  auto index_or = SignatureIndex::Build(r, p);
+  ASSERT_TRUE(index_or.ok());
+  const SignatureIndex& index = *index_or;
+
+  // Drive a random consistent labeling (consistent by construction: labels
+  // follow a hidden goal predicate).
+  JoinPredicate goal;
+  for (size_t b = 0; b < index.omega().size(); ++b) {
+    if (rng.NextBool(0.4)) goal.Set(b);
+  }
+  InferenceState state(index);
+  Sample sample;
+
+  // Check the equivalence at every prefix of the labeling process.
+  for (int step = 0; step < 6; ++step) {
+    std::vector<JoinPredicate> c_of_s = ConsistentPredicates(index, sample);
+    ASSERT_FALSE(c_of_s.empty());  // Goal-driven labels stay consistent.
+
+    for (ClassId c = 0; c < index.num_classes(); ++c) {
+      BruteForceCertainty expected =
+          CertainByDefinition(index, c_of_s, c);
+      TupleState st = state.state(c);
+      if (st == TupleState::kLabeled) continue;
+      EXPECT_EQ(st == TupleState::kCertainPositive, expected.certain_positive)
+          << "class " << c << " step " << step;
+      EXPECT_EQ(st == TupleState::kCertainNegative, expected.certain_negative)
+          << "class " << c << " step " << step;
+    }
+
+    // Label one random informative class per the goal.
+    auto informative = state.InformativeClasses();
+    if (informative.empty()) break;
+    ClassId pick = informative[rng.NextBelow(informative.size())];
+    Label label =
+        index.Selects(goal, pick) ? Label::kPositive : Label::kNegative;
+    ASSERT_TRUE(state.ApplyLabel(pick, label).ok());
+    sample.push_back({pick, label});
+  }
+}
+
+TEST_P(CertainPropertyTest, UninformativeDefinitionViaCOfS) {
+  // Lemma 3.2 (Uninf = Cert) from first principles: a tuple labeled with
+  // its goal label leaves C(S) unchanged iff the state classifies it as
+  // certain (or it is labeled).
+  util::Rng rng(GetParam() ^ 0x5a5a);
+  rel::Relation r = RandomRelation("R", {"A1", "A2"}, 6, 3, rng);
+  rel::Relation p = RandomRelation("P", {"B1", "B2"}, 6, 3, rng);
+  auto index_or = SignatureIndex::Build(r, p);
+  ASSERT_TRUE(index_or.ok());
+  const SignatureIndex& index = *index_or;
+
+  JoinPredicate goal;
+  for (size_t b = 0; b < index.omega().size(); ++b) {
+    if (rng.NextBool(0.3)) goal.Set(b);
+  }
+
+  InferenceState state(index);
+  Sample sample;
+  // Apply two goal-consistent labels.
+  for (int step = 0; step < 2; ++step) {
+    auto informative = state.InformativeClasses();
+    if (informative.empty()) break;
+    ClassId pick = informative[rng.NextBelow(informative.size())];
+    Label label =
+        index.Selects(goal, pick) ? Label::kPositive : Label::kNegative;
+    ASSERT_TRUE(state.ApplyLabel(pick, label).ok());
+    sample.push_back({pick, label});
+  }
+
+  std::vector<JoinPredicate> before = ConsistentPredicates(index, sample);
+  for (ClassId c = 0; c < index.num_classes(); ++c) {
+    if (state.state(c) == TupleState::kLabeled) continue;
+    Label goal_label =
+        index.Selects(goal, c) ? Label::kPositive : Label::kNegative;
+    Sample extended = sample;
+    extended.push_back({c, goal_label});
+    std::vector<JoinPredicate> after = ConsistentPredicates(index, extended);
+    bool uninformative_by_definition = before.size() == after.size();
+    bool uninformative_by_state = !state.IsInformative(c);
+    EXPECT_EQ(uninformative_by_definition, uninformative_by_state)
+        << "class " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertainPropertyTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{112}));
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,142 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+// --- Example 3.1 -------------------------------------------------------------
+
+TEST(ConsistencyTest, Example31ConsistentSample) {
+  SignatureIndex index = testing::Example21Index();
+  // S0: positives (t2,t2'), (t4,t1'); negative (t3,t2').
+  Sample sample = ToClassSample(index, {{1, 1, Label::kPositive},
+                                        {3, 0, Label::kPositive},
+                                        {2, 1, Label::kNegative}});
+  EXPECT_TRUE(IsConsistent(index, sample));
+  auto theta = MostSpecificConsistent(index, sample);
+  ASSERT_TRUE(theta.ok());
+  // θ0 = {(A1,B1),(A2,B3)}.
+  EXPECT_EQ(*theta, testing::Pred(index.omega(), {{0, 0}, {1, 2}}));
+}
+
+TEST(ConsistencyTest, Example31LessSpecificPredicateAlsoConsistent) {
+  SignatureIndex index = testing::Example21Index();
+  const Omega& omega = index.omega();
+  // θ0' = {(A1,B1)} is consistent too (but not most specific): it selects
+  // both positives and not the negative.
+  JoinPredicate theta = testing::Pred(omega, {{0, 0}});
+  EXPECT_TRUE(index.Selects(theta, testing::ClassOf(index, 1, 1)));
+  EXPECT_TRUE(index.Selects(theta, testing::ClassOf(index, 3, 0)));
+  EXPECT_FALSE(index.Selects(theta, testing::ClassOf(index, 2, 1)));
+}
+
+TEST(ConsistencyTest, Example31InconsistentSample) {
+  SignatureIndex index = testing::Example21Index();
+  // S0': positives (t1,t2'), (t1,t3'); negative (t3,t1').
+  Sample sample = ToClassSample(index, {{0, 1, Label::kPositive},
+                                        {0, 2, Label::kPositive},
+                                        {2, 0, Label::kNegative}});
+  EXPECT_FALSE(IsConsistent(index, sample));
+  auto theta = MostSpecificConsistent(index, sample);
+  ASSERT_FALSE(theta.ok());
+  EXPECT_TRUE(theta.status().IsInconsistentSample());
+}
+
+// --- Degenerate samples -------------------------------------------------------
+
+TEST(ConsistencyTest, EmptySampleIsConsistentWithOmega) {
+  SignatureIndex index = testing::Example21Index();
+  Sample sample;
+  EXPECT_TRUE(IsConsistent(index, sample));
+  auto theta = MostSpecificConsistent(index, sample);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_EQ(*theta, index.omega().Full());  // T(∅) = Ω (§3.3).
+}
+
+TEST(ConsistencyTest, AllNegativeSampleYieldsOmega) {
+  SignatureIndex index = testing::Example21Index();
+  Sample sample;
+  for (ClassId c = 0; c < index.num_classes(); ++c) {
+    sample.push_back({c, Label::kNegative});
+  }
+  EXPECT_TRUE(IsConsistent(index, sample));
+  auto theta = MostSpecificConsistent(index, sample);
+  ASSERT_TRUE(theta.ok());
+  // Ω selects nothing on this instance, hence consistent (§3.3).
+  EXPECT_EQ(*theta, index.omega().Full());
+}
+
+TEST(ConsistencyTest, SinglePositiveIsAlwaysConsistent) {
+  SignatureIndex index = testing::Example21Index();
+  for (ClassId c = 0; c < index.num_classes(); ++c) {
+    Sample sample = {{c, Label::kPositive}};
+    EXPECT_TRUE(IsConsistent(index, sample));
+    auto theta = MostSpecificConsistent(index, sample);
+    ASSERT_TRUE(theta.ok());
+    EXPECT_EQ(*theta, index.cls(c).signature);  // T(S+) = T(t).
+  }
+}
+
+TEST(ConsistencyTest, PositiveAndIdenticalNegativeIsInconsistent) {
+  SignatureIndex index = testing::Example21Index();
+  Sample sample = {{0, Label::kPositive}, {0, Label::kNegative}};
+  EXPECT_FALSE(IsConsistent(index, sample));
+}
+
+TEST(ConsistencyTest, NegativeBelowPositiveIntersectionIsInconsistent) {
+  SignatureIndex index = testing::Example21Index();
+  // Positive (t2,t1') = {(A1,B3)}; negative (t3,t1') = {}. T(S+) = {(A1,B3)}
+  // does not select {}, so this IS consistent.
+  Sample ok_sample = ToClassSample(
+      index, {{1, 0, Label::kPositive}, {2, 0, Label::kNegative}});
+  EXPECT_TRUE(IsConsistent(index, ok_sample));
+
+  // But positive (t3,t1') = {} forces T(S+) = {}, which selects everything:
+  // any negative then breaks consistency.
+  Sample bad_sample = ToClassSample(
+      index, {{2, 0, Label::kPositive}, {1, 0, Label::kNegative}});
+  EXPECT_FALSE(IsConsistent(index, bad_sample));
+}
+
+// --- The paper's soundness/completeness argument, as a property --------------
+
+TEST(ConsistencyTest, MostSpecificIsCompleteOnExample21) {
+  // For every predicate θ in P(Ω): label D according to θ; the resulting
+  // (full) sample must be consistent and T(S+) instance-equivalent to θ.
+  SignatureIndex index = testing::Example21Index();
+  const size_t omega_size = index.omega().size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << omega_size); ++mask) {
+    JoinPredicate goal;
+    for (size_t b = 0; b < omega_size; ++b) {
+      if ((mask >> b) & 1) goal.Set(b);
+    }
+    Sample sample;
+    for (ClassId c = 0; c < index.num_classes(); ++c) {
+      sample.push_back({c, index.Selects(goal, c) ? Label::kPositive
+                                                  : Label::kNegative});
+    }
+    ASSERT_TRUE(IsConsistent(index, sample)) << index.omega().Format(goal);
+    auto theta = MostSpecificConsistent(index, sample);
+    ASSERT_TRUE(theta.ok());
+    EXPECT_TRUE(index.EquivalentOnInstance(*theta, goal))
+        << index.omega().Format(goal) << " vs "
+        << index.omega().Format(*theta);
+  }
+}
+
+TEST(ConsistencyTest, ToClassSampleMapsTuplesToTheirClasses) {
+  SignatureIndex index = testing::Example21Index();
+  Sample sample = ToClassSample(index, {{0, 0, Label::kPositive}});
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(index.cls(sample[0].cls).signature,
+            index.SignatureOfPair(0, 0));
+  EXPECT_EQ(sample[0].label, Label::kPositive);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

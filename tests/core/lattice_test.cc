@@ -1,0 +1,125 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+TEST(JoinRatioTest, Example21IsExactlyTwo) {
+  // §5.3: "the join ratio of this instance is (0 + 1 + 7*2 + 3*3)/12 = 2".
+  SignatureIndex index = testing::Example21Index();
+  EXPECT_DOUBLE_EQ(JoinRatio(index), 2.0);
+}
+
+TEST(JoinRatioTest, CountsDuplicateSignaturesOnce) {
+  // Two R rows with equal values: signatures collapse, so the ratio is over
+  // unique signatures — the paper's "unique join predicates".
+  auto r = rel::Relation::Make("R", {"A"}, {{1}, {1}});
+  auto p = rel::Relation::Make("P", {"B"}, {{1}, {2}});
+  auto index = SignatureIndex::Build(*r, *p);
+  ASSERT_TRUE(index.ok());
+  // Unique signatures: {(A,B)} and {}: ratio (1+0)/2.
+  EXPECT_DOUBLE_EQ(JoinRatio(*index), 0.5);
+}
+
+TEST(DistinctSignaturesTest, SortedBySizeAndComplete) {
+  SignatureIndex index = testing::Example21Index();
+  auto sigs = DistinctSignatures(index);
+  ASSERT_EQ(sigs.size(), 12u);
+  // Sizes per Figure 3: one 0, one 1, seven 2s, three 3s, sorted ascending.
+  std::vector<size_t> sizes;
+  for (const auto& s : sigs) sizes.push_back(s.Count());
+  EXPECT_TRUE(std::is_sorted(sizes.begin(), sizes.end()));
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 0u), 1);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 1u), 1);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 2u), 7);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 3u), 3);
+}
+
+TEST(MaximalSignaturesTest, Example21SevenMaximal) {
+  // Three size-3 signatures plus four size-2 signatures not below any
+  // size-3 one.
+  SignatureIndex index = testing::Example21Index();
+  auto maximal = MaximalSignatures(index);
+  ASSERT_EQ(maximal.size(), 7u);
+  size_t size2 = 0, size3 = 0;
+  for (const auto& m : maximal) {
+    (m.Count() == 2 ? size2 : size3) += 1;
+  }
+  EXPECT_EQ(size2, 4u);
+  EXPECT_EQ(size3, 3u);
+}
+
+TEST(NonNullablePredicatesTest, Example21DownClosureHas22Nodes) {
+  // The down-closure of the 12 signatures: 1 empty + 6 singletons +
+  // 12 pairs + 3 triples = 22 non-nullable predicates. (Figure 4 of the
+  // paper draws only 17 nodes — it omits five non-nullable pair nodes such
+  // as {(A1,B3),(A2,B1)} ⊆ T((t1,t1')); the brute-force cross-check below,
+  // IsExactlyTheDownClosure, confirms 22 against the definition.)
+  SignatureIndex index = testing::Example21Index();
+  auto preds = NonNullablePredicates(index);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(preds->size(), 22u);
+  std::vector<size_t> sizes;
+  for (const auto& t : *preds) sizes.push_back(t.Count());
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 0u), 1);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 1u), 6);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 2u), 12);
+  EXPECT_EQ(std::count(sizes.begin(), sizes.end(), 3u), 3);
+}
+
+TEST(NonNullablePredicatesTest, EveryResultSelectsSomething) {
+  SignatureIndex index = testing::Example21Index();
+  auto preds = NonNullablePredicates(index);
+  ASSERT_TRUE(preds.ok());
+  for (const auto& theta : *preds) {
+    EXPECT_TRUE(index.IsNonNullable(theta))
+        << index.omega().Format(theta);
+  }
+}
+
+TEST(NonNullablePredicatesTest, IsExactlyTheDownClosure) {
+  // Cross-check against direct enumeration of P(Ω).
+  SignatureIndex index = testing::Example21Index();
+  auto preds = NonNullablePredicates(index);
+  ASSERT_TRUE(preds.ok());
+  std::set<JoinPredicate> got(preds->begin(), preds->end());
+
+  size_t n = index.omega().size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    JoinPredicate theta;
+    for (size_t b = 0; b < n; ++b) {
+      if ((mask >> b) & 1) theta.Set(b);
+    }
+    EXPECT_EQ(got.contains(theta), index.IsNonNullable(theta))
+        << index.omega().Format(theta);
+  }
+}
+
+TEST(NonNullablePredicatesTest, LimitEnforced) {
+  SignatureIndex index = testing::Example21Index();
+  auto preds = NonNullablePredicates(index, /*limit=*/5);
+  ASSERT_FALSE(preds.ok());
+  EXPECT_TRUE(preds.status().IsCapacityExceeded());
+}
+
+TEST(NonNullablePredicatesTest, AllEqualInstanceYieldsFullPowerset) {
+  // §4.2: all predicates are non-nullable iff two all-equal tuples exist.
+  auto r = rel::Relation::Make("R", {"A1", "A2"}, {{7, 7}});
+  auto p = rel::Relation::Make("P", {"B1", "B2"}, {{7, 7}});
+  auto index = SignatureIndex::Build(*r, *p);
+  ASSERT_TRUE(index.ok());
+  auto preds = NonNullablePredicates(*index);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_EQ(preds->size(), 16u);  // 2^4
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,129 @@
+#include "core/strategies/optimal_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "core/oracle.h"
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+TEST(MinimaxTest, TerminalStateIsZero) {
+  auto r = rel::Relation::Make("R", {"A"}, {{1}, {2}});
+  auto p = rel::Relation::Make("P", {"B"}, {{1}});
+  auto index = SignatureIndex::Build(*r, *p);
+  ASSERT_TRUE(index.ok());
+  InferenceState state(*index);
+  ASSERT_EQ(state.NumInformativeClasses(), 1u);
+  // One informative class: exactly one question in the worst case.
+  EXPECT_EQ(MinimaxInteractions(state), 1u);
+  ClassId only = state.InformativeClasses().front();
+  EXPECT_EQ(MinimaxInteractions(state.WithLabel(only, Label::kNegative)),
+            0u);
+}
+
+TEST(MinimaxTest, Example21WorstCaseValue) {
+  // The minimax value of the whole Example 2.1 instance: the fewest
+  // questions that suffice against the worst possible user. It must be
+  // between log2(#distinguishable predicates) and #classes.
+  SignatureIndex index = testing::Example21Index();
+  InferenceState state(index);
+  size_t v = MinimaxInteractions(state);
+  EXPECT_GE(v, 5u);   // 23 distinguishable outcomes need ≥ ceil(log2 23).
+  EXPECT_LE(v, 12u);  // Never more than one question per class.
+  // Determinism: same value on recomputation.
+  EXPECT_EQ(MinimaxInteractions(state), v);
+}
+
+TEST(MinimaxTest, MonotoneUnderLabeling) {
+  // Labeling any informative tuple costs one question and cannot make the
+  // worst case grow past the parent's value: V(S+t) ≤ V(S) for the minimax
+  // pick... and for ANY pick, 1 + max_α V(S+(t,α)) ≥ V(S).
+  SignatureIndex index = testing::Example21Index();
+  InferenceState state(index);
+  size_t parent = MinimaxInteractions(state);
+  for (ClassId c : state.InformativeClasses()) {
+    size_t worst = 0;
+    for (Label label : {Label::kPositive, Label::kNegative}) {
+      worst = std::max(worst,
+                       MinimaxInteractions(state.WithLabel(c, label)));
+    }
+    EXPECT_GE(1 + worst, parent) << "class " << c;
+  }
+}
+
+TEST(OptimalStrategyTest, AchievesTheMinimaxValueAgainstAnyUser) {
+  SignatureIndex index = testing::Example21Index();
+  InferenceState fresh(index);
+  size_t optimum = MinimaxInteractions(fresh);
+  OptimalStrategy opt;
+  EXPECT_EQ(WorstCaseInteractions(index, opt), optimum);
+}
+
+TEST(OptimalStrategyTest, NoPaperStrategyBeatsTheOptimum) {
+  SignatureIndex index = testing::Example21Index();
+  InferenceState fresh(index);
+  size_t optimum = MinimaxInteractions(fresh);
+  for (StrategyKind kind :
+       {StrategyKind::kBottomUp, StrategyKind::kTopDown,
+        StrategyKind::kLookahead1, StrategyKind::kLookahead2,
+        StrategyKind::kExpectedGain}) {
+    auto strategy = MakeStrategy(kind);
+    size_t worst = WorstCaseInteractions(index, *strategy);
+    EXPECT_GE(worst, optimum) << StrategyKindName(kind);
+  }
+}
+
+TEST(OptimalStrategyTest, LookaheadApproachesOptimalWorstCase) {
+  // §4.4: "if k is greater than the total number of informative tuples,
+  // the strategy becomes optimal". On Example 2.1, deeper lookahead must
+  // never have a worse worst case than shallower lookahead ... at least
+  // the paper's trend: L2S ≤ BU and L2S close to OPT.
+  SignatureIndex index = testing::Example21Index();
+  InferenceState fresh(index);
+  size_t optimum = MinimaxInteractions(fresh);
+  auto l2s = MakeStrategy(StrategyKind::kLookahead2);
+  auto bu = MakeStrategy(StrategyKind::kBottomUp);
+  size_t l2s_worst = WorstCaseInteractions(index, *l2s);
+  size_t bu_worst = WorstCaseInteractions(index, *bu);
+  EXPECT_LE(l2s_worst, bu_worst);
+  EXPECT_LE(l2s_worst, optimum + 3);  // Close to optimal on this instance.
+}
+
+TEST(OptimalStrategyTest, RunsThroughTheEngine) {
+  SignatureIndex index = testing::Example21Index();
+  auto goals = NonNullablePredicates(index);
+  ASSERT_TRUE(goals.ok());
+  InferenceState fresh(index);
+  size_t optimum = MinimaxInteractions(fresh);
+  for (const auto& goal : *goals) {
+    OptimalStrategy opt;
+    GoalOracle oracle{goal};
+    auto result = RunInference(index, opt, oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(index.EquivalentOnInstance(result->predicate, goal));
+    EXPECT_LE(result->num_interactions, optimum);
+  }
+}
+
+TEST(OptimalStrategyTest, FactoryAndNames) {
+  auto opt = MakeStrategy(StrategyKind::kOptimal);
+  EXPECT_EQ(opt->name(), std::string("OPT"));
+  auto parsed = StrategyKindFromName("OPT");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, StrategyKind::kOptimal);
+}
+
+TEST(OptimalStrategyDeathTest, BudgetGuards) {
+  SignatureIndex index = testing::Example21Index();
+  InferenceState state(index);
+  EXPECT_DEATH(MinimaxInteractions(state, /*node_budget=*/10),
+               "budget");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

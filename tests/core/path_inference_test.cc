@@ -1,0 +1,132 @@
+#include "core/path_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+#include "workload/tpch.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+TEST(PathInferenceTest, TwoRelationPathMatchesSingleEdgeInference) {
+  rel::Relation r = testing::Example21R();
+  rel::Relation p = testing::Example21P();
+  auto index = SignatureIndex::Build(r, p);
+  ASSERT_TRUE(index.ok());
+  JoinPredicate goal = testing::Pred(index->omega(), {{0, 0}, {1, 2}});
+
+  GoalPathOracle oracle({goal});
+  auto path_result = RunPathInference({&r, &p}, StrategyKind::kTopDown,
+                                      /*seed=*/1, oracle);
+  ASSERT_TRUE(path_result.ok());
+  ASSERT_EQ(path_result->steps.size(), 1u);
+
+  auto strategy = MakeStrategy(StrategyKind::kTopDown, 1);
+  GoalOracle single{goal};
+  auto single_result = RunInference(*index, *strategy, single);
+  ASSERT_TRUE(single_result.ok());
+  EXPECT_EQ(path_result->steps[0].predicate, single_result->predicate);
+  EXPECT_EQ(path_result->steps[0].num_interactions,
+            single_result->num_interactions);
+  EXPECT_EQ(path_result->total_interactions,
+            single_result->num_interactions);
+}
+
+TEST(PathInferenceTest, TpchFkChainCustomerOrdersLineitem) {
+  workload::TpchScale tiny{"tiny", 30, 30, 2, 40, 80, 3};
+  auto db = workload::GenerateTpch(tiny, 11);
+  ASSERT_TRUE(db.ok());
+  std::vector<const rel::Relation*> path = {&db->customer, &db->orders,
+                                            &db->lineitem};
+
+  // Goals: c_custkey = o_custkey, then o_orderkey = l_orderkey.
+  auto index01 = SignatureIndex::Build(db->customer, db->orders);
+  auto index12 = SignatureIndex::Build(db->orders, db->lineitem);
+  ASSERT_TRUE(index01.ok());
+  ASSERT_TRUE(index12.ok());
+  auto goal01 =
+      index01->omega().PredicateFromNames({{"c_custkey", "o_custkey"}});
+  auto goal12 =
+      index12->omega().PredicateFromNames({{"o_orderkey", "l_orderkey"}});
+  ASSERT_TRUE(goal01.ok());
+  ASSERT_TRUE(goal12.ok());
+
+  GoalPathOracle oracle({*goal01, *goal12});
+  auto result =
+      RunPathInference(path, StrategyKind::kLookahead1, 3, oracle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), 2u);
+  EXPECT_TRUE(
+      index01->EquivalentOnInstance(result->steps[0].predicate, *goal01));
+  EXPECT_TRUE(
+      index12->EquivalentOnInstance(result->steps[1].predicate, *goal12));
+  EXPECT_EQ(result->total_interactions,
+            result->steps[0].num_interactions +
+                result->steps[1].num_interactions);
+}
+
+TEST(PathInferenceTest, ThreeEdgeSyntheticPath) {
+  // R0 — P0 — R0 — P0: same pair of instances reused along a longer path
+  // with different per-edge goals.
+  rel::Relation r = testing::Example21R();
+  rel::Relation p = testing::Example21P();
+  // Edge goals over alternating universes. Edge 1: attrs(P0) x attrs(R0).
+  auto index_rp = SignatureIndex::Build(r, p);
+  auto index_pr = SignatureIndex::Build(p, r);
+  ASSERT_TRUE(index_rp.ok());
+  ASSERT_TRUE(index_pr.ok());
+  JoinPredicate g0 = testing::Pred(index_rp->omega(), {{0, 2}});
+  JoinPredicate g1 = index_pr->omega().PredicateFromPairs({{1, 1}});
+  JoinPredicate g2 = testing::Pred(index_rp->omega(), {{1, 1}});
+
+  GoalPathOracle oracle({g0, g1, g2});
+  auto result = RunPathInference({&r, &p, &r, &p},
+                                 StrategyKind::kTopDown, 9, oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->steps.size(), 3u);
+  EXPECT_TRUE(index_rp->EquivalentOnInstance(result->steps[0].predicate, g0));
+  EXPECT_TRUE(index_pr->EquivalentOnInstance(result->steps[1].predicate, g1));
+  EXPECT_TRUE(index_rp->EquivalentOnInstance(result->steps[2].predicate, g2));
+}
+
+TEST(PathInferenceTest, EveryStrategySolvesThePath) {
+  rel::Relation r = testing::Example21R();
+  rel::Relation p = testing::Example21P();
+  auto index = SignatureIndex::Build(r, p);
+  ASSERT_TRUE(index.ok());
+  JoinPredicate goal = testing::Pred(index->omega(), {{0, 2}});
+  for (StrategyKind kind : PaperStrategies()) {
+    GoalPathOracle oracle({goal, goal});
+    auto result = RunPathInference({&r, &p, &p}, kind, 5, oracle);
+    // Middle edge is P0 x P0 — legal (self-join style chain).
+    ASSERT_TRUE(result.ok()) << StrategyKindName(kind);
+    EXPECT_TRUE(
+        index->EquivalentOnInstance(result->steps[0].predicate, goal));
+  }
+}
+
+TEST(PathInferenceTest, ValidatesInput) {
+  rel::Relation r = testing::Example21R();
+  GoalPathOracle oracle({});
+  EXPECT_TRUE(RunPathInference({&r}, StrategyKind::kTopDown, 1, oracle)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      RunPathInference({&r, nullptr}, StrategyKind::kTopDown, 1, oracle)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(PathInferenceTest, EmptyEdgeRelationPropagatesError) {
+  rel::Relation r = testing::Example21R();
+  auto empty = rel::Relation::Make("E", {"X"}, {});
+  GoalPathOracle oracle({JoinPredicate()});
+  EXPECT_FALSE(RunPathInference({&r, &*empty}, StrategyKind::kTopDown, 1,
+                                oracle)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,129 @@
+#include "core/session_report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/oracle.h"
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+InferenceResult RunSession(const SignatureIndex& index,
+                           const JoinPredicate& goal) {
+  auto strategy = MakeStrategy(StrategyKind::kTopDown);
+  GoalOracle oracle{goal};
+  auto result = RunInference(index, *strategy, oracle);
+  JINFER_CHECK(result.ok(), "session");
+  return std::move(result).ValueOrDie();
+}
+
+TEST(TranscriptTest, OneLinePerInteractionPlusVerdict) {
+  SignatureIndex index = testing::Example21Index();
+  rel::Relation r = testing::Example21R();
+  rel::Relation p = testing::Example21P();
+  JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  InferenceResult result = RunSession(index, goal);
+
+  std::string transcript = RenderTranscript(index, r, p, result);
+  size_t lines = std::count(transcript.begin(), transcript.end(), '\n');
+  EXPECT_EQ(lines, result.num_interactions + 1);
+  EXPECT_NE(transcript.find("Q1 ["), std::string::npos);
+  EXPECT_NE(transcript.find("R0("), std::string::npos);
+  EXPECT_NE(transcript.find("P0("), std::string::npos);
+  EXPECT_NE(transcript.find("Inferred predicate: " +
+                            index.omega().Format(result.predicate)),
+            std::string::npos);
+}
+
+TEST(TranscriptTest, EarlyStopIsMarked) {
+  SignatureIndex index = testing::Example21Index();
+  rel::Relation r = testing::Example21R();
+  rel::Relation p = testing::Example21P();
+  auto strategy = MakeStrategy(StrategyKind::kBottomUp);
+  GoalOracle oracle{index.omega().Full()};
+  InferenceOptions options;
+  options.max_interactions = 2;
+  auto result = RunInference(index, *strategy, oracle, options);
+  ASSERT_TRUE(result.ok());
+  std::string transcript = RenderTranscript(index, r, p, *result);
+  EXPECT_NE(transcript.find("stopped early"), std::string::npos);
+}
+
+TEST(TraceCsvTest, HeaderAndShape) {
+  SignatureIndex index = testing::Example21Index();
+  JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  InferenceResult result = RunSession(index, goal);
+
+  std::string csv = TraceToCsv(index, result);
+  EXPECT_EQ(csv.rfind("question,r_row,p_row,label,signature,"
+                      "informative_before\n",
+                      0),
+            0u);
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, result.num_interactions + 1);
+}
+
+TEST(TraceCsvTest, RoundTripsToTheSameSample) {
+  SignatureIndex index = testing::Example21Index();
+  JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  InferenceResult result = RunSession(index, goal);
+
+  auto sample = SampleFromTraceCsv(index, TraceToCsv(index, result));
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  ASSERT_EQ(sample->size(), result.trace.size());
+  for (size_t i = 0; i < sample->size(); ++i) {
+    EXPECT_EQ((*sample)[i].cls, result.trace[i].cls);
+    EXPECT_EQ((*sample)[i].label, result.trace[i].label);
+  }
+  // The reconstructed sample reproduces the inferred predicate.
+  auto theta = MostSpecificConsistent(index, *sample);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_EQ(*theta, result.predicate);
+}
+
+TEST(TraceCsvTest, RejectsMissingColumns) {
+  SignatureIndex index = testing::Example21Index();
+  EXPECT_TRUE(SampleFromTraceCsv(index, "a,b\n1,2\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(TraceCsvTest, RejectsBadLabel) {
+  SignatureIndex index = testing::Example21Index();
+  EXPECT_TRUE(SampleFromTraceCsv(
+                  index,
+                  "question,r_row,p_row,label,signature,informative_before\n"
+                  "1,0,0,\"x\",\"{}\",12\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(TraceCsvTest, RejectsOutOfRangeRows) {
+  SignatureIndex index = testing::Example21Index();
+  auto out_of_range = SampleFromTraceCsv(
+      index,
+      "question,r_row,p_row,label,signature,informative_before\n"
+      "1,99,0,\"+\",\"{}\",12\n");
+  EXPECT_TRUE(out_of_range.status().IsOutOfRange());
+  auto negative = SampleFromTraceCsv(
+      index,
+      "question,r_row,p_row,label,signature,informative_before\n"
+      "1,-1,0,\"+\",\"{}\",12\n");
+  EXPECT_TRUE(negative.status().IsOutOfRange());
+}
+
+TEST(TraceCsvTest, RejectsNonIntegerRows) {
+  SignatureIndex index = testing::Example21Index();
+  EXPECT_TRUE(SampleFromTraceCsv(
+                  index,
+                  "question,r_row,p_row,label,signature,informative_before\n"
+                  "1,zero,0,\"+\",\"{}\",12\n")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

@@ -1,0 +1,116 @@
+// End-to-end integration: full inference runs over generated TPC-H-style
+// and synthetic workloads, plus the semijoin pipeline — the same paths the
+// benches take, at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "relational/csv.h"
+#include "semijoin/interactive.h"
+#include "workload/experiment.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace jinfer {
+namespace {
+
+using core::StrategyKind;
+
+TEST(TpchEndToEndTest, AllFiveJoinsAllStrategies) {
+  workload::TpchScale tiny{"tiny", 40, 40, 2, 50, 120, 3};
+  auto db = workload::GenerateTpch(tiny, 99);
+  ASSERT_TRUE(db.ok());
+  for (const auto& join : workload::PaperTpchJoins(*db)) {
+    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    ASSERT_TRUE(index.ok()) << join.description;
+    auto goal = index->omega().PredicateFromNames(join.equalities);
+    ASSERT_TRUE(goal.ok());
+    for (StrategyKind kind : core::PaperStrategies()) {
+      // L2S is cubic in class count; keep it to the smaller indexes.
+      if (kind == StrategyKind::kLookahead2 && index->num_classes() > 60) {
+        continue;
+      }
+      auto strategy = core::MakeStrategy(kind, 3);
+      core::GoalOracle oracle{*goal};
+      auto result = core::RunInference(*index, *strategy, oracle);
+      ASSERT_TRUE(result.ok())
+          << join.description << " " << core::StrategyKindName(kind);
+      EXPECT_TRUE(index->EquivalentOnInstance(result->predicate, *goal))
+          << join.description << " " << core::StrategyKindName(kind);
+      EXPECT_LT(result->num_interactions, index->num_classes() + 1);
+    }
+  }
+}
+
+TEST(SyntheticEndToEndTest, GoalsOfEverySizeAreRecovered) {
+  workload::SyntheticConfig config{3, 3, 30, 60};
+  auto inst = workload::GenerateSynthetic(config, 5);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+  auto by_size = workload::SampleGoalsBySize(*index, /*max_per_size=*/2, 3);
+  ASSERT_TRUE(by_size.ok());
+  ASSERT_FALSE(by_size->empty());
+  for (const auto& [size, goals] : *by_size) {
+    for (const auto& goal : goals) {
+      for (StrategyKind kind :
+           {StrategyKind::kTopDown, StrategyKind::kLookahead1}) {
+        auto stats = workload::MeasureStrategy(*index, goal, kind, 1, 17);
+        ASSERT_TRUE(stats.ok())
+            << "size " << size << " " << core::StrategyKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(SyntheticEndToEndTest, JoinRatioIsComputableOnPaperConfig) {
+  auto inst = workload::GenerateSynthetic({3, 3, 50, 100}, 11);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+  double ratio = core::JoinRatio(*index);
+  // The paper reports 1.341 for this configuration; generators differ, so
+  // only the ballpark is checked.
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(SemijoinEndToEndTest, TinyTpchSemijoinInference) {
+  workload::TpchScale tiny{"tiny", 12, 12, 2, 10, 15, 2};
+  auto db = workload::GenerateTpch(tiny, 41);
+  ASSERT_TRUE(db.ok());
+  // Part ⋉ Partsupp on partkey: "parts with at least one offering".
+  auto inst = semi::SemijoinInstance::Build(db->part, db->partsupp);
+  ASSERT_TRUE(inst.ok());
+  auto goal = inst->omega().PredicateFromNames({{"p_partkey", "ps_partkey"}});
+  ASSERT_TRUE(goal.ok());
+  semi::GoalSemijoinOracle oracle(*inst, *goal);
+  auto result = semi::RunSemijoinInference(*inst, oracle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(inst->EquivalentOnInstance(result->predicate, *goal));
+}
+
+TEST(CsvPipelineEndToEndTest, LoadInferRoundTrip) {
+  // A user loads two CSVs and infers a join — the quickstart path.
+  auto flights = rel::ReadRelationCsvText(
+      "From,To,Airline\nParis,Lille,AF\nLille,NYC,AA\nNYC,Paris,AA\n"
+      "Paris,NYC,AF\n",
+      "Flight");
+  auto hotels = rel::ReadRelationCsvText(
+      "City,Discount\nNYC,AA\nParis,None\nLille,AF\n", "Hotel");
+  ASSERT_TRUE(flights.ok());
+  ASSERT_TRUE(hotels.ok());
+  auto index = core::SignatureIndex::Build(*flights, *hotels);
+  ASSERT_TRUE(index.ok());
+  auto goal = index->omega().PredicateFromNames({{"To", "City"}});
+  ASSERT_TRUE(goal.ok());
+  auto strategy = core::MakeStrategy(StrategyKind::kLookahead2, 1);
+  core::GoalOracle oracle{*goal};
+  auto result = core::RunInference(*index, *strategy, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(index->EquivalentOnInstance(result->predicate, *goal));
+}
+
+}  // namespace
+}  // namespace jinfer

@@ -1,0 +1,135 @@
+// Integration test reproducing the paper's §1 flight&hotel walkthrough end
+// to end: the travel-agency user disambiguates Q1 from Q2 by labeling
+// tuples of Flight × Hotel.
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace {
+
+using core::ClassId;
+using core::JoinPredicate;
+using core::Label;
+
+class FlightHotelTest : public ::testing::Test {
+ protected:
+  FlightHotelTest() {
+    auto index = core::SignatureIndex::Build(testing::FlightTable(),
+                                             testing::HotelTable());
+    JINFER_CHECK(index.ok(), "fixture");
+    index_ = std::make_unique<core::SignatureIndex>(
+        std::move(index).ValueOrDie());
+    auto q1 = index_->omega().PredicateFromNames({{"To", "City"}});
+    auto q2 = index_->omega().PredicateFromNames(
+        {{"To", "City"}, {"Airline", "Discount"}});
+    JINFER_CHECK(q1.ok() && q2.ok(), "fixture predicates");
+    q1_ = *q1;
+    q2_ = *q2;
+  }
+
+  /// Class of the Cartesian-product tuple numbered as in Figure 2
+  /// (1-based, row-major: flight index * 3 + hotel index).
+  ClassId Tuple(int figure2_number) const {
+    int k = figure2_number - 1;
+    return testing::ClassOf(*index_, static_cast<size_t>(k / 3),
+                            static_cast<size_t>(k % 3));
+  }
+
+  std::unique_ptr<core::SignatureIndex> index_;
+  JoinPredicate q1_, q2_;
+};
+
+TEST_F(FlightHotelTest, CartesianProductHasTwelveTuples) {
+  EXPECT_EQ(index_->num_tuples(), 12u);
+}
+
+TEST_F(FlightHotelTest, BothQueriesSelectTuple3) {
+  // Tuple (3) = (Paris,Lille,AF | Lille,AF): consistent with Q1 and Q2.
+  EXPECT_TRUE(index_->Selects(q1_, Tuple(3)));
+  EXPECT_TRUE(index_->Selects(q2_, Tuple(3)));
+}
+
+TEST_F(FlightHotelTest, Tuple4IsUninformativeAfterTuple3) {
+  // §1: after labeling (3) positive, labeling (4) "+ contributes no new
+  // information" — it cannot distinguish Q1 from Q2 and both still apply.
+  EXPECT_TRUE(index_->Selects(q1_, Tuple(4)));
+  EXPECT_TRUE(index_->Selects(q2_, Tuple(4)));
+}
+
+TEST_F(FlightHotelTest, Tuple8DistinguishesQ1FromQ2) {
+  // Tuple (8) = (NYC,Paris,AA | Paris,None): selected by Q1 but not Q2.
+  EXPECT_TRUE(index_->Selects(q1_, Tuple(8)));
+  EXPECT_FALSE(index_->Selects(q2_, Tuple(8)));
+}
+
+TEST_F(FlightHotelTest, Q2IsContainedInQ1OnTheInstance) {
+  // §1: Q2 ⊆ Q1, so positive examples alone cannot separate them —
+  // negatives are necessary.
+  for (ClassId c = 0; c < index_->num_classes(); ++c) {
+    if (index_->Selects(q2_, c)) {
+      EXPECT_TRUE(index_->Selects(q1_, c));
+    }
+  }
+  EXPECT_FALSE(index_->EquivalentOnInstance(q1_, q2_));
+}
+
+TEST_F(FlightHotelTest, LabelingTuple3ThenTuple8ResolvesTheQuery) {
+  // The walkthrough: + on (3), then the label of (8) decides Q1 vs Q2.
+  {
+    core::Sample with_8_negative = {{Tuple(3), Label::kPositive},
+                                    {Tuple(8), Label::kNegative}};
+    auto theta = core::MostSpecificConsistent(*index_, with_8_negative);
+    ASSERT_TRUE(theta.ok());
+    EXPECT_TRUE(index_->EquivalentOnInstance(*theta, q2_));
+  }
+  {
+    core::Sample with_8_positive = {{Tuple(3), Label::kPositive},
+                                    {Tuple(8), Label::kPositive}};
+    auto theta = core::MostSpecificConsistent(*index_, with_8_positive);
+    ASSERT_TRUE(theta.ok());
+    EXPECT_TRUE(index_->EquivalentOnInstance(*theta, q1_));
+  }
+}
+
+TEST_F(FlightHotelTest, FullInferenceRecoversQ1) {
+  for (core::StrategyKind kind : core::PaperStrategies()) {
+    auto strategy = core::MakeStrategy(kind, 1);
+    core::GoalOracle oracle{q1_};
+    auto result = core::RunInference(*index_, *strategy, oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(index_->EquivalentOnInstance(result->predicate, q1_))
+        << core::StrategyKindName(kind);
+  }
+}
+
+TEST_F(FlightHotelTest, FullInferenceRecoversQ2) {
+  for (core::StrategyKind kind : core::PaperStrategies()) {
+    auto strategy = core::MakeStrategy(kind, 1);
+    core::GoalOracle oracle{q2_};
+    auto result = core::RunInference(*index_, *strategy, oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(index_->EquivalentOnInstance(result->predicate, q2_))
+        << core::StrategyKindName(kind);
+  }
+}
+
+TEST_F(FlightHotelTest, SmartStrategiesNeedFewInteractions) {
+  // The point of the paper: TD and L2S resolve the goal without labeling
+  // anywhere near all 12 tuples.
+  for (core::StrategyKind kind :
+       {core::StrategyKind::kTopDown, core::StrategyKind::kLookahead2}) {
+    auto strategy = core::MakeStrategy(kind, 1);
+    core::GoalOracle oracle{q2_};
+    auto result = core::RunInference(*index_, *strategy, oracle);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->num_interactions, 6u) << core::StrategyKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace jinfer

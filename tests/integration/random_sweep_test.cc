@@ -1,0 +1,98 @@
+// Broad-coverage property sweep: random synthetic instances across shapes
+// and densities, random goals of every available size, all strategies —
+// every session must terminate, stay consistent, and return an
+// instance-equivalent predicate. This is the "fuzz" layer above the
+// per-lemma property suites.
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/lattice.h"
+#include "workload/experiment.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace {
+
+struct SweepCase {
+  workload::SyntheticConfig config;
+  uint64_t seed;
+};
+
+class RandomSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  static workload::SyntheticConfig ConfigFor(int shape) {
+    switch (shape) {
+      case 0:
+        return {2, 2, 15, 4};   // Dense matches, tiny domain.
+      case 1:
+        return {3, 3, 25, 12};  // Medium.
+      case 2:
+        return {2, 5, 20, 8};   // Wide P.
+      case 3:
+        return {4, 2, 20, 6};   // Wide R.
+      default:
+        return {3, 3, 40, 100};  // Sparse.
+    }
+  }
+};
+
+TEST_P(RandomSweepTest, AllStrategiesRecoverRandomGoals) {
+  auto [shape, seed] = GetParam();
+  auto inst = workload::GenerateSynthetic(ConfigFor(shape), seed);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+
+  auto by_size = workload::SampleGoalsBySize(*index, /*max_per_size=*/1,
+                                             seed ^ 0xf00d);
+  ASSERT_TRUE(by_size.ok());
+
+  for (const auto& [size, goals] : *by_size) {
+    for (const auto& goal : goals) {
+      for (core::StrategyKind kind : core::PaperStrategies()) {
+        // L2S is cubic in class count; bound it on the dense shapes.
+        if (kind == core::StrategyKind::kLookahead2 &&
+            index->num_classes() > 80) {
+          continue;
+        }
+        auto strategy = core::MakeStrategy(kind, seed);
+        core::GoalOracle oracle{goal};
+        auto result = core::RunInference(*index, *strategy, oracle);
+        ASSERT_TRUE(result.ok())
+            << core::StrategyKindName(kind) << " size " << size << ": "
+            << result.status().ToString();
+        EXPECT_TRUE(index->EquivalentOnInstance(result->predicate, goal))
+            << core::StrategyKindName(kind) << " on "
+            << index->omega().Format(goal);
+        EXPECT_LE(result->num_interactions, index->num_classes());
+      }
+    }
+  }
+}
+
+TEST_P(RandomSweepTest, OmegaGoalAlwaysRecoverable) {
+  // The all-negative user (goal Ω) is a paper-called-out corner: the
+  // session must halt well before labeling every tuple under TD.
+  auto [shape, seed] = GetParam();
+  auto inst = workload::GenerateSynthetic(ConfigFor(shape), seed);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+  auto strategy = core::MakeStrategy(core::StrategyKind::kTopDown, seed);
+  core::GoalOracle oracle{index->omega().Full()};
+  auto result = core::RunInference(*index, *strategy, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(index->EquivalentOnInstance(result->predicate,
+                                          index->omega().Full()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, RandomSweepTest,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3})));
+
+}  // namespace
+}  // namespace jinfer

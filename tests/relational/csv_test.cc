@@ -1,0 +1,119 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace rel {
+namespace {
+
+TEST(CsvReadTest, BasicTypedFields) {
+  auto r = ReadRelationCsvText("A,B,C\n1,2.5,NYC\n-3,0.25,Lille\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->at(0, 0), Value(1));
+  EXPECT_EQ(r->at(0, 1), Value(2.5));
+  EXPECT_EQ(r->at(0, 2), Value("NYC"));
+  EXPECT_EQ(r->at(1, 0), Value(-3));
+}
+
+TEST(CsvReadTest, EmptyFieldIsNull) {
+  auto r = ReadRelationCsvText("A,B\n1,\n,2\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 1).is_null());
+  EXPECT_TRUE(r->at(1, 0).is_null());
+}
+
+TEST(CsvReadTest, QuotedFieldsStayStrings) {
+  auto r = ReadRelationCsvText("A,B\n\"1\",\"\"\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 0).is_string());
+  EXPECT_EQ(r->at(0, 0).AsString(), "1");
+  EXPECT_TRUE(r->at(0, 1).is_string());  // Quoted empty is "", not NULL.
+  EXPECT_EQ(r->at(0, 1).AsString(), "");
+}
+
+TEST(CsvReadTest, QuotedCommaAndEscapedQuote) {
+  auto r = ReadRelationCsvText("A\n\"a,b\"\n\"say \"\"hi\"\"\"\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).AsString(), "a,b");
+  EXPECT_EQ(r->at(1, 0).AsString(), "say \"hi\"");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto r = ReadRelationCsvText("A,B\r\n1,2\r\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 1), Value(2));
+}
+
+TEST(CsvReadTest, BlankLinesSkipped) {
+  auto r = ReadRelationCsvText("A\n1\n\n2\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, HeaderWhitespaceTrimmed) {
+  auto r = ReadRelationCsvText(" A , B \n1,2\n", "R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().attribute_names()[0], "A");
+}
+
+TEST(CsvReadTest, EmptyInputRejected) {
+  EXPECT_TRUE(ReadRelationCsvText("", "R").status().IsParseError());
+}
+
+TEST(CsvReadTest, FieldCountMismatchRejected) {
+  auto r = ReadRelationCsvText("A,B\n1\n", "R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvReadTest, UnterminatedQuoteRejected) {
+  EXPECT_TRUE(ReadRelationCsvText("A\n\"abc\n", "R").status().IsParseError());
+}
+
+TEST(CsvReadTest, DuplicateHeaderRejected) {
+  EXPECT_TRUE(
+      ReadRelationCsvText("A,A\n1,2\n", "R").status().IsInvalidArgument());
+}
+
+TEST(CsvWriteTest, RoundTripsTypedData) {
+  auto original = Relation::Make(
+      "R", {"A", "B", "C"},
+      {{1, "x,y", Value()}, {2, "plain", 3.5}});
+  ASSERT_TRUE(original.ok());
+  std::string text = WriteRelationCsv(*original);
+  auto reparsed = ReadRelationCsvText(text, "R");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rows(), 2u);
+  EXPECT_EQ(reparsed->at(0, 0), Value(1));
+  EXPECT_EQ(reparsed->at(0, 1), Value("x,y"));
+  EXPECT_TRUE(reparsed->at(0, 2).is_null());
+  EXPECT_EQ(reparsed->at(1, 2), Value(3.5));
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadRelationCsvFile("/nonexistent/path.csv", "R")
+                  .status()
+                  .IsIoError());
+}
+
+TEST(CsvFileTest, ReadsFromDisk) {
+  std::string path = ::testing::TempDir() + "/jinfer_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "City,Discount\nNYC,AA\nParis,None\n";
+  }
+  auto r = ReadRelationCsvFile(path, "Hotel");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->at(0, 0), Value("NYC"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace jinfer

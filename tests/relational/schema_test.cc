@@ -1,0 +1,59 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace rel {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  auto s = Schema::Make("R", {"A1", "A2"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->relation_name(), "R");
+  EXPECT_EQ(s->num_attributes(), 2u);
+  EXPECT_EQ(s->attribute_names()[1], "A2");
+}
+
+TEST(SchemaTest, EmptyRelationNameRejected) {
+  EXPECT_TRUE(Schema::Make("", {"A"}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, EmptyAttributeListRejected) {
+  EXPECT_TRUE(Schema::Make("R", {}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, EmptyAttributeNameRejected) {
+  EXPECT_TRUE(Schema::Make("R", {"A", ""}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  auto s = Schema::Make("R", {"A", "B", "A"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+  EXPECT_NE(s.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SchemaTest, IndexOf) {
+  auto s = Schema::Make("R", {"A", "B", "C"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->IndexOf("B"), 1u);
+  EXPECT_EQ(s->IndexOf("Z"), std::nullopt);
+}
+
+TEST(SchemaTest, ToString) {
+  auto s = Schema::Make("Flight", {"From", "To"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToString(), "Flight(From, To)");
+}
+
+TEST(SchemaTest, Equality) {
+  auto a = Schema::Make("R", {"A"});
+  auto b = Schema::Make("R", {"A"});
+  auto c = Schema::Make("R", {"B"});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace jinfer

@@ -1,0 +1,101 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace rel {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, EqualSameTypeSamePayload) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(1.5), Value(1.5));
+}
+
+TEST(ValueTest, UnequalSameTypeDifferentPayload) {
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, CrossTypeNeverEqual) {
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_NE(Value(1.0), Value("1"));
+}
+
+TEST(ValueTest, NullNeverEqualIncludingToItself) {
+  Value null1, null2;
+  EXPECT_NE(null1, null2);
+  EXPECT_NE(null1, null1);
+  EXPECT_NE(null1, Value(0));
+  EXPECT_NE(null1, Value(""));
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  EXPECT_EQ(Value(42).Hash(), Value(42).Hash());
+  EXPECT_EQ(Value("join").Hash(), Value("join").Hash());
+  EXPECT_NE(Value(42).Hash(), Value(43).Hash());
+  // Cross-type payloads should not collide (1 vs "1" vs 1.0).
+  EXPECT_NE(Value(1).Hash(), Value("1").Hash());
+  EXPECT_NE(Value(1).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value(-3).ToString(), "-3");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueFromCsvFieldTest, EmptyIsNull) {
+  EXPECT_TRUE(Value::FromCsvField("").is_null());
+}
+
+TEST(ValueFromCsvFieldTest, IntegerLiterals) {
+  Value v = Value::FromCsvField("123");
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 123);
+  EXPECT_EQ(Value::FromCsvField("-5").AsInt(), -5);
+}
+
+TEST(ValueFromCsvFieldTest, DoubleLiterals) {
+  Value v = Value::FromCsvField("1.25");
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 1.25);
+}
+
+TEST(ValueFromCsvFieldTest, StringsOtherwise) {
+  EXPECT_TRUE(Value::FromCsvField("12a").is_string());
+  EXPECT_TRUE(Value::FromCsvField("NYC").is_string());
+  EXPECT_TRUE(Value::FromCsvField("1 2").is_string());
+}
+
+TEST(ValueFromCsvFieldTest, IntTakesPrecedenceOverDouble) {
+  EXPECT_TRUE(Value::FromCsvField("7").is_int());
+  EXPECT_TRUE(Value::FromCsvField("7.0").is_double());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace jinfer

@@ -1,0 +1,71 @@
+#include "sat/cnf.h"
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace sat {
+namespace {
+
+TEST(CnfTest, EmptyFormulaIsSatisfiedByAnything) {
+  Cnf cnf(2);
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false, false}));
+}
+
+TEST(CnfTest, NewVarAllocatesSequentially) {
+  Cnf cnf;
+  EXPECT_EQ(cnf.NewVar(), 1);
+  EXPECT_EQ(cnf.NewVar(), 2);
+  EXPECT_EQ(cnf.num_vars(), 2);
+}
+
+TEST(CnfTest, AddClauseAndEvaluate) {
+  Cnf cnf(2);
+  cnf.AddBinary(1, -2);  // x1 ∨ ¬x2
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, true, false}));
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, true, true}));
+  EXPECT_TRUE(cnf.IsSatisfiedBy({false, false, false}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, false, true}));
+}
+
+TEST(CnfTest, EmptyClauseIsUnsatisfiable) {
+  Cnf cnf(1);
+  cnf.AddClause({});
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, true}));
+  EXPECT_FALSE(cnf.IsSatisfiedBy({false, false}));
+}
+
+TEST(CnfTest, UnitHelpers) {
+  Cnf cnf(3);
+  cnf.AddUnit(2);
+  cnf.AddTernary(-1, 2, 3);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0], (Clause{2}));
+  EXPECT_EQ(cnf.clauses()[1], (Clause{-1, 2, 3}));
+}
+
+TEST(CnfTest, ToStringIsDimacs) {
+  Cnf cnf(2);
+  cnf.AddBinary(1, -2);
+  EXPECT_EQ(cnf.ToString(), "p cnf 2 1\n1 -2 0\n");
+}
+
+TEST(LiteralTest, VarOfAndPolarity) {
+  EXPECT_EQ(VarOf(5), 5);
+  EXPECT_EQ(VarOf(-5), 5);
+  EXPECT_TRUE(IsPositive(3));
+  EXPECT_FALSE(IsPositive(-3));
+}
+
+TEST(CnfDeathTest, LiteralBeyondNumVarsAborts) {
+  Cnf cnf(1);
+  EXPECT_DEATH(cnf.AddUnit(2), "beyond num_vars");
+}
+
+TEST(CnfDeathTest, LiteralZeroAborts) {
+  Cnf cnf(1);
+  EXPECT_DEATH(cnf.AddClause({0}), "literal 0");
+}
+
+}  // namespace
+}  // namespace sat
+}  // namespace jinfer

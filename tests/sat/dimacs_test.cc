@@ -1,0 +1,74 @@
+#include "sat/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/dpll.h"
+#include "sat/random_cnf.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace sat {
+namespace {
+
+TEST(DimacsParseTest, Basic) {
+  auto cnf = ParseDimacs("p cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->num_vars(), 3);
+  ASSERT_EQ(cnf->num_clauses(), 2u);
+  EXPECT_EQ(cnf->clauses()[0], (Clause{1, -2}));
+  EXPECT_EQ(cnf->clauses()[1], (Clause{2, 3}));
+}
+
+TEST(DimacsParseTest, CommentsIgnored) {
+  auto cnf = ParseDimacs("c hello\nc world\np cnf 1 1\nc mid\n1 0\n");
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->num_clauses(), 1u);
+}
+
+TEST(DimacsParseTest, ClausesMaySpanLines) {
+  auto cnf = ParseDimacs("p cnf 3 1\n1\n-2\n3 0\n");
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->clauses()[0], (Clause{1, -2, 3}));
+}
+
+TEST(DimacsParseTest, MissingHeaderRejected) {
+  EXPECT_TRUE(ParseDimacs("1 0\n").status().IsParseError());
+}
+
+TEST(DimacsParseTest, MalformedHeaderRejected) {
+  EXPECT_TRUE(ParseDimacs("p cnf x y\n").status().IsParseError());
+  EXPECT_TRUE(ParseDimacs("p dnf 1 1\n1 0\n").status().IsParseError());
+}
+
+TEST(DimacsParseTest, LiteralBeyondDeclaredVarsRejected) {
+  EXPECT_TRUE(ParseDimacs("p cnf 1 1\n2 0\n").status().IsParseError());
+}
+
+TEST(DimacsParseTest, UnterminatedClauseRejected) {
+  EXPECT_TRUE(ParseDimacs("p cnf 2 1\n1 2\n").status().IsParseError());
+}
+
+TEST(DimacsParseTest, ClauseCountMismatchRejected) {
+  EXPECT_TRUE(ParseDimacs("p cnf 2 2\n1 0\n").status().IsParseError());
+}
+
+TEST(DimacsParseTest, BadTokenRejected) {
+  EXPECT_TRUE(ParseDimacs("p cnf 2 1\nxyz 0\n").status().IsParseError());
+}
+
+TEST(DimacsRoundTripTest, RandomFormulasSurvive) {
+  util::Rng rng(31);
+  for (int i = 0; i < 5; ++i) {
+    Cnf original = Random3Cnf(9, 25, rng);
+    auto reparsed = ParseDimacs(ToDimacs(original));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->num_vars(), original.num_vars());
+    EXPECT_EQ(reparsed->clauses(), original.clauses());
+    EXPECT_EQ(DpllSolver().Solve(*reparsed).satisfiable,
+              DpllSolver().Solve(original).satisfiable);
+  }
+}
+
+}  // namespace
+}  // namespace sat
+}  // namespace jinfer

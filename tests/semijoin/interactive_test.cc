@@ -1,0 +1,127 @@
+#include "semijoin/interactive.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace semi {
+namespace {
+
+SemijoinInstance Example21Instance() {
+  auto inst = SemijoinInstance::Build(testing::Example21R(),
+                                      testing::Example21P());
+  JINFER_CHECK(inst.ok(), "fixture");
+  return std::move(inst).ValueOrDie();
+}
+
+TEST(SemijoinInferenceTest, InfersEquivalentOfSection6Goal) {
+  SemijoinInstance inst = Example21Instance();
+  core::JoinPredicate goal = testing::Pred(inst.omega(), {{0, 1}});
+  GoalSemijoinOracle oracle(inst, goal);
+  auto result = RunSemijoinInference(inst, oracle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(inst.EquivalentOnInstance(result->predicate, goal));
+  EXPECT_LE(result->num_interactions, inst.num_rows());
+  EXPECT_GT(result->sat_calls, 0u);
+}
+
+TEST(SemijoinInferenceTest, EmptyGoalSelectsEverything) {
+  SemijoinInstance inst = Example21Instance();
+  core::JoinPredicate goal;  // selects all rows
+  GoalSemijoinOracle oracle(inst, goal);
+  auto result = RunSemijoinInference(inst, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(inst.EquivalentOnInstance(result->predicate, goal));
+  EXPECT_EQ(inst.Semijoin(result->predicate).size(), inst.num_rows());
+}
+
+TEST(SemijoinInferenceTest, FullOmegaGoalSelectsNothing) {
+  SemijoinInstance inst = Example21Instance();
+  core::JoinPredicate goal = inst.omega().Full();
+  GoalSemijoinOracle oracle(inst, goal);
+  auto result = RunSemijoinInference(inst, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(inst.EquivalentOnInstance(result->predicate, goal));
+  EXPECT_TRUE(inst.Semijoin(result->predicate).empty());
+}
+
+TEST(SemijoinInferenceTest, SampleStaysWithinRowBounds) {
+  SemijoinInstance inst = Example21Instance();
+  core::JoinPredicate goal = testing::Pred(inst.omega(), {{0, 0}, {1, 2}});
+  GoalSemijoinOracle oracle(inst, goal);
+  auto result = RunSemijoinInference(inst, oracle);
+  ASSERT_TRUE(result.ok());
+  for (const auto& ex : result->sample) {
+    EXPECT_LT(ex.r_row, inst.num_rows());
+  }
+  EXPECT_EQ(result->sample.size(), result->num_interactions);
+}
+
+/// Lies on every answer.
+class AdversarialOracle : public SemijoinOracle {
+ public:
+  AdversarialOracle(const SemijoinInstance& instance,
+                    core::JoinPredicate goal)
+      : truth_(instance, goal) {}
+  core::Label LabelRow(size_t r_row) override {
+    return truth_.LabelRow(r_row) == core::Label::kPositive
+               ? core::Label::kNegative
+               : core::Label::kPositive;
+  }
+
+ private:
+  GoalSemijoinOracle truth_;
+};
+
+TEST(SemijoinInferenceTest, AdversarialOracleEitherFailsOrStaysConsistent) {
+  // As with equijoins, lies on informative rows are individually
+  // consistent; the run must either error with InconsistentSample or end
+  // with a predicate consistent with the (lied) labels.
+  SemijoinInstance inst = Example21Instance();
+  core::JoinPredicate goal = testing::Pred(inst.omega(), {{1, 1}});
+  AdversarialOracle oracle(inst, goal);
+  auto result = RunSemijoinInference(inst, oracle);
+  if (result.ok()) {
+    EXPECT_TRUE(inst.ConsistentWith(result->predicate, result->sample));
+  } else {
+    EXPECT_TRUE(result.status().IsInconsistentSample());
+  }
+}
+
+class SemijoinInferencePropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SemijoinInferencePropertyTest, RandomGoalsOnRandomInstances) {
+  util::Rng rng(GetParam());
+  std::vector<rel::Row> r_rows, p_rows;
+  for (int i = 0; i < 6; ++i) {
+    r_rows.push_back({rng.NextInRange(0, 3), rng.NextInRange(0, 3)});
+    p_rows.push_back({rng.NextInRange(0, 3), rng.NextInRange(0, 3)});
+  }
+  auto r = rel::Relation::Make("R", {"A1", "A2"}, std::move(r_rows));
+  auto p = rel::Relation::Make("P", {"B1", "B2"}, std::move(p_rows));
+  auto inst = SemijoinInstance::Build(*r, *p);
+  ASSERT_TRUE(inst.ok());
+
+  for (int trial = 0; trial < 4; ++trial) {
+    core::JoinPredicate goal;
+    for (size_t b = 0; b < inst->omega().size(); ++b) {
+      if (rng.NextBool(0.4)) goal.Set(b);
+    }
+    GoalSemijoinOracle oracle(*inst, goal);
+    auto result = RunSemijoinInference(*inst, oracle);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(inst->EquivalentOnInstance(result->predicate, goal))
+        << inst->omega().Format(goal) << " vs "
+        << inst->omega().Format(result->predicate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemijoinInferencePropertyTest,
+                         ::testing::Range(uint64_t{500}, uint64_t{508}));
+
+}  // namespace
+}  // namespace semi
+}  // namespace jinfer

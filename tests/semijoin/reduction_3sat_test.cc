@@ -1,0 +1,151 @@
+#include "semijoin/reduction_3sat.h"
+
+#include <gtest/gtest.h>
+
+#include "sat/dpll.h"
+#include "sat/random_cnf.h"
+#include "semijoin/consistency.h"
+#include "util/rng.h"
+
+namespace jinfer {
+namespace semi {
+namespace {
+
+/// The appendix example φ0 (with negations recovered from the Pφ0 table):
+/// (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ ¬x3 ∨ x4).
+sat::Cnf Phi0() {
+  sat::Cnf cnf(4);
+  cnf.AddTernary(1, 2, 3);
+  cnf.AddTernary(-1, -3, 4);
+  return cnf;
+}
+
+TEST(ReductionShapeTest, Phi0TableDimensions) {
+  auto out = ReduceFrom3Sat(Phi0());
+  ASSERT_TRUE(out.ok());
+  // Rφ0: k + 1 + n = 2 + 1 + 4 = 7 rows, 1 + n = 5 attributes.
+  EXPECT_EQ(out->r.num_rows(), 7u);
+  EXPECT_EQ(out->r.num_attributes(), 5u);
+  // Pφ0: 3k + 1 + n = 6 + 1 + 4 = 11 rows, 1 + 2n = 9 attributes.
+  EXPECT_EQ(out->p.num_rows(), 11u);
+  EXPECT_EQ(out->p.num_attributes(), 9u);
+  // Sφ0: k positives, n + 1 negatives.
+  size_t positives = 0, negatives = 0;
+  for (const auto& ex : out->sample) {
+    (ex.label == core::Label::kPositive ? positives : negatives) += 1;
+  }
+  EXPECT_EQ(positives, 2u);
+  EXPECT_EQ(negatives, 5u);
+}
+
+TEST(ReductionShapeTest, Phi0CellValuesMatchAppendix) {
+  auto out = ReduceFrom3Sat(Phi0());
+  ASSERT_TRUE(out.ok());
+  // tR,1 = (c1+, 1, 2, 3, 4).
+  EXPECT_EQ(out->r.at(0, 0), rel::Value("c1+"));
+  EXPECT_EQ(out->r.at(0, 2), rel::Value(2));
+  // t'R,0 = (X, 1, 2, 3, 4).
+  EXPECT_EQ(out->r.at(2, 0), rel::Value("X"));
+  // tP,11 (clause 1, literal x1, positive): B1t = 1, B1f = ⊥.
+  EXPECT_EQ(out->p.at(0, 0), rel::Value("c1+"));
+  EXPECT_EQ(out->p.at(0, 1), rel::Value(1));
+  EXPECT_TRUE(out->p.at(0, 2).is_null());
+  // tP,21 (clause 2, literal ¬x1): B1t = ⊥, B1f = 1.
+  EXPECT_EQ(out->p.at(3, 0), rel::Value("c2+"));
+  EXPECT_TRUE(out->p.at(3, 1).is_null());
+  EXPECT_EQ(out->p.at(3, 2), rel::Value(1));
+  // t'P,0 = (Y, 1,1,2,2,3,3,4,4).
+  EXPECT_EQ(out->p.at(6, 0), rel::Value("Y"));
+  EXPECT_EQ(out->p.at(6, 8), rel::Value(4));
+  // t'P,1 = (x1*, ⊥,⊥,2,2,3,3,4,4).
+  EXPECT_EQ(out->p.at(7, 0), rel::Value("x1*"));
+  EXPECT_TRUE(out->p.at(7, 1).is_null());
+  EXPECT_TRUE(out->p.at(7, 2).is_null());
+  EXPECT_EQ(out->p.at(7, 3), rel::Value(2));
+}
+
+TEST(ReductionTest, Phi0IsSatisfiableAndReductionConsistent) {
+  sat::Cnf phi0 = Phi0();
+  EXPECT_TRUE(sat::DpllSolver().Solve(phi0).satisfiable);
+  auto out = ReduceFrom3Sat(phi0);
+  ASSERT_TRUE(out.ok());
+  auto inst = SemijoinInstance::Build(out->r, out->p);
+  ASSERT_TRUE(inst.ok());
+  ConsistencyResult result = CheckConsistencySat(*inst, out->sample);
+  EXPECT_TRUE(result.consistent);
+}
+
+TEST(ReductionTest, UnsatisfiableFormulaGivesInconsistentInstance) {
+  // (x∨y∨z) ∧ all-negative combinations forces UNSAT with 3 vars:
+  // enumerate all 8 sign patterns of a 3-clause — jointly unsatisfiable.
+  sat::Cnf cnf(3);
+  for (int mask = 0; mask < 8; ++mask) {
+    cnf.AddTernary((mask & 1) ? 1 : -1, (mask & 2) ? 2 : -2,
+                   (mask & 4) ? 3 : -3);
+  }
+  ASSERT_FALSE(sat::DpllSolver().Solve(cnf).satisfiable);
+  auto out = ReduceFrom3Sat(cnf);
+  ASSERT_TRUE(out.ok());
+  auto inst = SemijoinInstance::Build(out->r, out->p);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(CheckConsistencySat(*inst, out->sample).consistent);
+}
+
+TEST(ReductionTest, WitnessDecodesToSatisfyingValuation) {
+  sat::Cnf phi0 = Phi0();
+  auto out = ReduceFrom3Sat(phi0);
+  ASSERT_TRUE(out.ok());
+  auto inst = SemijoinInstance::Build(out->r, out->p);
+  ASSERT_TRUE(inst.ok());
+  ConsistencyResult result = CheckConsistencySat(*inst, out->sample);
+  ASSERT_TRUE(result.consistent);
+  std::vector<bool> valuation =
+      ValuationFromPredicate(phi0, inst->omega(), result.witness);
+  EXPECT_TRUE(phi0.IsSatisfiedBy(valuation));
+}
+
+TEST(ReductionValidationTest, RejectsNon3Cnf) {
+  sat::Cnf two(2);
+  two.AddBinary(1, 2);
+  EXPECT_TRUE(ReduceFrom3Sat(two).status().IsInvalidArgument());
+
+  sat::Cnf repeated(3);
+  repeated.AddTernary(1, 1, 2);
+  EXPECT_TRUE(ReduceFrom3Sat(repeated).status().IsInvalidArgument());
+
+  sat::Cnf empty(3);
+  EXPECT_TRUE(ReduceFrom3Sat(empty).status().IsInvalidArgument());
+}
+
+// --- Property: φ satisfiable ⇔ reduction ∈ CONS⋉ ------------------------------
+
+class ReductionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionPropertyTest, RoundTripMatchesDpll) {
+  util::Rng rng(GetParam());
+  // 5 variables, clause counts straddling the threshold.
+  for (size_t clauses : {8u, 15u, 21u, 30u}) {
+    sat::Cnf phi = sat::Random3Cnf(5, clauses, rng);
+    bool sat_direct = sat::DpllSolver().Solve(phi).satisfiable;
+
+    auto out = ReduceFrom3Sat(phi);
+    ASSERT_TRUE(out.ok());
+    auto inst = SemijoinInstance::Build(out->r, out->p);
+    ASSERT_TRUE(inst.ok());
+    ConsistencyResult via_semijoin = CheckConsistencySat(*inst, out->sample);
+    EXPECT_EQ(via_semijoin.consistent, sat_direct) << "clauses=" << clauses;
+
+    if (via_semijoin.consistent) {
+      std::vector<bool> valuation =
+          ValuationFromPredicate(phi, inst->omega(), via_semijoin.witness);
+      EXPECT_TRUE(phi.IsSatisfiedBy(valuation));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionPropertyTest,
+                         ::testing::Range(uint64_t{400}, uint64_t{410}));
+
+}  // namespace
+}  // namespace semi
+}  // namespace jinfer

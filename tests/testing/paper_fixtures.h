@@ -1,0 +1,125 @@
+// Shared fixtures: the instances and samples the paper uses as running
+// examples. Expected values in the tests are transcribed from the paper
+// (Figures 1-5, Examples 2.1/3.1, §4.4) — with one documented correction,
+// see Figure5Entropies below.
+
+#ifndef JINFER_TESTS_TESTING_PAPER_FIXTURES_H_
+#define JINFER_TESTS_TESTING_PAPER_FIXTURES_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/omega.h"
+#include "core/signature_index.h"
+#include "core/types.h"
+#include "relational/relation.h"
+#include "util/check.h"
+
+namespace jinfer {
+namespace testing {
+
+/// R0 of Example 2.1: A1,A2 with rows t1=(0,1) t2=(0,2) t3=(2,2) t4=(1,0).
+inline rel::Relation Example21R() {
+  auto r = rel::Relation::Make("R0", {"A1", "A2"},
+                               {{0, 1}, {0, 2}, {2, 2}, {1, 0}});
+  JINFER_CHECK(r.ok(), "fixture R0");
+  return std::move(r).ValueOrDie();
+}
+
+/// P0 of Example 2.1: B1,B2,B3 with rows t1'=(1,1,0) t2'=(0,1,2)
+/// t3'=(2,0,0).
+inline rel::Relation Example21P() {
+  auto p = rel::Relation::Make("P0", {"B1", "B2", "B3"},
+                               {{1, 1, 0}, {0, 1, 2}, {2, 0, 0}});
+  JINFER_CHECK(p.ok(), "fixture P0");
+  return std::move(p).ValueOrDie();
+}
+
+/// Attribute-pair lists (0-based indices) of T(t) for all 12 tuples of
+/// D0 = R0 × P0, row-major ((t1,t1'), (t1,t2'), ..., (t4,t3')), transcribed
+/// from Figure 3. A1=0, A2=1; B1=0, B2=1, B3=2.
+inline std::vector<std::vector<std::pair<size_t, size_t>>>
+Figure3Signatures() {
+  return {
+      {{0, 2}, {1, 0}, {1, 1}},  // (t1,t1') {(A1,B3),(A2,B1),(A2,B2)}
+      {{0, 0}, {1, 1}},          // (t1,t2') {(A1,B1),(A2,B2)}
+      {{0, 1}, {0, 2}},          // (t1,t3') {(A1,B2),(A1,B3)}
+      {{0, 2}},                  // (t2,t1') {(A1,B3)}
+      {{0, 0}, {1, 2}},          // (t2,t2') {(A1,B1),(A2,B3)}
+      {{0, 1}, {0, 2}, {1, 0}},  // (t2,t3') {(A1,B2),(A1,B3),(A2,B1)}
+      {},                        // (t3,t1') {}
+      {{0, 2}, {1, 2}},          // (t3,t2') {(A1,B3),(A2,B3)}
+      {{0, 0}, {1, 0}},          // (t3,t3') {(A1,B1),(A2,B1)}
+      {{0, 0}, {0, 1}, {1, 2}},  // (t4,t1') {(A1,B1),(A1,B2),(A2,B3)}
+      {{0, 1}, {1, 0}},          // (t4,t2') {(A1,B2),(A2,B1)}
+      {{1, 1}, {1, 2}},          // (t4,t3') {(A2,B2),(A2,B3)}
+  };
+}
+
+/// Expected (u+, u−) for every tuple of D0 under the empty sample, Figure 5
+/// order. One correction to the paper: Figure 5 prints u+ = 2 for (t2,t1');
+/// by Lemma 3.3 the supersets of {(A1,B3)} among the signatures are
+/// (t1,t1'), (t1,t3'), (t2,t3'), (t3,t2'), so u+ = 4 (see DESIGN.md §2).
+inline std::vector<std::pair<uint64_t, uint64_t>> Figure5Counts() {
+  return {
+      {0, 2},   // (t1,t1')
+      {0, 1},   // (t1,t2')
+      {1, 2},   // (t1,t3')
+      {4, 1},   // (t2,t1')  — paper prints u+ = 2; corrected to 4
+      {1, 1},   // (t2,t2')
+      {0, 4},   // (t2,t3')
+      {11, 0},  // (t3,t1')
+      {0, 2},   // (t3,t2')
+      {0, 1},   // (t3,t3')
+      {0, 2},   // (t4,t1')
+      {1, 1},   // (t4,t2')
+      {0, 1},   // (t4,t3')
+  };
+}
+
+/// The flight table of Figure 1.
+inline rel::Relation FlightTable() {
+  auto r = rel::Relation::Make("Flight", {"From", "To", "Airline"},
+                               {{"Paris", "Lille", "AF"},
+                                {"Lille", "NYC", "AA"},
+                                {"NYC", "Paris", "AA"},
+                                {"Paris", "NYC", "AF"}});
+  JINFER_CHECK(r.ok(), "fixture Flight");
+  return std::move(r).ValueOrDie();
+}
+
+/// The hotel table of Figure 1.
+inline rel::Relation HotelTable() {
+  auto p = rel::Relation::Make(
+      "Hotel", {"City", "Discount"},
+      {{"NYC", "AA"}, {"Paris", "None"}, {"Lille", "AF"}});
+  JINFER_CHECK(p.ok(), "fixture Hotel");
+  return std::move(p).ValueOrDie();
+}
+
+/// Builds the signature index for Example 2.1's instance.
+inline core::SignatureIndex Example21Index() {
+  auto index = core::SignatureIndex::Build(Example21R(), Example21P());
+  JINFER_CHECK(index.ok(), "fixture index");
+  return std::move(index).ValueOrDie();
+}
+
+/// Predicate helper: builds θ from 0-based attribute-index pairs.
+inline core::JoinPredicate Pred(
+    const core::Omega& omega,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  return omega.PredicateFromPairs(pairs);
+}
+
+/// ClassId of the tuple (r_row, p_row) in the index.
+inline core::ClassId ClassOf(const core::SignatureIndex& index, size_t r_row,
+                             size_t p_row) {
+  auto cls = index.ClassOfSignature(index.SignatureOfPair(r_row, p_row));
+  JINFER_CHECK(cls.has_value(), "missing class for (%zu,%zu)", r_row, p_row);
+  return *cls;
+}
+
+}  // namespace testing
+}  // namespace jinfer
+
+#endif  // JINFER_TESTS_TESTING_PAPER_FIXTURES_H_

@@ -1,0 +1,92 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(*r, "abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.ValueOrDie() += "d";
+  EXPECT_EQ(*r, "abcd");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::ParseError("x"); };
+  auto wrapper = [&]() -> Status {
+    JINFER_ASSIGN_OR_RETURN(int v, fails());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsParseError());
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto succeeds = []() -> Result<int> { return 5; };
+  int out = 0;
+  auto wrapper = [&]() -> Status {
+    JINFER_ASSIGN_OR_RETURN(int v, succeeds());
+    out = v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  auto one = []() -> Result<int> { return 1; };
+  auto two = []() -> Result<int> { return 2; };
+  int sum = 0;
+  auto wrapper = [&]() -> Status {
+    JINFER_ASSIGN_OR_RETURN(int a, one());
+    JINFER_ASSIGN_OR_RETURN(int b, two());
+    sum = a + b;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().ok());
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r(Status::IoError("gone"));
+  EXPECT_DEATH(r.ValueOrDie(), "ValueOrDie");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>(Status::OK()), "OK status");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace jinfer

@@ -1,0 +1,131 @@
+#include "workload/crowd.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace workload {
+namespace {
+
+using core::Label;
+
+TEST(CrowdOracleTest, PerfectWorkersMatchTruth) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  CrowdConfig config{/*num_workers=*/3, /*error_rate=*/0.0, /*seed=*/1};
+  CrowdOracle crowd(goal, config);
+  core::GoalOracle truth{goal};
+  for (core::ClassId c = 0; c < index.num_classes(); ++c) {
+    EXPECT_EQ(crowd.LabelClass(index, c), truth.LabelClass(index, c));
+  }
+  EXPECT_EQ(crowd.majority_errors(), 0u);
+  EXPECT_EQ(crowd.votes_purchased(), 3u * index.num_classes());
+}
+
+TEST(CrowdOracleTest, AlwaysWrongWorkersInvertTruth) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  CrowdConfig config{3, 1.0, 1};
+  CrowdOracle crowd(goal, config);
+  core::GoalOracle truth{goal};
+  for (core::ClassId c = 0; c < index.num_classes(); ++c) {
+    EXPECT_NE(crowd.LabelClass(index, c), truth.LabelClass(index, c));
+  }
+  EXPECT_EQ(crowd.majority_errors(), index.num_classes());
+}
+
+TEST(CrowdOracleTest, MajorityBeatsIndividualError) {
+  // With per-worker error 0.3, a 5-worker majority errs with probability
+  // ≈ 0.163; over many questions the majority error rate must land well
+  // below the individual rate.
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  CrowdConfig config{5, 0.3, 42};
+  CrowdOracle crowd(goal, config);
+  const int kQuestionsPerClass = 200;
+  for (int round = 0; round < kQuestionsPerClass; ++round) {
+    for (core::ClassId c = 0; c < index.num_classes(); ++c) {
+      crowd.LabelClass(index, c);
+    }
+  }
+  double asked =
+      static_cast<double>(kQuestionsPerClass) * index.num_classes();
+  double majority_error = static_cast<double>(crowd.majority_errors()) /
+                          asked;
+  EXPECT_LT(majority_error, 0.23);
+  EXPECT_GT(majority_error, 0.08);
+}
+
+TEST(CrowdOracleDeathTest, RejectsBadConfig) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal;
+  EXPECT_DEATH(CrowdOracle(goal, CrowdConfig{0, 0.1, 1}), "worker");
+  EXPECT_DEATH(CrowdOracle(goal, CrowdConfig{3, 1.5, 1}), "error rate");
+}
+
+TEST(CrowdTrialTest, NoiselessCrowdAlwaysRecovers) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  CrowdConfig config{1, 0.0, 9};
+  auto trial =
+      RunCrowdTrial(index, goal, core::StrategyKind::kTopDown, config);
+  ASSERT_TRUE(trial.ok());
+  EXPECT_TRUE(trial->recovered);
+  EXPECT_GT(trial->interactions, 0u);
+  EXPECT_EQ(trial->votes_purchased, trial->interactions);
+}
+
+TEST(CrowdTrialTest, HeavyNoiseSometimesMisleads) {
+  // 1 worker at 40% error: across seeds, some sessions must fail to
+  // recover (and the engine never crashes — wrong-but-consistent results).
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  size_t failures = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    CrowdConfig config{1, 0.4, seed};
+    auto trial =
+        RunCrowdTrial(index, goal, core::StrategyKind::kTopDown, config);
+    ASSERT_TRUE(trial.ok());
+    if (!trial->recovered) ++failures;
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(CrowdSweepTest, MoreWorkersBuyMoreRecovery) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  auto solo = MeasureCrowdPoint(index, goal, core::StrategyKind::kTopDown,
+                                /*num_workers=*/1, /*error_rate=*/0.3,
+                                /*trials=*/60, /*seed=*/5);
+  auto seven = MeasureCrowdPoint(index, goal, core::StrategyKind::kTopDown,
+                                 /*num_workers=*/7, 0.3, 60, 5);
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(seven.ok());
+  EXPECT_GT(seven->recovery_rate, solo->recovery_rate);
+  EXPECT_GT(seven->mean_votes, solo->mean_votes);  // Accuracy costs votes.
+}
+
+TEST(CrowdSweepTest, ZeroTrialsRejected) {
+  core::SignatureIndex index = testing::Example21Index();
+  EXPECT_FALSE(MeasureCrowdPoint(index, core::JoinPredicate(),
+                                 core::StrategyKind::kTopDown, 1, 0.1, 0, 1)
+                   .ok());
+}
+
+TEST(CrowdSweepTest, DeterministicInSeed) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  auto a = MeasureCrowdPoint(index, goal, core::StrategyKind::kTopDown, 3,
+                             0.2, 20, 77);
+  auto b = MeasureCrowdPoint(index, goal, core::StrategyKind::kTopDown, 3,
+                             0.2, 20, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->recovery_rate, b->recovery_rate);
+  EXPECT_DOUBLE_EQ(a->mean_votes, b->mean_votes);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace jinfer

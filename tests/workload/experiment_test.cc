@@ -1,0 +1,123 @@
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace workload {
+namespace {
+
+using core::StrategyKind;
+
+TEST(MeasureStrategyTest, DeterministicStrategyOneGoal) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal;  // ∅: BU needs exactly 1 interaction.
+  auto stats = MeasureStrategy(index, goal, StrategyKind::kBottomUp,
+                               /*runs=*/3, /*seed=*/1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->mean_interactions, 1.0);
+  EXPECT_EQ(stats->runs, 3u);
+  EXPECT_GE(stats->mean_seconds, 0.0);
+}
+
+TEST(MeasureStrategyTest, RandomStrategyVariesButStaysCorrect) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 2}});
+  auto stats = MeasureStrategy(index, goal, StrategyKind::kRandom,
+                               /*runs=*/10, /*seed=*/7);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->mean_interactions, 1.0);
+  EXPECT_LE(stats->mean_interactions,
+            static_cast<double>(index.num_classes()));
+}
+
+TEST(MeasureStrategyTest, ZeroRunsRejected) {
+  core::SignatureIndex index = testing::Example21Index();
+  EXPECT_TRUE(MeasureStrategy(index, core::JoinPredicate(),
+                              StrategyKind::kBottomUp, 0, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MeasureStrategyOverGoalsTest, PoolsAcrossGoals) {
+  core::SignatureIndex index = testing::Example21Index();
+  std::vector<core::JoinPredicate> goals = {
+      core::JoinPredicate(), testing::Pred(index.omega(), {{0, 2}})};
+  auto stats = MeasureStrategyOverGoals(index, goals,
+                                        StrategyKind::kTopDown, 2, 1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->runs, 4u);
+  EXPECT_GT(stats->mean_interactions, 0.0);
+}
+
+TEST(MeasureStrategyOverGoalsTest, EmptyGoalSetRejected) {
+  core::SignatureIndex index = testing::Example21Index();
+  EXPECT_FALSE(
+      MeasureStrategyOverGoals(index, {}, StrategyKind::kTopDown, 1, 1).ok());
+}
+
+TEST(BestStrategyIndexTest, FewestInteractionsWins) {
+  std::vector<StrategyStats> stats(3);
+  stats[0].mean_interactions = 5;
+  stats[1].mean_interactions = 3;
+  stats[2].mean_interactions = 4;
+  EXPECT_EQ(BestStrategyIndex(stats), 1u);
+}
+
+TEST(BestStrategyIndexTest, TimeBreaksTies) {
+  std::vector<StrategyStats> stats(2);
+  stats[0].mean_interactions = 3;
+  stats[0].mean_seconds = 0.9;
+  stats[1].mean_interactions = 3;
+  stats[1].mean_seconds = 0.1;
+  EXPECT_EQ(BestStrategyIndex(stats), 1u);
+}
+
+TEST(SampleGoalsBySizeTest, Example21GroupsMatchLattice) {
+  core::SignatureIndex index = testing::Example21Index();
+  auto by_size = SampleGoalsBySize(index, /*max_per_size=*/0, 1);
+  ASSERT_TRUE(by_size.ok());
+  // 22 non-nullable predicates: 1 + 6 + 12 + 3 by size (the down-closure
+  // of the 12 signatures).
+  EXPECT_EQ((*by_size)[0].size(), 1u);
+  EXPECT_EQ((*by_size)[1].size(), 6u);
+  EXPECT_EQ((*by_size)[2].size(), 12u);
+  EXPECT_EQ((*by_size)[3].size(), 3u);
+}
+
+TEST(SampleGoalsBySizeTest, CapAppliesPerGroup) {
+  core::SignatureIndex index = testing::Example21Index();
+  auto by_size = SampleGoalsBySize(index, /*max_per_size=*/2, 1);
+  ASSERT_TRUE(by_size.ok());
+  for (const auto& [size, goals] : *by_size) {
+    EXPECT_LE(goals.size(), 2u);
+    for (const auto& goal : goals) {
+      EXPECT_EQ(goal.Count(), size);
+      EXPECT_TRUE(index.IsNonNullable(goal));
+    }
+  }
+}
+
+TEST(SampleGoalsBySizeTest, DeterministicInSeed) {
+  core::SignatureIndex index = testing::Example21Index();
+  auto a = SampleGoalsBySize(index, 2, 5);
+  auto b = SampleGoalsBySize(index, 2, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)[2], (*b)[2]);
+}
+
+TEST(MeasureStrategyTest, PaperStrategiesAllSolveExample21MidGoal) {
+  core::SignatureIndex index = testing::Example21Index();
+  core::JoinPredicate goal = testing::Pred(index.omega(), {{0, 0}, {1, 2}});
+  for (StrategyKind kind : core::PaperStrategies()) {
+    auto stats = MeasureStrategy(index, goal, kind, 2, 11);
+    ASSERT_TRUE(stats.ok()) << core::StrategyKindName(kind);
+    EXPECT_GE(stats->mean_interactions, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace jinfer

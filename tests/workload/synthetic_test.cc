@@ -1,0 +1,89 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/signature_index.h"
+
+namespace jinfer {
+namespace workload {
+namespace {
+
+TEST(SyntheticConfigTest, ToStringMatchesPaperNotation) {
+  SyntheticConfig config{3, 4, 50, 100};
+  EXPECT_EQ(config.ToString(), "(3,4,50,100)");
+}
+
+TEST(SyntheticConfigTest, PaperConfigsAreTheSixFromTable1) {
+  auto configs = PaperSyntheticConfigs();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs[0].ToString(), "(3,3,100,100)");
+  EXPECT_EQ(configs[1].ToString(), "(3,3,50,100)");
+  EXPECT_EQ(configs[2].ToString(), "(3,4,50,100)");
+  EXPECT_EQ(configs[3].ToString(), "(2,5,50,100)");
+  EXPECT_EQ(configs[4].ToString(), "(2,4,50,50)");
+  EXPECT_EQ(configs[5].ToString(), "(2,4,50,100)");
+}
+
+TEST(SyntheticGeneratorTest, ShapeMatchesConfig) {
+  SyntheticConfig config{3, 4, 25, 10};
+  auto inst = GenerateSynthetic(config, 1);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->r.num_attributes(), 3u);
+  EXPECT_EQ(inst->p.num_attributes(), 4u);
+  EXPECT_EQ(inst->r.num_rows(), 25u);
+  EXPECT_EQ(inst->p.num_rows(), 25u);
+  EXPECT_EQ(inst->r.schema().attribute_names()[0], "A1");
+  EXPECT_EQ(inst->p.schema().attribute_names()[3], "B4");
+}
+
+TEST(SyntheticGeneratorTest, ValuesWithinDomain) {
+  SyntheticConfig config{2, 2, 40, 7};
+  auto inst = GenerateSynthetic(config, 3);
+  ASSERT_TRUE(inst.ok());
+  for (const auto& rel : {inst->r, inst->p}) {
+    for (const auto& row : rel.rows()) {
+      for (const auto& v : row) {
+        ASSERT_TRUE(v.is_int());
+        EXPECT_GE(v.AsInt(), 0);
+        EXPECT_LT(v.AsInt(), 7);
+      }
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, DeterministicInSeed) {
+  SyntheticConfig config{3, 3, 20, 50};
+  auto a = GenerateSynthetic(config, 42);
+  auto b = GenerateSynthetic(config, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->r.rows(), b->r.rows());
+  EXPECT_EQ(a->p.rows(), b->p.rows());
+}
+
+TEST(SyntheticGeneratorTest, DifferentSeedsDiffer) {
+  SyntheticConfig config{3, 3, 20, 50};
+  auto a = GenerateSynthetic(config, 1);
+  auto b = GenerateSynthetic(config, 2);
+  EXPECT_NE(a->r.rows(), b->r.rows());
+}
+
+TEST(SyntheticGeneratorTest, InvalidConfigsRejected) {
+  EXPECT_FALSE(GenerateSynthetic({0, 3, 10, 10}, 1).ok());
+  EXPECT_FALSE(GenerateSynthetic({3, 0, 10, 10}, 1).ok());
+  EXPECT_FALSE(GenerateSynthetic({3, 3, 0, 10}, 1).ok());
+  EXPECT_FALSE(GenerateSynthetic({3, 3, 10, 0}, 1).ok());
+}
+
+TEST(SyntheticGeneratorTest, IndexableByCore) {
+  auto inst = GenerateSynthetic({3, 3, 50, 100}, 7);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_tuples(), 2500u);
+  EXPECT_GT(index->num_classes(), 1u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace jinfer

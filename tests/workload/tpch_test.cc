@@ -1,0 +1,189 @@
+#include "workload/tpch.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/signature_index.h"
+
+namespace jinfer {
+namespace workload {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = GenerateTpch(MiniScaleA(), 2024);
+    JINFER_CHECK(db.ok(), "generation failed");
+    db_ = new TpchDatabase(std::move(db).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static TpchDatabase* db_;
+};
+
+TpchDatabase* TpchTest::db_ = nullptr;
+
+TEST_F(TpchTest, RowCountsMatchScale) {
+  TpchScale scale = MiniScaleA();
+  EXPECT_EQ(db_->part.num_rows(), scale.parts);
+  EXPECT_EQ(db_->supplier.num_rows(), scale.suppliers);
+  EXPECT_EQ(db_->partsupp.num_rows(),
+            scale.parts * scale.partsupp_per_part);
+  EXPECT_EQ(db_->customer.num_rows(), scale.customers);
+  EXPECT_EQ(db_->orders.num_rows(), scale.orders);
+  EXPECT_GE(db_->lineitem.num_rows(), scale.orders);  // ≥1 line per order
+  EXPECT_LE(db_->lineitem.num_rows(),
+            scale.orders * scale.max_lineitems_per_order);
+}
+
+TEST_F(TpchTest, SchemasHaveTpchArities) {
+  EXPECT_EQ(db_->part.num_attributes(), 9u);
+  EXPECT_EQ(db_->supplier.num_attributes(), 7u);
+  EXPECT_EQ(db_->partsupp.num_attributes(), 5u);
+  EXPECT_EQ(db_->customer.num_attributes(), 8u);
+  EXPECT_EQ(db_->orders.num_attributes(), 9u);
+  EXPECT_EQ(db_->lineitem.num_attributes(), 16u);
+}
+
+TEST_F(TpchTest, PrimaryKeysAreUniqueAndDense) {
+  std::set<int64_t> keys;
+  for (const auto& row : db_->part.rows()) keys.insert(row[0].AsInt());
+  EXPECT_EQ(keys.size(), db_->part.num_rows());
+  EXPECT_EQ(*keys.begin(), 1);
+  EXPECT_EQ(*keys.rbegin(), static_cast<int64_t>(db_->part.num_rows()));
+}
+
+TEST_F(TpchTest, PartsuppForeignKeysResolve) {
+  for (const auto& row : db_->partsupp.rows()) {
+    int64_t partkey = row[0].AsInt();
+    int64_t suppkey = row[1].AsInt();
+    EXPECT_GE(partkey, 1);
+    EXPECT_LE(partkey, static_cast<int64_t>(db_->part.num_rows()));
+    EXPECT_GE(suppkey, 1);
+    EXPECT_LE(suppkey, static_cast<int64_t>(db_->supplier.num_rows()));
+  }
+}
+
+TEST_F(TpchTest, PartsuppPairsAreDistinct) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& row : db_->partsupp.rows()) {
+    pairs.insert({row[0].AsInt(), row[1].AsInt()});
+  }
+  EXPECT_EQ(pairs.size(), db_->partsupp.num_rows());
+}
+
+TEST_F(TpchTest, OrdersForeignKeysResolve) {
+  for (const auto& row : db_->orders.rows()) {
+    int64_t custkey = row[1].AsInt();
+    EXPECT_GE(custkey, 1);
+    EXPECT_LE(custkey, static_cast<int64_t>(db_->customer.num_rows()));
+  }
+}
+
+TEST_F(TpchTest, LineitemForeignKeyChainResolvesThroughPartsupp) {
+  std::set<std::pair<int64_t, int64_t>> offerings;
+  for (const auto& row : db_->partsupp.rows()) {
+    offerings.insert({row[0].AsInt(), row[1].AsInt()});
+  }
+  for (const auto& row : db_->lineitem.rows()) {
+    int64_t orderkey = row[0].AsInt();
+    EXPECT_GE(orderkey, 1);
+    EXPECT_LE(orderkey, static_cast<int64_t>(db_->orders.num_rows()));
+    EXPECT_TRUE(offerings.contains({row[1].AsInt(), row[2].AsInt()}))
+        << "lineitem (partkey,suppkey) not an actual offering";
+  }
+}
+
+TEST_F(TpchTest, ValueDomainsOverlapAcrossRoles) {
+  // The §5.1 ambiguity: p_size values must also occur as l_quantity values.
+  std::set<int64_t> sizes, quantities;
+  for (const auto& row : db_->part.rows()) sizes.insert(row[5].AsInt());
+  for (const auto& row : db_->lineitem.rows()) {
+    quantities.insert(row[4].AsInt());
+  }
+  std::vector<int64_t> overlap;
+  std::set_intersection(sizes.begin(), sizes.end(), quantities.begin(),
+                        quantities.end(), std::back_inserter(overlap));
+  EXPECT_GT(overlap.size(), 10u);
+}
+
+TEST_F(TpchTest, StatusFlagVocabulariesOverlap) {
+  // o_orderstatus shares "F"/"O" with l_linestatus.
+  std::set<std::string> order_statuses, line_statuses;
+  for (const auto& row : db_->orders.rows()) {
+    order_statuses.insert(row[2].AsString());
+  }
+  for (const auto& row : db_->lineitem.rows()) {
+    line_statuses.insert(row[9].AsString());
+  }
+  EXPECT_TRUE(order_statuses.contains("F"));
+  EXPECT_TRUE(line_statuses.contains("F"));
+  EXPECT_TRUE(order_statuses.contains("O"));
+  EXPECT_TRUE(line_statuses.contains("O"));
+}
+
+TEST_F(TpchTest, DatesShareTheYyyymmddDomain) {
+  for (const auto& row : db_->orders.rows()) {
+    int64_t date = row[4].AsInt();
+    EXPECT_GE(date, 19920101);
+    EXPECT_LE(date, 19991231);
+  }
+  for (const auto& row : db_->lineitem.rows()) {
+    EXPECT_GE(row[10].AsInt(), 19920101);  // l_shipdate
+  }
+}
+
+TEST_F(TpchTest, DeterministicInSeed) {
+  auto a = GenerateTpch(MiniScaleA(), 7);
+  auto b = GenerateTpch(MiniScaleA(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->lineitem.rows(), b->lineitem.rows());
+  auto c = GenerateTpch(MiniScaleA(), 8);
+  EXPECT_NE(a->lineitem.rows(), c->lineitem.rows());
+}
+
+TEST_F(TpchTest, PaperJoinsAreWellFormedAndNonNullable) {
+  auto joins = PaperTpchJoins(*db_);
+  ASSERT_EQ(joins.size(), 5u);
+  for (const auto& join : joins) {
+    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    ASSERT_TRUE(index.ok()) << join.description;
+    std::vector<std::pair<std::string, std::string>> names(
+        join.equalities.begin(), join.equalities.end());
+    auto goal = index->omega().PredicateFromNames(names);
+    ASSERT_TRUE(goal.ok()) << join.description;
+    EXPECT_EQ(goal->Count(), join.number == 5 ? 2u : 1u);
+    EXPECT_TRUE(index->IsNonNullable(*goal)) << join.description;
+  }
+}
+
+TEST_F(TpchTest, CartesianProductOrderingMatchesPaper) {
+  // |Join1| = |Join2| < |Join3| < |Join5| < |Join4| (Table 1 shape).
+  auto joins = PaperTpchJoins(*db_);
+  auto size = [&](int i) {
+    return static_cast<uint64_t>(joins[i].r->num_rows()) *
+           joins[i].p->num_rows();
+  };
+  EXPECT_EQ(size(0), size(1));
+  EXPECT_LT(size(1), size(2));
+  EXPECT_LT(size(2), size(4));
+  EXPECT_LT(size(4), size(3));
+}
+
+TEST(TpchScaleTest, InvalidScaleRejected) {
+  TpchScale zero;
+  EXPECT_FALSE(GenerateTpch(zero, 1).ok());
+}
+
+TEST(TpchScaleTest, ScaleBIsLarger) {
+  EXPECT_GT(MiniScaleB().parts, MiniScaleA().parts);
+  EXPECT_GT(MiniScaleB().orders, MiniScaleA().orders);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace jinfer
