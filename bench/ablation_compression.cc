@@ -30,7 +30,7 @@ void RunOne(const workload::SyntheticConfig& config, uint64_t seed) {
   bench::PrintRule(58);
 
   for (bool compress : {true, false}) {
-    core::SignatureIndexOptions options;
+    core::SignatureIndexOptions options = bench::BenchIndexOptions();
     options.compress = compress;
     util::Stopwatch build_watch;
     auto index = core::SignatureIndex::Build(inst->r, inst->p, options);

@@ -17,7 +17,7 @@ namespace {
 void RunConfig(const workload::SyntheticConfig& config, uint64_t seed) {
   auto inst = workload::GenerateSynthetic(config, seed);
   JINFER_CHECK(inst.ok(), "generation");
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, bench::BenchIndexOptions());
   JINFER_CHECK(index.ok(), "index");
 
   size_t goals_per_size = bench::FullMode() ? 4 : 2;
@@ -63,7 +63,7 @@ void OptimalFloor(uint64_t seed) {
   workload::SyntheticConfig config{2, 2, 20, 8};
   auto inst = workload::GenerateSynthetic(config, seed);
   JINFER_CHECK(inst.ok(), "generation");
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, bench::BenchIndexOptions());
   JINFER_CHECK(index.ok(), "index");
   auto by_size = workload::SampleGoalsBySize(*index, 2, seed);
   JINFER_CHECK(by_size.ok(), "goals");

@@ -17,7 +17,7 @@ namespace {
 void RunConfig(const workload::SyntheticConfig& config, uint64_t seed) {
   auto inst = workload::GenerateSynthetic(config, seed);
   JINFER_CHECK(inst.ok(), "generation");
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, bench::BenchIndexOptions());
   JINFER_CHECK(index.ok(), "index");
 
   size_t goals_per_size = bench::FullMode() ? 6 : 3;

@@ -8,6 +8,8 @@
 // Knobs (environment variables):
 //   JINFER_BENCH_FULL=1      heavier settings (more goals, more RND runs)
 //   JINFER_BENCH_SEED=<n>    base seed (default 20140324 — EDBT'14 day 1)
+//   JINFER_BENCH_THREADS=<n> signature-index build threads (default 1;
+//                            0 = one per hardware thread)
 
 #ifndef JINFER_BENCH_BENCH_COMMON_H_
 #define JINFER_BENCH_BENCH_COMMON_H_
@@ -38,6 +40,21 @@ inline uint64_t BaseSeed() {
   const char* v = std::getenv("JINFER_BENCH_SEED");
   if (v == nullptr) return 20140324;
   return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline int BenchThreads() {
+  const char* v = std::getenv("JINFER_BENCH_THREADS");
+  if (v == nullptr) return 1;
+  return static_cast<int>(std::strtol(v, nullptr, 10));
+}
+
+/// Index options every bench should build with: compression on, thread
+/// count from JINFER_BENCH_THREADS. The built index is identical for every
+/// thread count, so measured interaction counts never depend on the knob.
+inline core::SignatureIndexOptions BenchIndexOptions() {
+  core::SignatureIndexOptions options;
+  options.threads = BenchThreads();
+  return options;
 }
 
 /// Runs per strategy: deterministic strategies need one; RND is averaged.
@@ -129,7 +146,8 @@ inline std::vector<GridRow> SyntheticBySizeGrid(
   for (size_t i = 0; i < sweep.instances; ++i) {
     auto inst = workload::GenerateSynthetic(config, seed + i * 101);
     JINFER_CHECK(inst.ok(), "generation");
-    auto index = core::SignatureIndex::Build(inst->r, inst->p);
+    auto index = core::SignatureIndex::Build(inst->r, inst->p,
+                                             BenchIndexOptions());
     JINFER_CHECK(index.ok(), "index");
     total_tuples += index->num_tuples();
     total_classes += index->num_classes();

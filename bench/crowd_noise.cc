@@ -60,7 +60,7 @@ int main() {
       "(cost = votes, accuracy = recovery of an instance-equivalent join)");
   auto inst = workload::GenerateSynthetic({3, 3, 50, 60}, bench::BaseSeed());
   JINFER_CHECK(inst.ok(), "generation");
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, bench::BenchIndexOptions());
   JINFER_CHECK(index.ok(), "index");
 
   core::JoinPredicate goal;

@@ -21,7 +21,7 @@ void RunScale(const workload::TpchScale& scale, uint64_t seed) {
 
   std::vector<bench::GridRow> rows;
   for (const auto& join : workload::PaperTpchJoins(*db)) {
-    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    auto index = core::SignatureIndex::Build(*join.r, *join.p, bench::BenchIndexOptions());
     JINFER_CHECK(index.ok(), "index: %s",
                  index.status().ToString().c_str());
     auto goal = index->omega().PredicateFromNames(join.equalities);

@@ -1,6 +1,12 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the inference
-// core: signature-index construction, certainty classification, entropy,
-// strategy selection, consistency checking, and the DPLL solver.
+// core: signature-index construction (serial and thread-scaled), certainty
+// classification (full and incremental apply/undo), entropy, strategy
+// selection, consistency checking, and the DPLL solver.
+//
+// CI emits a machine-readable perf trajectory with:
+//   micro_core --benchmark_filter='BM_SignatureIndexBuild|BM_Reclassify|\
+//     BM_ApplyUndo|BM_EntropyK' \
+//     --benchmark_format=json --benchmark_out=BENCH_core.json
 
 #include <benchmark/benchmark.h>
 
@@ -41,6 +47,31 @@ void BM_SignatureIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureIndexBuild)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
+// Thread scaling of the parallel build on a 1000-row-per-relation
+// synthetic instance (|D| = 1k × 1k = 10⁶ tuples, 100-value domain;
+// Arg = thread count). The built index is identical for every thread
+// count; wall time is the relevant measure for a fork-join pool.
+void BM_SignatureIndexBuild1k(benchmark::State& state) {
+  auto inst = MakeInstance(1000, 100);
+  core::SignatureIndexOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    auto index = core::SignatureIndex::Build(inst.r, inst.p, options);
+    JINFER_CHECK(index.ok(), "build");
+    tuples = index->num_tuples();
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_SignatureIndexBuild1k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 void BM_SignatureIndexBuildTpchJoin4(benchmark::State& state) {
   auto db = workload::GenerateTpch(workload::MiniScaleA(), 7);
   JINFER_CHECK(db.ok(), "tpch");
@@ -67,6 +98,27 @@ void BM_Reclassify(benchmark::State& state) {
                           static_cast<int64_t>(index->num_classes()));
 }
 BENCHMARK(BM_Reclassify)->Arg(50)->Arg(200);
+
+// Per-label cost on the lookahead hot path: one simulated label applied and
+// reverted in place via the delta stack — no state copy, no from-scratch
+// reclassification.
+void BM_ApplyUndo(benchmark::State& state) {
+  auto inst = MakeInstance(static_cast<size_t>(state.range(0)), 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState st(*index);
+  auto informative = st.InformativeClasses();
+  size_t i = 0;
+  for (auto _ : state) {
+    core::ClassId c = informative[i++ % informative.size()];
+    st.ApplyLabelScoped(c, core::Label::kNegative);
+    st.UndoLabel();
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(index->num_classes()));
+}
+BENCHMARK(BM_ApplyUndo)->Arg(50)->Arg(200);
 
 void BM_CountNewlyUninformative(benchmark::State& state) {
   auto inst = MakeInstance(100, 100);
@@ -95,6 +147,21 @@ void BM_EntropyK(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EntropyK)->Arg(1)->Arg(2);
+
+// entropy^2 on a 1k×1k instance — the configuration the lookahead
+// strategies hit on every interaction of the fig7-scale runs.
+void BM_EntropyK1k(benchmark::State& state) {
+  auto inst = MakeInstance(1000, 100);
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  JINFER_CHECK(index.ok(), "build");
+  core::InferenceState st(*index);
+  core::ClassId c = st.InformativeClasses().front();
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EntropyKOf(st, c, depth));
+  }
+}
+BENCHMARK(BM_EntropyK1k)->Arg(1)->Arg(2);
 
 void BM_StrategySelection(benchmark::State& state) {
   auto inst = MakeInstance(50, 100);

@@ -98,7 +98,7 @@ void EquijoinContrast() {
     }
     auto r = rel::Relation::Make("R", {"A1", "A2", "A3"}, std::move(r_rows));
     auto p = rel::Relation::Make("P", {"B1", "B2", "B3"}, std::move(p_rows));
-    auto index = core::SignatureIndex::Build(*r, *p);
+    auto index = core::SignatureIndex::Build(*r, *p, bench::BenchIndexOptions());
     JINFER_CHECK(index.ok(), "index");
     // Label everything per a random goal, then check consistency.
     core::JoinPredicate goal;

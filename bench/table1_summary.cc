@@ -72,7 +72,7 @@ void TpchBlock(const workload::TpchScale& scale, uint64_t seed,
   auto db = workload::GenerateTpch(scale, seed);
   JINFER_CHECK(db.ok(), "tpch: %s", db.status().ToString().c_str());
   for (const auto& join : workload::PaperTpchJoins(*db)) {
-    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    auto index = core::SignatureIndex::Build(*join.r, *join.p, bench::BenchIndexOptions());
     JINFER_CHECK(index.ok(), "index");
     auto goal = index->omega().PredicateFromNames(join.equalities);
     JINFER_CHECK(goal.ok(), "goal");
@@ -96,7 +96,7 @@ void SyntheticBlock(const workload::SyntheticConfig& config, uint64_t seed,
   // them once from a representative instance.
   auto inst = workload::GenerateSynthetic(config, seed);
   JINFER_CHECK(inst.ok(), "synthetic");
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, bench::BenchIndexOptions());
   JINFER_CHECK(index.ok(), "index");
 
   for (const auto& grid_row : grid) {

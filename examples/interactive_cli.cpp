@@ -21,6 +21,11 @@
 
 using namespace jinfer;
 
+// Build the signature index with one worker per hardware thread; the
+// resulting index is bit-identical to a serial build.
+constexpr core::SignatureIndexOptions kIndexOptions{.compress = true,
+                                                    .threads = 0};
+
 namespace {
 
 rel::Relation DemoFlight() {
@@ -87,7 +92,7 @@ int main(int argc, char** argv) {
                  strategy_name.c_str());
     return 1;
   }
-  auto index = core::SignatureIndex::Build(r, p);
+  auto index = core::SignatureIndex::Build(r, p, kIndexOptions);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;

@@ -11,6 +11,11 @@
 
 using namespace jinfer;
 
+// Build the signature index with one worker per hardware thread; the
+// resulting index is bit-identical to a serial build.
+constexpr core::SignatureIndexOptions kIndexOptions{.compress = true,
+                                                    .threads = 0};
+
 int main() {
   auto db = workload::GenerateTpch(workload::MiniScaleA(), /*seed=*/31415);
   if (!db.ok()) {
@@ -26,8 +31,8 @@ int main() {
               db->lineitem.num_rows());
 
   // The hidden goals are the FK equalities of each edge.
-  auto index01 = core::SignatureIndex::Build(db->customer, db->orders);
-  auto index12 = core::SignatureIndex::Build(db->orders, db->lineitem);
+  auto index01 = core::SignatureIndex::Build(db->customer, db->orders, kIndexOptions);
+  auto index12 = core::SignatureIndex::Build(db->orders, db->lineitem, kIndexOptions);
   if (!index01.ok() || !index12.ok()) {
     std::fprintf(stderr, "index construction failed\n");
     return 1;

@@ -16,6 +16,11 @@
 
 using namespace jinfer;
 
+// Build the signature index with one worker per hardware thread; the
+// resulting index is bit-identical to a serial build.
+constexpr core::SignatureIndexOptions kIndexOptions{.compress = true,
+                                                    .threads = 0};
+
 int main() {
   // --- 1. The two data sources (Figure 1) --------------------------------
   auto flight = rel::Relation::Make("Flight", {"From", "To", "Airline"},
@@ -34,7 +39,7 @@ int main() {
               hotel->ToString().c_str());
 
   // --- 2. Index the Cartesian product ------------------------------------
-  auto index = core::SignatureIndex::Build(*flight, *hotel);
+  auto index = core::SignatureIndex::Build(*flight, *hotel, kIndexOptions);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;

@@ -17,6 +17,11 @@
 
 using namespace jinfer;
 
+// Build the signature index with one worker per hardware thread; the
+// resulting index is bit-identical to a serial build.
+constexpr core::SignatureIndexOptions kIndexOptions{.compress = true,
+                                                    .threads = 0};
+
 int main() {
   // Two "triple stores" R(S,P,O) and P(S,P,O) — numerically encoded IRIs.
   workload::SyntheticConfig config{3, 3, 60, 40};
@@ -25,7 +30,7 @@ int main() {
     std::fprintf(stderr, "%s\n", inst.status().ToString().c_str());
     return 1;
   }
-  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  auto index = core::SignatureIndex::Build(inst->r, inst->p, kIndexOptions);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;

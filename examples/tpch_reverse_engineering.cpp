@@ -16,6 +16,11 @@
 
 using namespace jinfer;
 
+// Build the signature index with one worker per hardware thread; the
+// resulting index is bit-identical to a serial build.
+constexpr core::SignatureIndexOptions kIndexOptions{.compress = true,
+                                                    .threads = 0};
+
 int main() {
   workload::TpchScale scale = workload::MiniScaleA();
   std::printf("Generating TPC-H-style data (%zu parts, %zu suppliers, %zu "
@@ -28,7 +33,7 @@ int main() {
   }
 
   for (const auto& join : workload::PaperTpchJoins(*db)) {
-    auto index = core::SignatureIndex::Build(*join.r, *join.p);
+    auto index = core::SignatureIndex::Build(*join.r, *join.p, kIndexOptions);
     if (!index.ok()) {
       std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
       return 1;

@@ -59,46 +59,56 @@ Entropy SkylineMaxMin(const std::vector<Entropy>& entropies) {
 }
 
 Entropy EntropyOf(const InferenceState& state, ClassId cls) {
-  uint64_t up = state.CountNewlyUninformative(cls, Label::kPositive);
-  uint64_t un = state.CountNewlyUninformative(cls, Label::kNegative);
+  auto [up, un] = state.CountNewlyUninformativeBoth(cls);
   return Entropy::OfCounts(up, un);
 }
 
 namespace {
 
-/// Recursive entropy^k. `root_weight` is the informative tuple weight of the
-/// original state; `depth` is the number of labels already applied below the
-/// root. Leaf counts are |Uninf(S ∪ labels) \ Uninf(S)| minus the labeled
-/// tuples themselves, computed incrementally (no state copy at leaves).
-Entropy EntropyRec(uint64_t root_weight, const InferenceState& state,
-                   ClassId cls, int remaining, uint64_t depth) {
+/// Recursive entropy^k over a single mutable state. `root_weight` is the
+/// informative tuple weight of the original state; `depth` is the number of
+/// labels already applied below the root. Leaf counts are
+/// |Uninf(S ∪ labels) \ Uninf(S)| minus the labeled tuples themselves,
+/// computed incrementally (no state copy at leaves).
+///
+/// Inner nodes simulate each label with ApplyLabelScoped/UndoLabel instead
+/// of copying the state, and fold the children through a streaming
+/// lexicographic max — equivalent to SkylineMaxMin (max of the minima,
+/// ties to the larger max) without materializing the entropy vector. The
+/// state is restored exactly before returning, so iterating the informative
+/// list by index across recursive calls is safe.
+Entropy EntropyRec(uint64_t root_weight, InferenceState& state, ClassId cls,
+                   int remaining, uint64_t depth) {
   if (remaining == 1) {
     uint64_t removed_so_far = root_weight - state.InformativeTupleWeight();
-    uint64_t up = removed_so_far +
-                  state.CountNewlyUninformative(cls, Label::kPositive) - depth;
-    uint64_t un = removed_so_far +
-                  state.CountNewlyUninformative(cls, Label::kNegative) - depth;
+    auto [newly_pos, newly_neg] = state.CountNewlyUninformativeBoth(cls);
+    uint64_t up = removed_so_far + newly_pos - depth;
+    uint64_t un = removed_so_far + newly_neg - depth;
     return Entropy::OfCounts(up, un);
   }
 
   Entropy per_label[2];
   for (Label label : {Label::kPositive, Label::kNegative}) {
-    InferenceState next = state.WithLabel(cls, label);
-    std::vector<ClassId> informative = next.InformativeClasses();
+    state.ApplyLabelScoped(cls, label);
     Entropy e;
-    if (informative.empty()) {
+    if (state.NumInformativeClasses() == 0) {
       // Labeling this way ends the session: the best possible outcome
       // (Algorithm 5 lines 3-5).
       e = Entropy::Infinite();
     } else {
-      std::vector<Entropy> inner;
-      inner.reserve(informative.size());
-      for (ClassId c2 : informative) {
-        inner.push_back(
-            EntropyRec(root_weight, next, c2, remaining - 1, depth + 1));
+      bool first = true;
+      for (size_t i = 0; i < state.NumInformativeClasses(); ++i) {
+        ClassId c2 = state.InformativeClassAt(i);
+        Entropy inner =
+            EntropyRec(root_weight, state, c2, remaining - 1, depth + 1);
+        if (first || inner.min_u > e.min_u ||
+            (inner.min_u == e.min_u && inner.max_u > e.max_u)) {
+          e = inner;
+          first = false;
+        }
       }
-      e = SkylineMaxMin(inner);
     }
+    state.UndoLabel();
     per_label[label == Label::kPositive ? 0 : 1] = e;
   }
 
@@ -113,10 +123,16 @@ Entropy EntropyRec(uint64_t root_weight, const InferenceState& state,
 
 }  // namespace
 
-Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k) {
+Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k) {
   JINFER_CHECK(k >= 1, "entropy lookahead depth must be >= 1, got %d", k);
   JINFER_CHECK(state.IsInformative(cls), "class %u is not informative", cls);
   return EntropyRec(state.InformativeTupleWeight(), state, cls, k, 0);
+}
+
+Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k) {
+  if (k == 1) return EntropyOf(state, cls);  // Leaf math, no simulation.
+  InferenceState scratch = state;  // One copy per call, none per tree node.
+  return EntropyKOfInPlace(scratch, cls, k);
 }
 
 }  // namespace core

@@ -63,8 +63,16 @@ Entropy EntropyOf(const InferenceState& state, ClassId cls);
 
 /// entropy^k_S(t); k = 1 is EntropyOf, k = 2 is the paper's Algorithm 5.
 /// Counts at the leaves are taken relative to `state` and exclude the k
-/// labeled tuples, matching lines 8–9 of Algorithm 5.
+/// labeled tuples, matching lines 8–9 of Algorithm 5. Copies the state once
+/// per call (never per simulation-tree node).
 Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k);
+
+/// EntropyKOf on a caller-owned scratch state: the simulation tree is
+/// explored with ApplyLabelScoped/UndoLabel directly on `state`, which is
+/// restored exactly before returning. Lets a strategy evaluating many
+/// candidates reuse one scratch copy instead of copying per candidate —
+/// the lookahead hot path.
+Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k);
 
 }  // namespace core
 }  // namespace jinfer

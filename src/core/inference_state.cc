@@ -1,13 +1,46 @@
 #include "core/inference_state.h"
 
+#include <algorithm>
+
 namespace jinfer {
 namespace core {
+
+namespace {
+
+/// Lemma 3.4 against every witness, single-word path: true iff key ⊆ some
+/// negative signature word.
+inline bool CertainNegativeWord(uint64_t key,
+                                const std::vector<uint64_t>& negs) {
+  for (uint64_t neg : negs) {
+    if ((key & ~neg) == 0) return true;
+  }
+  return false;
+}
+
+/// Lemma 3.4 against every witness, prefix path.
+inline bool CertainNegativePrefix(const JoinPredicate& key,
+                                  const std::vector<JoinPredicate>& negs,
+                                  size_t words) {
+  for (const JoinPredicate& neg : negs) {
+    if (key.IsSubsetOfPrefix(neg, words)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 InferenceState::InferenceState(const SignatureIndex& index)
     : index_(&index),
       states_(index.num_classes(), TupleState::kInformative),
       labeled_(index.num_classes(), false),
-      pos_predicate_(index.omega().Full()) {
+      pos_predicate_(index.omega().Full()),
+      // keys_ backs only the multi-word path; the single-word path keeps
+      // its keys in the packed arrays instead, so don't carry (and copy)
+      // a dead vector there.
+      keys_(JoinPredicate::WordsFor(index.omega().size()) > 1
+                ? index.num_classes()
+                : 0),
+      active_words_(JoinPredicate::WordsFor(index.omega().size())) {
   Reclassify();
 }
 
@@ -38,23 +71,215 @@ util::Status InferenceState::ApplyLabel(ClassId cls, Label label) {
         index_->omega().Format(sig));
   }
 
-  sample_.push_back(ClassExample{cls, label});
-  labeled_[cls] = true;
-  if (label == Label::kPositive) {
-    pos_predicate_ &= sig;
-    has_positive_ = true;
-  } else {
-    negative_signatures_.push_back(sig);
-  }
-  Reclassify();
+  ApplyLabelIncremental(cls, label, /*record=*/false);
   return util::Status::OK();
 }
 
+void InferenceState::ApplyLabelScoped(ClassId cls, Label label) {
+  JINFER_CHECK(IsInformative(cls), "class %u is not informative", cls);
+  ApplyLabelIncremental(cls, label, /*record=*/true);
+}
+
+void InferenceState::ApplyLabelIncremental(ClassId cls, Label label,
+                                           bool record) {
+  const SignatureClass& labeled_class = index_->cls(cls);
+  const JoinPredicate& sig_t = labeled_class.signature;
+
+  if (record) {
+    delta_frames_.push_back(DeltaFrame{delta_transitions_.size(), cls, label,
+                                       has_positive_, pos_predicate_,
+                                       informative_weight_});
+  }
+  sample_.push_back(ClassExample{cls, label});
+  labeled_[cls] = true;
+
+  const bool was_informative = states_[cls] == TupleState::kInformative;
+  if (record) delta_transitions_.emplace_back(cls, states_[cls]);
+  states_[cls] = TupleState::kLabeled;
+  if (was_informative) informative_weight_ -= labeled_class.count;
+
+  // Certainty is monotone under a consistent sample (T(S+) and the keys
+  // only shrink), so the sweeps below visit informative classes only and
+  // compact the survivors in place, preserving the sorted order.
+  if (active_words_ == 1) {
+    const uint64_t sig0 = sig_t.word(0);
+    size_t write = 0;
+    if (label == Label::kPositive) {
+      pos_predicate_ &= sig_t;
+      has_positive_ = true;
+      const uint64_t new_pos0 = pos_predicate_.word(0);
+      for (size_t i = 0; i < informative_.size(); ++i) {
+        ClassId c = informative_[i];
+        if (c == cls) continue;
+        uint64_t key = inf_keys_[i] & sig0;
+        TupleState next = TupleState::kInformative;
+        if (key == new_pos0) {
+          next = TupleState::kCertainPositive;  // Lemma 3.3.
+        } else if (CertainNegativeWord(key, neg_words_)) {
+          next = TupleState::kCertainNegative;  // Lemma 3.4, every witness.
+        }
+        if (next == TupleState::kInformative) {
+          informative_[write] = c;
+          inf_keys_[write] = key;
+          inf_counts_[write] = inf_counts_[i];
+          ++write;
+        } else {
+          if (record) delta_transitions_.emplace_back(c, states_[c]);
+          states_[c] = next;
+          informative_weight_ -= inf_counts_[i];
+        }
+      }
+    } else {
+      negative_signatures_.push_back(sig_t);
+      neg_words_.push_back(sig0);
+      for (size_t i = 0; i < informative_.size(); ++i) {
+        ClassId c = informative_[i];
+        if (c == cls) continue;
+        if ((inf_keys_[i] & ~sig0) == 0) {  // Lemma 3.4, new witness only.
+          if (record) delta_transitions_.emplace_back(c, states_[c]);
+          states_[c] = TupleState::kCertainNegative;
+          informative_weight_ -= inf_counts_[i];
+        } else {
+          informative_[write] = c;
+          inf_keys_[write] = inf_keys_[i];
+          inf_counts_[write] = inf_counts_[i];
+          ++write;
+        }
+      }
+    }
+    informative_.resize(write);
+    inf_keys_.resize(write);
+    inf_counts_.resize(write);
+    return;
+  }
+
+  size_t write = 0;
+  if (label == Label::kPositive) {
+    JoinPredicate new_pos = pos_predicate_ & sig_t;
+    pos_predicate_ = new_pos;
+    has_positive_ = true;
+    for (size_t i = 0; i < informative_.size(); ++i) {
+      ClassId c = informative_[i];
+      if (c == cls) continue;
+      // keys_[c] ∩ T(t) = new T(S+) ∩ T(c): refresh the cache in place.
+      keys_[c].AndPrefixInPlace(sig_t, active_words_);
+      const JoinPredicate& key = keys_[c];
+      TupleState next = TupleState::kInformative;
+      if (key.EqualsPrefix(new_pos, active_words_)) {
+        next = TupleState::kCertainPositive;  // Lemma 3.3: T(S+) ⊆ T(c).
+      } else if (CertainNegativePrefix(key, negative_signatures_,
+                                       active_words_)) {
+        // Lemma 3.4 against every witness: shrinking T(S+) weakens its
+        // premise, so old witnesses can newly apply.
+        next = TupleState::kCertainNegative;
+      }
+      if (next == TupleState::kInformative) {
+        informative_[write++] = c;
+      } else {
+        if (record) delta_transitions_.emplace_back(c, states_[c]);
+        states_[c] = next;
+        informative_weight_ -= index_->cls(c).count;
+      }
+    }
+  } else {
+    negative_signatures_.push_back(sig_t);
+    for (size_t i = 0; i < informative_.size(); ++i) {
+      ClassId c = informative_[i];
+      if (c == cls) continue;
+      // T(S+) is unchanged; only the new witness T(t) can newly certify a
+      // still-informative class negative (Lemma 3.4 — the old witnesses
+      // already failed for it).
+      if (keys_[c].IsSubsetOfPrefix(sig_t, active_words_)) {
+        if (record) delta_transitions_.emplace_back(c, states_[c]);
+        states_[c] = TupleState::kCertainNegative;
+        informative_weight_ -= index_->cls(c).count;
+      } else {
+        informative_[write++] = c;
+      }
+    }
+  }
+  informative_.resize(write);
+}
+
+void InferenceState::UndoLabel() {
+  JINFER_CHECK(!delta_frames_.empty(), "UndoLabel without a scoped label");
+  const DeltaFrame frame = delta_frames_.back();
+  delta_frames_.pop_back();
+
+  JINFER_CHECK(!sample_.empty() && sample_.back().cls == frame.cls &&
+                   sample_.back().label == frame.label,
+               "delta stack out of sync with the sample");
+  sample_.pop_back();
+  labeled_[frame.cls] = false;
+  const bool undo_positive = frame.label == Label::kPositive;
+  if (undo_positive) {
+    pos_predicate_ = frame.old_pos;
+    has_positive_ = frame.old_has_positive;
+  } else {
+    negative_signatures_.pop_back();
+    if (active_words_ == 1) neg_words_.pop_back();
+  }
+  informative_weight_ = frame.old_weight;
+
+  // Restore the recorded transitions and collect the classes that re-enter
+  // the informative pool (ascending except possibly the labeled class,
+  // which was recorded first).
+  undo_scratch_.clear();
+  for (size_t i = frame.transitions_begin; i < delta_transitions_.size();
+       ++i) {
+    const auto& [c, old_state] = delta_transitions_[i];
+    states_[c] = old_state;
+    if (old_state == TupleState::kInformative) undo_scratch_.push_back(c);
+  }
+  delta_transitions_.resize(frame.transitions_begin);
+  std::sort(undo_scratch_.begin(), undo_scratch_.end());
+
+  // Merge the restored classes back into the sorted informative list,
+  // backwards since the destination overlaps the survivor prefix.
+  size_t survivors = informative_.size();
+  informative_.resize(survivors + undo_scratch_.size());
+  size_t a = survivors;
+  size_t b = undo_scratch_.size();
+  size_t out = informative_.size();
+  while (b > 0) {
+    if (a > 0 && informative_[a - 1] > undo_scratch_[b - 1]) {
+      informative_[--out] = informative_[--a];
+    } else {
+      informative_[--out] = undo_scratch_[--b];
+    }
+  }
+
+  // Refresh the key cache: a positive undo re-widens T(S+), so every
+  // informative class's key must be recomputed against the restored
+  // predicate. A negative undo never touches the keys, but on the packed
+  // path the merge shifted positions, so the arrays are refilled either way.
+  if (active_words_ == 1) {
+    RebuildPackedInformative();
+  } else if (undo_positive) {
+    for (ClassId c : informative_) {
+      keys_[c] = pos_predicate_ & index_->cls(c).signature;
+    }
+  }
+}
+
+void InferenceState::RebuildPackedInformative() {
+  if (active_words_ != 1) return;
+  inf_keys_.resize(informative_.size());
+  inf_counts_.resize(informative_.size());
+  const uint64_t pos0 = pos_predicate_.word(0);
+  for (size_t i = 0; i < informative_.size(); ++i) {
+    const SignatureClass& sc = index_->cls(informative_[i]);
+    inf_keys_[i] = pos0 & sc.signature.word(0);
+    inf_counts_[i] = sc.count;
+  }
+}
+
 void InferenceState::Reclassify() {
-  num_informative_classes_ = 0;
   informative_weight_ = 0;
+  informative_.clear();
   for (ClassId c = 0; c < index_->num_classes(); ++c) {
     const SignatureClass& sc = index_->cls(c);
+    if (active_words_ > 1) keys_[c] = pos_predicate_ & sc.signature;
     TupleState st;
     if (labeled_[c]) {
       st = TupleState::kLabeled;
@@ -64,20 +289,18 @@ void InferenceState::Reclassify() {
       st = TupleState::kCertainNegative;
     } else {
       st = TupleState::kInformative;
-      ++num_informative_classes_;
+      informative_.push_back(c);
       informative_weight_ += sc.count;
     }
     states_[c] = st;
   }
-}
-
-std::vector<ClassId> InferenceState::InformativeClasses() const {
-  std::vector<ClassId> out;
-  out.reserve(num_informative_classes_);
-  for (ClassId c = 0; c < index_->num_classes(); ++c) {
-    if (states_[c] == TupleState::kInformative) out.push_back(c);
+  if (active_words_ == 1) {
+    neg_words_.clear();
+    for (const JoinPredicate& neg : negative_signatures_) {
+      neg_words_.push_back(neg.word(0));
+    }
+    RebuildPackedInformative();
   }
-  return out;
 }
 
 uint64_t InferenceState::CountNewlyUninformative(ClassId cls,
@@ -88,39 +311,93 @@ uint64_t InferenceState::CountNewlyUninformative(ClassId cls,
   // uninformative; the labeled tuple itself is excluded (Figure 5).
   uint64_t newly = labeled_class.count - 1;
 
+  if (active_words_ == 1) {
+    const uint64_t sig0 = labeled_class.signature.word(0);
+    if (label == Label::kPositive) {
+      const uint64_t pos2 = pos_predicate_.word(0) & sig0;
+      for (size_t i = 0; i < informative_.size(); ++i) {
+        if (informative_[i] == cls) continue;
+        uint64_t key = inf_keys_[i] & sig0;
+        if (key == pos2 ||  // P′ ⊆ T(c), else Lemma 3.4.
+            CertainNegativeWord(key, neg_words_)) {
+          newly += inf_counts_[i];
+        }
+      }
+    } else {
+      for (size_t i = 0; i < informative_.size(); ++i) {
+        if (informative_[i] == cls) continue;
+        if ((inf_keys_[i] & ~sig0) == 0) newly += inf_counts_[i];
+      }
+    }
+    return newly;
+  }
+
   if (label == Label::kPositive) {
     // T(S+) shrinks to P′ = T(S+) ∩ T(t): classes above P′ become certain+
     // (Lemma 3.3) and the Cert− test must be re-evaluated against P′
     // (Lemma 3.4), since shrinking T(S+) weakens its premise.
     JoinPredicate pos2 = pos_predicate_ & labeled_class.signature;
-    for (ClassId c = 0; c < index_->num_classes(); ++c) {
-      if (c == cls || states_[c] != TupleState::kInformative) continue;
-      const JoinPredicate& sig = index_->cls(c).signature;
-      if (pos2.IsSubsetOf(sig)) {
+    for (ClassId c : informative_) {
+      if (c == cls) continue;
+      JoinPredicate key = keys_[c];
+      key.AndPrefixInPlace(labeled_class.signature, active_words_);
+      if (key.EqualsPrefix(pos2, active_words_) ||  // P′ ⊆ T(c).
+          CertainNegativePrefix(key, negative_signatures_, active_words_)) {
         newly += index_->cls(c).count;
-        continue;
-      }
-      JoinPredicate key = pos2 & sig;
-      for (const JoinPredicate& neg : negative_signatures_) {
-        if (key.IsSubsetOf(neg)) {
-          newly += index_->cls(c).count;
-          break;
-        }
       }
     }
   } else {
     // T(S+) is unchanged; only the new negative witness T(t) can newly
     // certify classes negative (existing witnesses already failed for every
     // currently-informative class).
-    for (ClassId c = 0; c < index_->num_classes(); ++c) {
-      if (c == cls || states_[c] != TupleState::kInformative) continue;
-      const JoinPredicate& sig = index_->cls(c).signature;
-      if ((pos_predicate_ & sig).IsSubsetOf(labeled_class.signature)) {
+    for (ClassId c : informative_) {
+      if (c == cls) continue;
+      if (keys_[c].IsSubsetOfPrefix(labeled_class.signature,
+                                    active_words_)) {
         newly += index_->cls(c).count;
       }
     }
   }
   return newly;
+}
+
+std::pair<uint64_t, uint64_t> InferenceState::CountNewlyUninformativeBoth(
+    ClassId cls) const {
+  JINFER_CHECK(IsInformative(cls), "class %u is not informative", cls);
+  const SignatureClass& labeled_class = index_->cls(cls);
+  uint64_t newly_pos = labeled_class.count - 1;
+  uint64_t newly_neg = labeled_class.count - 1;
+
+  if (active_words_ == 1) {
+    const uint64_t sig0 = labeled_class.signature.word(0);
+    const uint64_t pos2 = pos_predicate_.word(0) & sig0;
+    for (size_t i = 0; i < informative_.size(); ++i) {
+      if (informative_[i] == cls) continue;
+      const uint64_t k = inf_keys_[i];
+      const uint64_t cnt = inf_counts_[i];
+      if ((k & ~sig0) == 0) newly_neg += cnt;  // k ⊆ T(t).
+      const uint64_t key2 = k & sig0;
+      if (key2 == pos2 || CertainNegativeWord(key2, neg_words_)) {
+        newly_pos += cnt;
+      }
+    }
+    return {newly_pos, newly_neg};
+  }
+
+  const JoinPredicate& sig_t = labeled_class.signature;
+  JoinPredicate pos2 = pos_predicate_ & sig_t;
+  for (ClassId c : informative_) {
+    if (c == cls) continue;
+    const uint64_t cnt = index_->cls(c).count;
+    if (keys_[c].IsSubsetOfPrefix(sig_t, active_words_)) newly_neg += cnt;
+    JoinPredicate key = keys_[c];
+    key.AndPrefixInPlace(sig_t, active_words_);
+    if (key.EqualsPrefix(pos2, active_words_) ||
+        CertainNegativePrefix(key, negative_signatures_, active_words_)) {
+      newly_pos += cnt;
+    }
+  }
+  return {newly_pos, newly_neg};
 }
 
 InferenceState InferenceState::WithLabel(ClassId cls, Label label) const {

@@ -6,11 +6,25 @@
 //   Lemma 3.3: t ∈ Cert+(S)  iff  T(S+) ⊆ T(t)
 //   Lemma 3.4: t ∈ Cert−(S)  iff  ∃ t′ ∈ S−. T(S+) ∩ T(t) ⊆ T(t′)
 // A tuple is informative iff it is unlabeled and in neither Cert set
-// (Theorem 3.5). T(S+) is maintained incrementally as a bitset intersection;
-// re-classification after a label is O(#classes · |S−|) word operations.
+// (Theorem 3.5).
 //
-// The state is cheaply copyable (O(#classes)), which is how the lookahead
-// strategies simulate labelings.
+// Classification is monotone: under a consistent sample a class only ever
+// moves out of the informative pool, never back. The state exploits this by
+// maintaining (a) a sorted compact list of the currently-informative
+// classes and (b) a cached key word pos ∩ sig per class, so applying a
+// label touches only informative classes:
+//   negative label:  O(|informative|) word ops — one subset test against
+//                    the new witness per informative class (existing
+//                    witnesses already failed for them);
+//   positive label:  O(|informative| · (1 + |S−|)) word ops;
+// versus O(#classes · |S−|) for a from-scratch reclassification.
+//
+// For the lookahead strategies' simulation tree, ApplyLabelScoped/UndoLabel
+// push and pop (ClassId, old TupleState) records on an internal delta stack:
+// simulating a label and reverting it is allocation-free once the stack has
+// warmed up, and never copies the state. The state also remains cheaply
+// copyable (O(#classes)) for callers that prefer value semantics
+// (WithLabel).
 
 #ifndef JINFER_CORE_INFERENCE_STATE_H_
 #define JINFER_CORE_INFERENCE_STATE_H_
@@ -46,16 +60,31 @@ class InferenceState {
   /// lines 6–7); the state is left unchanged in that case.
   util::Status ApplyLabel(ClassId cls, Label label);
 
+  /// Applies a label to an *informative* class (then either label keeps the
+  /// sample consistent) and records an undo frame on the internal delta
+  /// stack. Pair every call with UndoLabel to simulate labelings in place —
+  /// the lookahead hot path. Frames unwind strictly LIFO.
+  void ApplyLabelScoped(ClassId cls, Label label);
+
+  /// Reverts the most recent ApplyLabelScoped, restoring the classification,
+  /// counters, key cache and sample exactly.
+  void UndoLabel();
+
   TupleState state(ClassId cls) const { return states_[cls]; }
   bool IsInformative(ClassId cls) const {
     return states_[cls] == TupleState::kInformative;
   }
 
   /// Classes still informative, in increasing ClassId order.
-  std::vector<ClassId> InformativeClasses() const;
+  std::vector<ClassId> InformativeClasses() const { return informative_; }
+
+  /// The i-th informative class (increasing ClassId order). Stable across an
+  /// ApplyLabelScoped/UndoLabel pair, so callers may iterate by index while
+  /// simulating labels between accesses.
+  ClassId InformativeClassAt(size_t i) const { return informative_[i]; }
 
   /// Number of informative classes.
-  size_t NumInformativeClasses() const { return num_informative_classes_; }
+  size_t NumInformativeClasses() const { return informative_.size(); }
 
   /// Number of informative *tuples* of D (classes weighted by multiplicity).
   uint64_t InformativeTupleWeight() const { return informative_weight_; }
@@ -72,17 +101,39 @@ class InferenceState {
   /// u_α(t): the number of tuples (weighted) that would newly become
   /// uninformative if class `cls` were labeled `label`, excluding the
   /// labeled tuple itself — the paper's u± quantities feeding entropy
-  /// (§4.4). `cls` must be informative.
+  /// (§4.4). `cls` must be informative. Read-only; O(|informative|) for a
+  /// negative label, O(|informative| · |S−|) for a positive one.
   uint64_t CountNewlyUninformative(ClassId cls, Label label) const;
+
+  /// Both u+(t) and u−(t) in a single sweep over the informative list —
+  /// the two counts share every per-class load, and the entropy leaves
+  /// always need both. Returns {u+, u−}.
+  std::pair<uint64_t, uint64_t> CountNewlyUninformativeBoth(
+      ClassId cls) const;
 
   /// Copy of the state with one more label applied. `cls` must be
   /// informative (then either label keeps the sample consistent).
   InferenceState WithLabel(ClassId cls, Label label) const;
 
  private:
-  /// Recomputes states_ and the informative counters from
-  /// pos_predicate_/negative_signatures_/labels.
+  /// Undo frame for one applied label: where this frame's transition records
+  /// start on the shared stack, plus the scalar state to restore.
+  struct DeltaFrame {
+    size_t transitions_begin;
+    ClassId cls;
+    Label label;
+    bool old_has_positive;
+    JoinPredicate old_pos;
+    uint64_t old_weight;
+  };
+
+  /// Recomputes states_, informative_, keys_ and the counters from scratch.
+  /// Only needed at construction; labels are applied incrementally after.
   void Reclassify();
+
+  /// Incremental application shared by ApplyLabel and ApplyLabelScoped.
+  /// When `record` is true an undo frame is pushed onto the delta stack.
+  void ApplyLabelIncremental(ClassId cls, Label label, bool record);
 
   bool CertainPositive(const JoinPredicate& sig) const {
     return pos_predicate_.IsSubsetOf(sig);
@@ -102,8 +153,43 @@ class InferenceState {
   JoinPredicate pos_predicate_;  // T(S+), starts at Ω.
   bool has_positive_ = false;
   std::vector<JoinPredicate> negative_signatures_;  // {T(t) | t ∈ S−}
-  size_t num_informative_classes_ = 0;
   uint64_t informative_weight_ = 0;
+
+  /// Currently-informative classes, sorted by ClassId. The per-label sweeps
+  /// only walk this list.
+  std::vector<ClassId> informative_;
+  /// keys_[c] = pos_predicate_ ∩ signature(c), kept fresh for informative
+  /// classes (stale entries for certain/labeled classes are never read).
+  /// Cert+ test: keys_[c] == pos_predicate_; Cert− test: keys_[c] ⊆ T(t′).
+  /// Multi-word path only — empty on the single-word path, whose keys live
+  /// in the packed arrays below.
+  std::vector<JoinPredicate> keys_;
+  /// ceil(|Ω| / 64): every predicate lives inside Ω, so the hot sweeps run
+  /// prefix bitset ops over this many words instead of all four.
+  size_t active_words_ = JoinPredicate::kWords;
+
+  // Single-word fast path (|Ω| ≤ 64, i.e. active_words_ == 1, which covers
+  // instances up to 8×8 attributes): the key word and tuple count of every
+  // informative class packed contiguously in informative_ order, plus the
+  // word of each negative witness. The per-label sweeps and the u± counts
+  // then stream over flat uint64_t arrays instead of chasing 32-byte
+  // bitsets and 64-byte SignatureClass records — the sweeps are memory-
+  // bound, and this cuts the touched bytes per class from ~96 to 16.
+  // Unused (empty inf arrays) when Ω spans several words.
+  std::vector<uint64_t> inf_keys_;
+  std::vector<uint64_t> inf_counts_;
+  std::vector<uint64_t> neg_words_;  // word 0 of negative_signatures_
+
+  /// Refills inf_keys_/inf_counts_ from the informative list (exact for any
+  /// sample state, since keys are always pos ∩ sig). No-op on the
+  /// multi-word path.
+  void RebuildPackedInformative();
+
+  // Delta stack for ApplyLabelScoped/UndoLabel: transition records shared
+  // across frames so repeated simulate/undo cycles stop allocating.
+  std::vector<std::pair<ClassId, TupleState>> delta_transitions_;
+  std::vector<DeltaFrame> delta_frames_;
+  std::vector<ClassId> undo_scratch_;  // Reused merge buffer for UndoLabel.
 };
 
 }  // namespace core

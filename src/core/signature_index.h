@@ -9,8 +9,17 @@
 // instead of O(|D|); the paper's per-tuple counts are recovered from the
 // class multiplicities.
 //
-// Build cost: one pass over R × P on dictionary-encoded rows, with
-// duplicate-row compression applied to each side first.
+// Build cost: one pass over R′ × P′ on dictionary-encoded rows, where R′/P′
+// are the duplicate-compressed sides (hashed dedup, O(|R| + |P|) expected).
+// The pass is partitioned across `options.threads` workers — each worker
+// classifies a contiguous block of distinct R rows into a private
+// signature→class table, and the per-worker tables are merged in worker
+// order, which reproduces the serial first-occurrence class numbering
+// bit-for-bit (class ids, counts, representatives and maximal flags are
+// independent of the thread count). The ⊆-maximality pass is a
+// popcount-bucketed sweep: a signature is compared only against signatures
+// with strictly larger popcount, O(Σ_k |bucket_k| · |larger buckets|) word
+// ops instead of the naive O(C²), and is itself parallelized over classes.
 
 #ifndef JINFER_CORE_SIGNATURE_INDEX_H_
 #define JINFER_CORE_SIGNATURE_INDEX_H_
@@ -44,6 +53,12 @@ struct SignatureIndexOptions {
   /// its own singleton class — quadratic state, kept only for the
   /// compression ablation bench.
   bool compress = true;
+
+  /// Number of worker threads for the build (classification pass and
+  /// maximality sweep). 1 = serial (the default, and what tests use unless
+  /// they exercise parallelism); 0 = one per hardware thread. The built
+  /// index is identical for every thread count.
+  int threads = 1;
 };
 
 class SignatureIndex {

@@ -20,8 +20,15 @@ std::optional<ClassId> LookaheadStrategy::SelectNext(
 
   std::vector<Entropy> entropies;
   entropies.reserve(informative.size());
-  for (ClassId c : informative) {
-    entropies.push_back(EntropyKOf(state, c, depth_));
+  if (depth_ == 1) {
+    for (ClassId c : informative) entropies.push_back(EntropyOf(state, c));
+  } else {
+    // One scratch state for every candidate: the lookahead tree is explored
+    // in place via ApplyLabelScoped/UndoLabel and restores it exactly.
+    InferenceState scratch = state;
+    for (ClassId c : informative) {
+      entropies.push_back(EntropyKOfInPlace(scratch, c, depth_));
+    }
   }
   Entropy chosen = SkylineMaxMin(entropies);
   for (size_t k = 0; k < informative.size(); ++k) {

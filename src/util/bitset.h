@@ -21,6 +21,16 @@
 namespace jinfer {
 namespace util {
 
+/// SplitMix64-style finalizer shared by every hash in the library (bitset
+/// hashing, row hashing in the index build): mixes one word into a running
+/// state. Chain as h = Mix64(w + h).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class SmallBitset {
  public:
   static constexpr size_t kMaxBits = 256;
@@ -73,12 +83,70 @@ class SmallBitset {
     return c;
   }
 
+  /// Number of 64-bit words needed to cover bit indices [0, nbits);
+  /// always >= 1 so prefix loops never degenerate.
+  static constexpr size_t WordsFor(size_t nbits) {
+    return nbits == 0 ? 1 : (nbits + 63) / 64;
+  }
+
+  /// The i-th 64-bit word (bits [64i, 64i+64)). Lets single-word callers
+  /// (|Ω| ≤ 64) run their inner loops on plain uint64_t values.
+  uint64_t word(size_t i) const {
+    JINFER_CHECK(i < kWords, "word(%zu) out of range", i);
+    return words_[i];
+  }
+
   /// True iff *this is a subset of `other` (not necessarily strict).
   bool IsSubsetOf(const SmallBitset& other) const {
     for (size_t w = 0; w < kWords; ++w) {
       if ((words_[w] & ~other.words_[w]) != 0) return false;
     }
     return true;
+  }
+
+  // Prefix variants of the hot-path operations: they touch only the first
+  // `words` words. Exact whenever neither operand has a set bit at index
+  // >= words * 64 — the inference core guarantees this with
+  // words = WordsFor(|Ω|), since every predicate lives inside Ω. On the
+  // common 3×3-attribute instances this is 1 word instead of 4.
+
+  /// IsSubsetOf over the first `words` words. The single-word case is
+  /// branched explicitly: a constant-bound loop unrolls, a runtime-bound
+  /// one does not, and one word covers every instance up to 8×8 attributes.
+  bool IsSubsetOfPrefix(const SmallBitset& other, size_t words) const {
+    if (words == 1) return (words_[0] & ~other.words_[0]) == 0;
+    for (size_t w = 0; w < words; ++w) {
+      if ((words_[w] & ~other.words_[w]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Equality over the first `words` words.
+  bool EqualsPrefix(const SmallBitset& other, size_t words) const {
+    if (words == 1) return words_[0] == other.words_[0];
+    for (size_t w = 0; w < words; ++w) {
+      if (words_[w] != other.words_[w]) return false;
+    }
+    return true;
+  }
+
+  /// In-place intersection over the first `words` words (the rest keep
+  /// their value — zero for in-Ω predicates, making this a full &=).
+  void AndPrefixInPlace(const SmallBitset& o, size_t words) {
+    if (words == 1) {
+      words_[0] &= o.words_[0];
+      return;
+    }
+    for (size_t w = 0; w < words; ++w) words_[w] &= o.words_[w];
+  }
+
+  /// Hash() over the first `words` words. Not interchangeable with Hash():
+  /// containers must use one or the other consistently.
+  size_t HashPrefix(size_t words) const {
+    if (words == 1) return static_cast<size_t>(Mix64(words_[0]));
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t w = 0; w < words; ++w) h = Mix64(words_[w] + h);
+    return static_cast<size_t>(h);
   }
 
   /// True iff *this is a strict subset of `other`.
@@ -178,12 +246,7 @@ class SmallBitset {
   /// 64-bit mix hash over the words (splitmix-style combiner).
   size_t Hash() const {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (uint64_t w : words_) {
-      uint64_t x = w + 0x9e3779b97f4a7c15ULL + h;
-      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-      h = x ^ (x >> 31);
-    }
+    for (uint64_t w : words_) h = Mix64(w + h);
     return static_cast<size_t>(h);
   }
 

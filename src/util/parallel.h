@@ -1,0 +1,72 @@
+// Minimal fork-join parallelism for the build-time hot paths.
+//
+// ParallelFor partitions [0, n) into one contiguous chunk per worker and
+// runs `fn(begin, end, worker)` on worker-private std::threads (worker 0
+// runs inline on the calling thread, so a 1-thread call never spawns).
+// Chunks are contiguous and in index order, which lets callers that
+// accumulate worker-private results merge them back deterministically:
+// concatenating per-worker output in worker order reproduces the serial
+// iteration order exactly.
+//
+// This is deliberately not a task scheduler: the call sites (signature-index
+// construction, maximality sweep) are embarrassingly parallel loops over
+// balanced work items, so static chunking wins over work stealing and keeps
+// the header dependency-free.
+
+#ifndef JINFER_UTIL_PARALLEL_H_
+#define JINFER_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace jinfer {
+namespace util {
+
+/// Resolves a user-facing thread-count option: values >= 1 are taken as-is;
+/// 0 (and negatives) mean "one per hardware thread". Always returns >= 1.
+inline size_t ResolveThreadCount(int threads) {
+  if (threads >= 1) return static_cast<size_t>(threads);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Runs `fn(begin, end, worker)` over a static partition of [0, n) into at
+/// most `threads` contiguous chunks. Worker w handles the w-th chunk;
+/// workers with an empty range are not invoked and their threads are not
+/// spawned. Blocks until every worker has finished.
+///
+/// `fn` must not throw (the library reports invariant violations through
+/// JINFER_CHECK/abort, never exceptions). Workers may write to shared state
+/// only at disjoint indices.
+template <typename Fn>
+void ParallelFor(size_t n, size_t threads, Fn&& fn) {
+  JINFER_CHECK(threads >= 1, "ParallelFor with %zu threads", threads);
+  if (n == 0) return;
+  size_t workers = threads < n ? threads : n;
+  if (workers == 1) {
+    fn(size_t{0}, n, size_t{0});
+    return;
+  }
+  // Split as evenly as possible: the first `extra` chunks get one more item.
+  size_t base = n / workers;
+  size_t extra = n % workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  size_t begin = base + (extra > 0 ? 1 : 0);  // Chunk 0 runs inline below.
+  for (size_t w = 1; w < workers; ++w) {
+    size_t len = base + (w < extra ? 1 : 0);
+    size_t end = begin + len;
+    pool.emplace_back([&fn, begin, end, w] { fn(begin, end, w); });
+    begin = end;
+  }
+  fn(size_t{0}, base + (extra > 0 ? 1 : 0), size_t{0});
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_PARALLEL_H_

@@ -1,0 +1,135 @@
+// Property tests for the parallel signature-index build: for every thread
+// count the built index must be bit-identical to the serial one — same
+// class ids, signatures, counts, representatives and maximal flags — since
+// the per-worker shards are merged in block order (global first-occurrence
+// order). Covers both the single-word (|Ω| ≤ 64) and multi-word bitset
+// paths and the uncompressed ablation mode.
+
+#include <gtest/gtest.h>
+
+#include "core/signature_index.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace core {
+namespace {
+
+void ExpectIdenticalIndexes(const SignatureIndex& serial,
+                            const SignatureIndex& parallel,
+                            const std::string& what) {
+  ASSERT_EQ(serial.num_classes(), parallel.num_classes()) << what;
+  EXPECT_EQ(serial.num_tuples(), parallel.num_tuples()) << what;
+  for (ClassId c = 0; c < serial.num_classes(); ++c) {
+    const SignatureClass& a = serial.cls(c);
+    const SignatureClass& b = parallel.cls(c);
+    EXPECT_EQ(a.signature, b.signature) << what << " class " << c;
+    EXPECT_EQ(a.count, b.count) << what << " class " << c;
+    EXPECT_EQ(a.rep_r, b.rep_r) << what << " class " << c;
+    EXPECT_EQ(a.rep_p, b.rep_p) << what << " class " << c;
+    EXPECT_EQ(a.maximal, b.maximal) << what << " class " << c;
+    // The signature map must agree with the class table on both sides.
+    auto found = parallel.ClassOfSignature(a.signature);
+    ASSERT_TRUE(found.has_value()) << what << " class " << c;
+    EXPECT_EQ(parallel.cls(*found).signature, a.signature)
+        << what << " class " << c;
+  }
+}
+
+class ParallelBuildPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelBuildPropertyTest, EveryThreadCountMatchesSerial) {
+  // 3×3 attributes → 9-bit Ω (single-word hot path).
+  auto inst = workload::GenerateSynthetic({3, 3, 60, 8}, GetParam());
+  ASSERT_TRUE(inst.ok());
+  SignatureIndexOptions serial_options;
+  auto serial = SignatureIndex::Build(inst->r, inst->p, serial_options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial->num_classes(), 1u);
+
+  for (int threads : {2, 3, 8, 0}) {  // 0 = hardware concurrency.
+    SignatureIndexOptions options;
+    options.threads = threads;
+    auto parallel = SignatureIndex::Build(inst->r, inst->p, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalIndexes(*serial, *parallel,
+                           "threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelBuildPropertyTest, MultiWordOmegaMatchesSerial) {
+  // 9×10 attributes → 90-bit Ω, exercising the multi-word bitset path.
+  auto inst = workload::GenerateSynthetic({9, 10, 25, 5}, GetParam());
+  ASSERT_TRUE(inst.ok());
+  auto serial = SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 5}) {
+    SignatureIndexOptions options;
+    options.threads = threads;
+    auto parallel = SignatureIndex::Build(inst->r, inst->p, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalIndexes(*serial, *parallel,
+                           "multiword threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelBuildPropertyTest, UncompressedModeMatchesSerial) {
+  auto inst = workload::GenerateSynthetic({3, 3, 20, 6}, GetParam());
+  ASSERT_TRUE(inst.ok());
+  SignatureIndexOptions serial_options;
+  serial_options.compress = false;
+  auto serial = SignatureIndex::Build(inst->r, inst->p, serial_options);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->num_classes(), serial->num_tuples());
+  for (int threads : {2, 7}) {
+    SignatureIndexOptions options;
+    options.compress = false;
+    options.threads = threads;
+    auto parallel = SignatureIndex::Build(inst->r, inst->p, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalIndexes(*serial, *parallel,
+                           "uncompressed threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelBuildPropertyTest, MoreThreadsThanRowsIsSafe) {
+  auto inst = workload::GenerateSynthetic({3, 3, 3, 3}, GetParam());
+  ASSERT_TRUE(inst.ok());
+  auto serial = SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(serial.ok());
+  SignatureIndexOptions options;
+  options.threads = 16;  // Far more workers than distinct R rows.
+  auto parallel = SignatureIndex::Build(inst->r, inst->p, options);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalIndexes(*serial, *parallel, "threads>rows");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelBuildPropertyTest,
+                         ::testing::Values(7, 19, 23, 101, 4242));
+
+// Maximality must agree with the naive O(C²) definition — guards the
+// popcount-bucketed sweep.
+TEST(ParallelBuildTest, MaximalFlagsMatchNaiveDefinition) {
+  util::Rng rng(99);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto inst = workload::GenerateSynthetic({4, 3, 40, 6}, seed);
+    ASSERT_TRUE(inst.ok());
+    auto index = SignatureIndex::Build(inst->r, inst->p);
+    ASSERT_TRUE(index.ok());
+    for (ClassId a = 0; a < index->num_classes(); ++a) {
+      bool expect_maximal = true;
+      for (ClassId b = 0; b < index->num_classes(); ++b) {
+        if (a != b && index->cls(a).signature.IsStrictSubsetOf(
+                          index->cls(b).signature)) {
+          expect_maximal = false;
+          break;
+        }
+      }
+      EXPECT_EQ(index->cls(a).maximal, expect_maximal) << "class " << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace jinfer

@@ -169,6 +169,67 @@ TEST(SignatureIndexTest, NullCellsNeverMatch) {
   EXPECT_EQ(index->SignatureOfPair(0, 1), JoinPredicate());
 }
 
+// Regression for the dictionary's NULL-code invariant: NULL codes are drawn
+// from a range disjoint from non-null codes, so interleaving NULL and
+// non-NULL encodes in any order can never make a NULL cell join with a
+// value cell encoded later — nor break equality of identical values
+// surrounding the NULLs.
+TEST(SignatureIndexTest, InterleavedNullAndValueEncodesNeverCollide) {
+  // NULLs appear before, between and after the repeated value 7; every
+  // non-null 7 must still match every other 7, and no NULL matches anything.
+  auto r = rel::Relation::Make(
+      "R", {"A1", "A2"},
+      {{rel::Value(), 7}, {7, rel::Value()}, {rel::Value(), rel::Value()}});
+  auto p = rel::Relation::Make(
+      "P", {"B1", "B2"},
+      {{7, rel::Value()}, {rel::Value(), 7}, {rel::Value(), rel::Value()}});
+  auto index = SignatureIndex::Build(*r, *p);
+  ASSERT_TRUE(index.ok());
+  const Omega& omega = index->omega();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      JoinPredicate expected;
+      for (size_t a = 0; a < 2; ++a) {
+        for (size_t b = 0; b < 2; ++b) {
+          if (!r->at(i, a).is_null() && !p->at(j, b).is_null() &&
+              r->at(i, a) == p->at(j, b)) {
+            expected.Set(omega.BitOf(a, b));
+          }
+        }
+      }
+      EXPECT_EQ(index->SignatureOfPair(i, j), expected)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+  // The all-NULL rows pair with everything under the empty signature only.
+  EXPECT_EQ(index->SignatureOfPair(2, 0), JoinPredicate());
+  EXPECT_EQ(index->SignatureOfPair(2, 1), JoinPredicate());
+  EXPECT_EQ(index->SignatureOfPair(2, 2), JoinPredicate());
+}
+
+// Many NULLs must not consume codes that later non-null values would reuse
+// (the historical hazard of a single shared counter).
+TEST(SignatureIndexTest, NullHeavyColumnsKeepValueEqualityIntact) {
+  std::vector<rel::Row> r_rows, p_rows;
+  for (int i = 0; i < 8; ++i) {
+    r_rows.push_back({rel::Value(), i % 3});
+    p_rows.push_back({i % 3, rel::Value()});
+  }
+  auto r = rel::Relation::Make("R", {"A1", "A2"}, std::move(r_rows));
+  auto p = rel::Relation::Make("P", {"B1", "B2"}, std::move(p_rows));
+  auto index = SignatureIndex::Build(*r, *p);
+  ASSERT_TRUE(index.ok());
+  const Omega& omega = index->omega();
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      JoinPredicate expected;
+      if ((i % 3) == (j % 3)) expected.Set(omega.BitOf(1, 0));
+      EXPECT_EQ(index->SignatureOfPair(i, j), expected)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
 // --- Validation ----------------------------------------------------------------
 
 TEST(SignatureIndexTest, EmptyInstanceRejected) {
