@@ -91,6 +91,28 @@ void OptimalFloor(uint64_t seed) {
     }
     std::printf("%s\n", line.c_str());
   }
+
+  // Worst case over ALL goal behaviors (the adversarial-oracle measure, not
+  // a mean over sampled goals): the minimax value is the floor, and each
+  // strategy's gap above it is its §4.4 distance from optimality. The
+  // delta-frame engine makes this affordable inside the quick bench.
+  core::MinimaxEngine engine(*index, bench::BenchMinimaxOptions());
+  core::InferenceState fresh(*index);
+  size_t optimum = engine.Value(fresh);
+  std::string worst_line =
+      util::StrFormat("worst case  %s=%zu (minimax floor)",
+                      core::StrategyKindName(core::StrategyKind::kOptimal),
+                      optimum);
+  for (auto kind : kinds) {
+    if (kind == core::StrategyKind::kOptimal) continue;
+    auto strategy = core::MakeStrategy(kind);
+    size_t worst = core::WorstCaseInteractions(*index, *strategy);
+    worst_line += util::StrFormat("  %s=%zu (+%zu)",
+                                  core::StrategyKindName(kind), worst,
+                                  worst - optimum);
+  }
+  std::printf("%s\n", worst_line.c_str());
+  std::printf("%s\n", bench::OptEngineCountersLine(engine.counters()).c_str());
 }
 
 }  // namespace
@@ -102,6 +124,7 @@ int main() {
       "Ablation — lookahead depth (L1S / L2S / L3S) and expected-gain",
       "§4.4: deeper lookahead trades time for fewer interactions; k=2 is "
       "the paper's sweet spot; LkS→optimal as k→#informative tuples");
+  bench::ApplyBenchThreadKnob();
   uint64_t seed = bench::BaseSeed();
   RunConfig({2, 3, 30, 30}, seed);
   RunConfig({3, 3, 50, 100}, seed + 1);

@@ -8,8 +8,18 @@
 // Knobs (environment variables):
 //   JINFER_BENCH_FULL=1      heavier settings (more goals, more RND runs)
 //   JINFER_BENCH_SEED=<n>    base seed (default 20140324 — EDBT'14 day 1)
-//   JINFER_BENCH_THREADS=<n> signature-index build threads (default 1;
-//                            0 = one per hardware thread)
+//   JINFER_BENCH_THREADS=<n> worker threads (default 1; 0 = one per
+//                            hardware thread). Applies to the
+//                            signature-index build (BenchIndexOptions) AND
+//                            to the OPT benches: benches that run OPT or
+//                            the worst-case adversary call
+//                            ApplyBenchThreadKnob(), which routes the knob
+//                            to core::SetOptimalSearchThreads so the
+//                            minimax engine root-splits over that many
+//                            workers. Every measured result (indexes,
+//                            interaction counts, minimax values, picks) is
+//                            identical for every thread count — the knob
+//                            only moves wall time.
 
 #ifndef JINFER_BENCH_BENCH_COMMON_H_
 #define JINFER_BENCH_BENCH_COMMON_H_
@@ -22,6 +32,7 @@
 
 #include "core/lattice.h"
 #include "core/signature_index.h"
+#include "core/strategies/optimal_strategy.h"
 #include "core/strategy.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -53,6 +64,40 @@ inline int BenchThreads() {
 /// thread count, so measured interaction counts never depend on the knob.
 inline core::SignatureIndexOptions BenchIndexOptions() {
   core::SignatureIndexOptions options;
+  options.threads = BenchThreads();
+  return options;
+}
+
+/// Routes JINFER_BENCH_THREADS to the minimax engine's root-split worker
+/// count. Call once from main() in any bench that runs OPT or the
+/// worst-case adversary; minimax values and picks are thread-count
+/// invariant, so only wall time changes.
+inline void ApplyBenchThreadKnob() {
+  core::SetOptimalSearchThreads(BenchThreads());
+}
+
+/// Fraction of transposition-table probes that hit, in [0, 1].
+inline double TtHitRate(uint64_t hits, uint64_t probes) {
+  return probes == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+/// One-line summary of a minimax-engine run's search effort, shared by the
+/// OPT floor blocks of table1_summary and ablation_lookahead.
+inline std::string OptEngineCountersLine(const core::MinimaxCounters& c) {
+  return util::StrFormat(
+      "OPT engine: %llu nodes, %llu TT probes, %.1f%% TT hits, "
+      "%llu deepening rounds, %d worker(s)",
+      static_cast<unsigned long long>(c.nodes),
+      static_cast<unsigned long long>(c.tt_probes),
+      100.0 * TtHitRate(c.tt_hits, c.tt_probes),
+      static_cast<unsigned long long>(c.deepening_rounds), BenchThreads());
+}
+
+/// Engine options every OPT bench should search with: root-split workers
+/// from JINFER_BENCH_THREADS.
+inline core::MinimaxOptions BenchMinimaxOptions() {
+  core::MinimaxOptions options;
   options.threads = BenchThreads();
   return options;
 }

@@ -16,6 +16,9 @@
 #include "core/lattice.h"
 #include "core/oracle.h"
 #include "core/signature_index.h"
+#include "core/strategies/minimax_engine.h"
+#include "core/strategies/minimax_reference.h"
+#include "core/strategies/optimal_strategy.h"
 #include "sat/dpll.h"
 #include "sat/random_cnf.h"
 #include "semijoin/consistency.h"
@@ -162,6 +165,140 @@ void BM_EntropyK1k(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EntropyK1k)->Arg(1)->Arg(2);
+
+// OPT-sized synthetic instance shared by the exact-search benches — the
+// same configuration as the ablation/table1 optimal-floor experiments.
+const core::SignatureIndex& OptIndex() {
+  static const core::SignatureIndex* index = [] {
+    auto inst = workload::GenerateSynthetic({2, 2, 20, 8}, 77);
+    JINFER_CHECK(inst.ok(), "generation");
+    auto built = core::SignatureIndex::Build(inst->r, inst->p);
+    JINFER_CHECK(built.ok(), "build");
+    return new core::SignatureIndex(std::move(built).ValueOrDie());
+  }();
+  return *index;
+}
+
+// Measured loop shared by the minimax-value benches: one cold-table solve
+// per iteration (the engine is constructed inside the loop), reporting
+// per-solve node counts and the TT hit rate.
+void RunMinimaxValueBench(benchmark::State& state,
+                          const core::SignatureIndex& index,
+                          const core::MinimaxOptions& options) {
+  core::InferenceState st(index);
+  size_t value = 0;
+  uint64_t nodes = 0;
+  uint64_t probes = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    core::MinimaxEngine engine(index, options);
+    value = engine.Value(st);
+    nodes += engine.counters().nodes;
+    probes += engine.counters().tt_probes;
+    hits += engine.counters().tt_hits;
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["minimax_value"] = static_cast<double>(value);
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(nodes),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["tt_hit_rate"] =
+      probes == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+// Exact minimax value on the delta-frame Zobrist/TT engine; Arg = root-
+// split worker count (values and picks are identical for every Arg).
+void BM_MinimaxValueEngine(benchmark::State& state) {
+  core::MinimaxOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  RunMinimaxValueBench(state, OptIndex(), options);
+}
+BENCHMARK(BM_MinimaxValueEngine)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// An 18-class instance the seed implementation cannot finish inside its
+// node budget at all — engine-only, showing the widened exact-search
+// range. Arg = root-split workers; the shared validated table keeps total
+// nodes flat in the worker count (on multicore hardware wall time drops;
+// this is the same fork-join pattern as BM_SignatureIndexBuild1k).
+void BM_MinimaxValueEngineLarge(benchmark::State& state) {
+  static const core::SignatureIndex* index = [] {
+    auto inst = workload::GenerateSynthetic({3, 2, 8, 4}, 20140324);
+    JINFER_CHECK(inst.ok(), "generation");
+    auto built = core::SignatureIndex::Build(inst->r, inst->p);
+    JINFER_CHECK(built.ok(), "build");
+    return new core::SignatureIndex(std::move(built).ValueOrDie());
+  }();
+  core::MinimaxOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.node_budget = 100'000'000;
+  RunMinimaxValueBench(state, *index, options);
+}
+BENCHMARK(BM_MinimaxValueEngineLarge)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The seed implementation (copy-per-node, sorted-vector key in a std::map)
+// on the same instance: the yardstick for the engine's speedup.
+void BM_MinimaxValueReference(benchmark::State& state) {
+  const core::SignatureIndex& index = OptIndex();
+  core::InferenceState st(index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ReferenceMinimaxInteractions(st));
+  }
+}
+BENCHMARK(BM_MinimaxValueReference);
+
+// Worst-case adversary (memoized engine vs seed copy-per-node) driving the
+// two-step lookahead strategy over all goal behaviors — L2S picks are
+// expensive, so every transposition the memo folds away pays in full.
+void BM_WorstCaseEngine(benchmark::State& state) {
+  const core::SignatureIndex& index = OptIndex();
+  uint64_t nodes = 0;
+  uint64_t probes = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    auto strategy = core::MakeStrategy(core::StrategyKind::kLookahead2);
+    core::MinimaxEngine engine(index, {});
+    benchmark::DoNotOptimize(engine.WorstCase(*strategy));
+    nodes += engine.counters().nodes;
+    probes += engine.counters().tt_probes;
+    hits += engine.counters().tt_hits;
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(nodes),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["tt_hit_rate"] =
+      probes == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(probes);
+}
+BENCHMARK(BM_WorstCaseEngine);
+
+void BM_WorstCaseReference(benchmark::State& state) {
+  const core::SignatureIndex& index = OptIndex();
+  for (auto _ : state) {
+    auto strategy = core::MakeStrategy(core::StrategyKind::kLookahead2);
+    benchmark::DoNotOptimize(
+        core::ReferenceWorstCaseInteractions(index, *strategy));
+  }
+}
+BENCHMARK(BM_WorstCaseReference);
+
+// One full OPT-driven inference session (engine-backed OptimalStrategy,
+// transposition tables warm across the session's SelectNext calls).
+void BM_OptimalSession(benchmark::State& state) {
+  const core::SignatureIndex& index = OptIndex();
+  core::JoinPredicate goal;
+  goal.Set(0);
+  core::InferenceOptions options;
+  options.record_trace = false;
+  for (auto _ : state) {
+    core::OptimalStrategy opt;
+    core::GoalOracle oracle{goal};
+    auto result = core::RunInference(index, opt, oracle, options);
+    JINFER_CHECK(result.ok(), "inference");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimalSession);
 
 void BM_StrategySelection(benchmark::State& state) {
   auto inst = MakeInstance(50, 100);

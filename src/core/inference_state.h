@@ -29,6 +29,7 @@
 #ifndef JINFER_CORE_INFERENCE_STATE_H_
 #define JINFER_CORE_INFERENCE_STATE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -115,6 +116,14 @@ class InferenceState {
   /// informative (then either label keeps the sample consistent).
   InferenceState WithLabel(ClassId cls, Label label) const;
 
+  /// Process-wide count of InferenceState copy operations (copy
+  /// construction and copy assignment; moves are free and uncounted). Test
+  /// instrumentation backing the "the search hot path never copies the
+  /// state" assertions on the minimax engine and the lookahead tree.
+  static uint64_t CopyCount() {
+    return copy_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Undo frame for one applied label: where this frame's transition records
   /// start on the shared stack, plus the scalar state to restore.
@@ -190,6 +199,25 @@ class InferenceState {
   std::vector<std::pair<ClassId, TupleState>> delta_transitions_;
   std::vector<DeltaFrame> delta_frames_;
   std::vector<ClassId> undo_scratch_;  // Reused merge buffer for UndoLabel.
+
+  /// Zero-size-in-spirit member whose copy operations bump the process-wide
+  /// copy counter, so the implicitly-defined copy constructor/assignment of
+  /// InferenceState stay instrumented without hand-listing every member.
+  struct CopyProbe {
+    CopyProbe() = default;
+    CopyProbe(const CopyProbe&) {
+      copy_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    CopyProbe& operator=(const CopyProbe&) {
+      copy_count_.fetch_add(1, std::memory_order_relaxed);
+      return *this;
+    }
+    CopyProbe(CopyProbe&&) noexcept = default;
+    CopyProbe& operator=(CopyProbe&&) noexcept = default;
+  };
+  CopyProbe copy_probe_;
+
+  inline static std::atomic<uint64_t> copy_count_{0};
 };
 
 }  // namespace core

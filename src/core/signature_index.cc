@@ -1,6 +1,7 @@
 #include "core/signature_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <limits>
 #include <unordered_set>
@@ -172,6 +173,8 @@ util::Result<SignatureIndex> SignatureIndex::Build(
 
   SignatureIndex index;
   index.omega_ = std::move(omega);
+  static std::atomic<uint64_t> next_build_id{1};
+  index.build_id_ = next_build_id.fetch_add(1, std::memory_order_relaxed);
   index.num_tuples_ =
       static_cast<uint64_t>(r.num_rows()) * static_cast<uint64_t>(p.num_rows());
 

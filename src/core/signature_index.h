@@ -71,6 +71,12 @@ class SignatureIndex {
 
   const Omega& omega() const { return omega_; }
 
+  /// Process-unique id stamped at Build time. Distinguishes a rebuilt
+  /// index that happens to land at a destroyed index's address — caches
+  /// keyed on index identity (the OPT strategy's engine cache) compare
+  /// this instead of the address.
+  uint64_t build_id() const { return build_id_; }
+
   size_t num_classes() const { return classes_.size(); }
   const SignatureClass& cls(ClassId id) const { return classes_[id]; }
   const std::vector<SignatureClass>& classes() const { return classes_; }
@@ -109,6 +115,7 @@ class SignatureIndex {
   SignatureIndex() = default;
 
   Omega omega_;
+  uint64_t build_id_ = 0;
   std::vector<SignatureClass> classes_;
   std::unordered_map<JoinPredicate, ClassId, util::SmallBitsetHash>
       class_of_signature_;

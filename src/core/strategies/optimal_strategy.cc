@@ -1,121 +1,59 @@
 #include "core/strategies/optimal_strategy.h"
 
-#include <algorithm>
-#include <limits>
-#include <map>
-#include <vector>
+#include <atomic>
 
 namespace jinfer {
 namespace core {
 
 namespace {
 
-/// Order-independent encoding of the sample (each class is labeled at most
-/// once, so sorting by class id canonicalizes).
-std::vector<uint32_t> CanonicalKey(const Sample& sample) {
-  std::vector<uint32_t> key;
-  key.reserve(sample.size());
-  for (const auto& ex : sample) {
-    key.push_back(ex.cls * 2 +
-                  (ex.label == Label::kPositive ? 1u : 0u));
-  }
-  std::sort(key.begin(), key.end());
-  return key;
+std::atomic<int> g_optimal_threads{1};
+
+MinimaxOptions OptionsFor(uint64_t node_budget, std::optional<int> threads) {
+  MinimaxOptions options;
+  options.node_budget = node_budget;
+  options.threads = threads.value_or(OptimalSearchThreads());
+  return options;
 }
-
-class MinimaxSearch {
- public:
-  explicit MinimaxSearch(uint64_t budget) : budget_(budget) {}
-
-  size_t Value(const InferenceState& state) {
-    JINFER_CHECK(++nodes_ <= budget_,
-                 "minimax node budget %llu exhausted; instance too large "
-                 "for OPT",
-                 static_cast<unsigned long long>(budget_));
-    if (state.NumInformativeClasses() == 0) return 0;
-
-    std::vector<uint32_t> key = CanonicalKey(state.sample());
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-
-    size_t best = std::numeric_limits<size_t>::max();
-    for (ClassId c : state.InformativeClasses()) {
-      size_t worst = 0;
-      for (Label label : {Label::kPositive, Label::kNegative}) {
-        size_t v = Value(state.WithLabel(c, label));
-        worst = std::max(worst, v);
-        if (1 + worst >= best) break;  // This candidate cannot win.
-      }
-      best = std::min(best, 1 + worst);
-      if (best == 1) break;  // One interaction is the floor here.
-    }
-    memo_.emplace(std::move(key), best);
-    return best;
-  }
-
- private:
-  uint64_t budget_;
-  uint64_t nodes_ = 0;
-  std::map<std::vector<uint32_t>, size_t> memo_;
-};
 
 }  // namespace
 
-size_t MinimaxInteractions(const InferenceState& state,
-                           uint64_t node_budget) {
-  MinimaxSearch search(node_budget);
-  return search.Value(state);
+void SetOptimalSearchThreads(int threads) {
+  g_optimal_threads.store(threads, std::memory_order_relaxed);
+}
+
+int OptimalSearchThreads() {
+  return g_optimal_threads.load(std::memory_order_relaxed);
+}
+
+size_t MinimaxInteractions(const InferenceState& state, uint64_t node_budget,
+                           std::optional<int> threads) {
+  MinimaxEngine engine(state.index(), OptionsFor(node_budget, threads));
+  return engine.Value(state);
 }
 
 std::optional<ClassId> OptimalStrategy::SelectNext(
     const InferenceState& state) {
-  std::vector<ClassId> informative = state.InformativeClasses();
-  if (informative.empty()) return std::nullopt;
-  if (informative.size() == 1) return informative.front();
-
-  MinimaxSearch search(node_budget_);
-  ClassId best_class = informative.front();
-  size_t best_value = std::numeric_limits<size_t>::max();
-  for (ClassId c : informative) {
-    size_t worst = 0;
-    for (Label label : {Label::kPositive, Label::kNegative}) {
-      worst = std::max(worst, search.Value(state.WithLabel(c, label)));
-      if (1 + worst >= best_value) break;
-    }
-    if (1 + worst < best_value) {
-      best_value = 1 + worst;
-      best_class = c;
-    }
+  // Compare address AND build id: a fresh index can land at a destroyed
+  // one's address (same address, different id — the cached engine's
+  // Zobrist keys and table entries would be silently wrong or out of
+  // bounds), and a copy of a destroyed index can share its id at a new
+  // address (the cached engine would hold a dangling pointer).
+  if (engine_ == nullptr || &engine_->index() != &state.index() ||
+      engine_build_id_ != state.index().build_id()) {
+    engine_ = std::make_unique<MinimaxEngine>(
+        state.index(), OptionsFor(node_budget_, threads_));
+    engine_build_id_ = state.index().build_id();
   }
-  return best_class;
+  return engine_->SelectBest(state);
 }
 
 size_t WorstCaseInteractions(const SignatureIndex& index, Strategy& strategy,
                              uint64_t node_budget) {
-  struct Adversary {
-    Strategy* strategy;
-    uint64_t budget;
-    uint64_t nodes = 0;
-
-    size_t Play(const InferenceState& state) {
-      JINFER_CHECK(++nodes <= budget, "adversary node budget exhausted");
-      std::optional<ClassId> pick = strategy->SelectNext(state);
-      if (!pick) {
-        JINFER_CHECK(state.NumInformativeClasses() == 0,
-                     "strategy gave up early");
-        return 0;
-      }
-      size_t worst = 0;
-      for (Label label : {Label::kPositive, Label::kNegative}) {
-        worst = std::max(worst,
-                         Play(state.WithLabel(*pick, label)));
-      }
-      return 1 + worst;
-    }
-  };
-  Adversary adversary{&strategy, node_budget};
-  InferenceState state(index);
-  return adversary.Play(state);
+  // The adversary itself is serial (its root has two label branches, not a
+  // candidate fan-out), so the thread knob is irrelevant here.
+  MinimaxEngine engine(index, OptionsFor(node_budget, /*threads=*/1));
+  return engine.WorstCase(strategy);
 }
 
 }  // namespace core

@@ -17,6 +17,7 @@ class RandomStrategy : public Strategy {
 
   const char* name() const override { return "RND"; }
   std::optional<ClassId> SelectNext(const InferenceState& state) override;
+  bool deterministic() const override { return false; }
 
  private:
   util::Rng rng_;

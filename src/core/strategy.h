@@ -53,6 +53,11 @@ class Strategy {
   /// nullopt iff no informative class remains. May be called repeatedly;
   /// strategies are stateless apart from RNG state.
   virtual std::optional<ClassId> SelectNext(const InferenceState& state) = 0;
+
+  /// True iff SelectNext is a pure function of the sample set (every
+  /// bundled strategy except RND). The worst-case adversary memoizes on
+  /// the sample set and requires this.
+  virtual bool deterministic() const { return true; }
 };
 
 /// Factory. `seed` only affects the RND strategy.

@@ -10,6 +10,16 @@ util::Result<SemijoinInferenceResult> RunSemijoinInference(
   SemijoinInferenceResult result;
   RowSample& sample = result.sample;
   std::vector<bool> labeled(instance.num_rows(), false);
+  // Consistency only ever shrinks as the sample grows, so once a probe
+  // fails for a row its label is forced for good — the row never becomes
+  // informative again and needs no re-probing in later rounds.
+  std::vector<bool> forced(instance.num_rows(), false);
+  // The selection heuristic reads each row's maximal-signature count on
+  // every outer-loop pass; cache the sizes once instead.
+  std::vector<size_t> num_sigs(instance.num_rows());
+  for (size_t row = 0; row < instance.num_rows(); ++row) {
+    num_sigs[row] = instance.MaximalSignatures(row).size();
+  }
 
   auto consistent_with = [&](size_t row, core::Label label) {
     sample.push_back(RowExample{row, label});
@@ -23,10 +33,16 @@ util::Result<SemijoinInferenceResult> RunSemijoinInference(
     std::optional<size_t> pick;
     size_t pick_sigs = 0;
     for (size_t row = 0; row < instance.num_rows(); ++row) {
-      if (labeled[row]) continue;
-      if (!consistent_with(row, core::Label::kPositive)) continue;
-      if (!consistent_with(row, core::Label::kNegative)) continue;
-      size_t sigs = instance.MaximalSignatures(row).size();
+      if (labeled[row] || forced[row]) continue;
+      if (!consistent_with(row, core::Label::kPositive)) {
+        forced[row] = true;  // Certainly negative from here on.
+        continue;
+      }
+      if (!consistent_with(row, core::Label::kNegative)) {
+        forced[row] = true;  // Certainly positive from here on.
+        continue;
+      }
+      size_t sigs = num_sigs[row];
       if (!pick || sigs < pick_sigs) {
         pick = row;
         pick_sigs = sigs;

@@ -13,6 +13,10 @@
 // Row-selection heuristic: among informative rows, prefer the one with the
 // fewest maximal signatures (its labels constrain θ through the fewest
 // disjuncts, i.e. most directly), ties to the lowest row index.
+//
+// Consistency is monotone in the sample (adding examples only removes
+// consistent predicates), so a row that fails either probe is forced and
+// never re-probed; maximal-signature counts are cached once per session.
 
 #ifndef JINFER_SEMIJOIN_INTERACTIVE_H_
 #define JINFER_SEMIJOIN_INTERACTIVE_H_

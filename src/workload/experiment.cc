@@ -79,13 +79,27 @@ size_t BestStrategyIndex(const std::vector<StrategyStats>& stats) {
   return best;
 }
 
-util::Result<std::map<size_t, std::vector<core::JoinPredicate>>>
-SampleGoalsBySize(const core::SignatureIndex& index, size_t max_per_size,
-                  uint64_t seed) {
+util::Result<std::vector<GoalSizeBucket>> SampleGoalsBySize(
+    const core::SignatureIndex& index, size_t max_per_size, uint64_t seed) {
   JINFER_ASSIGN_OR_RETURN(std::vector<core::JoinPredicate> all,
                           core::NonNullablePredicates(index));
-  std::map<size_t, std::vector<core::JoinPredicate>> by_size;
-  for (const auto& theta : all) by_size[theta.Count()].push_back(theta);
+  // Flat sorted buckets: distinct sizes number at most |Ω| + 1, so a
+  // linear scan + sorted insert is cheaper than a std::map and keeps both
+  // the bucket order (ascending size) and the per-bucket goal order
+  // identical to the old map grouping — the sampling RNG below consumes
+  // draws in the same order, so sampled goal sets are unchanged.
+  std::vector<GoalSizeBucket> by_size;
+  for (const auto& theta : all) {
+    const size_t size = theta.Count();
+    auto it = std::find_if(by_size.begin(), by_size.end(),
+                           [size](const GoalSizeBucket& b) {
+                             return b.size >= size;
+                           });
+    if (it == by_size.end() || it->size != size) {
+      it = by_size.insert(it, GoalSizeBucket{size, {}});
+    }
+    it->goals.push_back(theta);
+  }
 
   util::Rng rng(seed);
   for (auto& [size, goals] : by_size) {

@@ -7,7 +7,6 @@
 #ifndef JINFER_WORKLOAD_EXPERIMENT_H_
 #define JINFER_WORKLOAD_EXPERIMENT_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -46,13 +45,28 @@ util::Result<StrategyStats> MeasureStrategyOverGoals(
 /// mean time (the paper's "best strategy" column in Table 1).
 size_t BestStrategyIndex(const std::vector<StrategyStats>& stats);
 
+/// One goal-size group: all sampled goals with |θ| == size. Supports
+/// structured bindings (`for (const auto& [size, goals] : buckets)`), which
+/// is how every caller consumes the grouping.
+struct GoalSizeBucket {
+  size_t size = 0;
+  std::vector<core::JoinPredicate> goals;
+
+  friend bool operator==(const GoalSizeBucket& a, const GoalSizeBucket& b) {
+    return a.size == b.size && a.goals == b.goals;
+  }
+};
+
 /// Groups the instance's non-nullable predicates by |θ| and uniformly
 /// samples at most `max_per_size` goals from each group — the synthetic
 /// experiments' goal sets. (The paper uses *all* non-nullable predicates;
 /// sampling bounds bench time and is reported in the bench output.)
-util::Result<std::map<size_t, std::vector<core::JoinPredicate>>>
-SampleGoalsBySize(const core::SignatureIndex& index, size_t max_per_size,
-                  uint64_t seed);
+/// Buckets come back sorted ascending by size in a flat vector — there are
+/// only a handful of distinct sizes, so a sorted vector beats the
+/// red-black-tree node churn of the old std::map grouping in the
+/// experiment driver.
+util::Result<std::vector<GoalSizeBucket>> SampleGoalsBySize(
+    const core::SignatureIndex& index, size_t max_per_size, uint64_t seed);
 
 }  // namespace workload
 }  // namespace jinfer
