@@ -1,12 +1,13 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the inference
 // core: signature-index construction (serial and thread-scaled), certainty
 // classification (full and incremental apply/undo), entropy, strategy
-// selection, consistency checking, and the DPLL solver.
+// selection, the minimax engine vs the retained seed reference,
+// consistency checking, and the DPLL solver.
 //
-// CI emits a machine-readable perf trajectory with:
-//   micro_core --benchmark_filter='BM_SignatureIndexBuild|BM_Reclassify|\
-//     BM_ApplyUndo|BM_EntropyK' \
-//     --benchmark_format=json --benchmark_out=BENCH_core.json
+// CI runs this binary with the trajectory filter (see
+// .github/workflows/ci.yml) and merges its JSON output with
+// throughput_sessions' into BENCH_core.json — schema and workflow in
+// bench/README.md.
 
 #include <benchmark/benchmark.h>
 

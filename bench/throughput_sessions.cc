@@ -1,0 +1,124 @@
+// Session-runtime throughput (google-benchmark): how many complete
+// inference sessions per second the SessionManager sustains as the worker
+// count grows, with every session resolving its SignatureIndex through a
+// shared IndexCache.
+//
+// The workload is the runtime's target shape: many users, few distinct
+// instances — kSessions sessions round-robin over kInstances synthetic
+// instances, so all but the first request per instance hit the cache
+// (steady-state hit rate ≥ 99%; reported as the cache_hit_rate counter
+// alongside index_builds). Thread count is the benchmark Arg; results are
+// deterministic per session regardless of it, so only throughput moves.
+//
+// CI merges this binary's JSON output into BENCH_core.json next to
+// micro_core's (see bench/README.md):
+//   throughput_sessions --benchmark_format=json \
+//     --benchmark_out=BENCH_runtime.json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/strategy.h"
+#include "runtime/index_cache.h"
+#include "runtime/session.h"
+#include "runtime/session_manager.h"
+#include "util/check.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace {
+
+constexpr size_t kInstances = 8;
+constexpr size_t kSessions = 1024;
+
+/// The shared instance catalog (distinct content, equal shape). Built once;
+/// the benches fingerprint and serve them repeatedly.
+const std::vector<workload::SyntheticInstance>& Instances() {
+  static const std::vector<workload::SyntheticInstance>* instances = [] {
+    auto* v = new std::vector<workload::SyntheticInstance>;
+    for (size_t i = 0; i < kInstances; ++i) {
+      auto inst = workload::GenerateSynthetic({3, 3, 40, 8}, 9000 + i);
+      JINFER_CHECK(inst.ok(), "generation");
+      v->push_back(std::move(inst).ValueOrDie());
+    }
+    return v;
+  }();
+  return *instances;
+}
+
+/// Session s of the workload: instance round-robin, goal alternating over
+/// the first two attribute pairs, TD strategy (deterministic and cheap —
+/// the bench stresses the runtime, not the strategy).
+runtime::SessionJob MakeJob(runtime::IndexCache& cache, size_t s) {
+  const workload::SyntheticInstance& inst = Instances()[s % kInstances];
+  runtime::SessionJob job;
+  job.make = [&cache, &inst]() -> util::Result<runtime::Session> {
+    JINFER_ASSIGN_OR_RETURN(auto index, cache.GetOrBuild(inst.r, inst.p));
+    return runtime::Session(
+        std::move(index),
+        core::MakeStrategy(core::StrategyKind::kTopDown));
+  };
+  job.oracle = std::make_unique<core::GoalOracle>(
+      core::JoinPredicate::Singleton(s % 2));
+  return job;
+}
+
+// Sessions/sec (items_per_second) over the worker count (Arg). The cache
+// persists across iterations: the first iteration pays kInstances builds,
+// every later lookup hits, so cache_hit_rate converges towards 1 from
+// 1 - kInstances/kSessions ≈ 0.992.
+void BM_ThroughputSessions(benchmark::State& state) {
+  runtime::IndexCache cache;
+  runtime::SessionManager::Options options;
+  options.threads = static_cast<int>(state.range(0));
+  options.steps_per_slice = 8;
+  runtime::SessionManager manager(options);
+
+  for (auto _ : state) {
+    std::vector<runtime::SessionJob> jobs;
+    jobs.reserve(kSessions);
+    for (size_t s = 0; s < kSessions; ++s) jobs.push_back(MakeJob(cache, s));
+    auto results = manager.RunAll(std::move(jobs));
+    JINFER_CHECK(results.size() == kSessions, "lost sessions");
+    for (const auto& result : results) {
+      JINFER_CHECK(result.ok(), "session failed: %s",
+                   result.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSessions));
+  runtime::IndexCacheStats stats = cache.stats();
+  state.counters["cache_hit_rate"] = stats.HitRate();
+  state.counters["index_builds"] = static_cast<double>(stats.builds);
+}
+BENCHMARK(BM_ThroughputSessions)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Cost of the cache hot path alone: fingerprint two relations and return
+// the resident shared_ptr. This is the per-session overhead the runtime
+// adds on top of the inference itself.
+void BM_IndexCacheHit(benchmark::State& state) {
+  const workload::SyntheticInstance& inst = Instances().front();
+  runtime::IndexCache cache;
+  JINFER_CHECK(cache.GetOrBuild(inst.r, inst.p).ok(), "warm-up build");
+  for (auto _ : state) {
+    auto index = cache.GetOrBuild(inst.r, inst.p);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["cache_hit_rate"] = cache.stats().HitRate();
+}
+BENCHMARK(BM_IndexCacheHit);
+
+}  // namespace
+}  // namespace jinfer
+
+BENCHMARK_MAIN();

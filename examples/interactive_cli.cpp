@@ -7,6 +7,13 @@
 //
 // strategy ∈ {BU, TD, L1S, L2S, RND, EG}; default TD. Answer each prompt
 // with y/n (or q to stop early and accept the current hypothesis).
+//
+// The session runs on the runtime layer: the index comes out of a
+// runtime::IndexCache (a second CLI on the same CSVs inside one process
+// would share the build) and questions are served through the
+// runtime::Session step API — the loop below blocks on stdin between
+// NextQuestion and Answer exactly the way a server parks a session while
+// its user thinks.
 
 #include <cstdio>
 #include <cstring>
@@ -14,10 +21,10 @@
 #include <random>
 #include <string>
 
-#include "core/inference_state.h"
-#include "core/strategy.h"
 #include "relational/csv.h"
 #include "relational/relation.h"
+#include "runtime/index_cache.h"
+#include "runtime/session.h"
 
 using namespace jinfer;
 
@@ -92,32 +99,27 @@ int main(int argc, char** argv) {
                  strategy_name.c_str());
     return 1;
   }
-  auto index = core::SignatureIndex::Build(r, p, kIndexOptions);
+
+  runtime::IndexCache cache(kIndexOptions);
+  auto index = cache.GetOrBuild(r, p);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
   }
-  auto strategy = core::MakeStrategy(*kind, /*seed=*/std::random_device{}());
+  runtime::Session session(
+      *index, core::MakeStrategy(*kind, /*seed=*/std::random_device{}()));
 
   std::printf("%zu x %zu rows -> %llu candidate tuples (%zu classes), "
               "strategy %s\n",
               r.num_rows(), p.num_rows(),
-              static_cast<unsigned long long>(index->num_tuples()),
-              index->num_classes(), strategy->name());
+              static_cast<unsigned long long>((*index)->num_tuples()),
+              (*index)->num_classes(), core::StrategyKindName(*kind));
   std::printf("Label each proposed pairing: y = belongs to your join, "
               "n = does not, q = stop.\n");
 
-  core::InferenceState state(*index);
-  size_t question = 0;
-  while (true) {
-    auto next = strategy->SelectNext(state);
-    if (!next) {
-      std::printf("\nNo informative tuples left — the query is determined "
-                  "on this data.\n");
-      break;
-    }
-    const core::SignatureClass& cls = index->cls(*next);
-    std::printf("\nQuestion %zu:\n", ++question);
+  while (std::optional<core::ClassId> next = session.NextQuestion()) {
+    const core::SignatureClass& cls = session.index().cls(*next);
+    std::printf("\nQuestion %zu:\n", session.num_interactions() + 1);
     PrintTuple(r, p, cls.rep_r, cls.rep_p);
     std::printf("In your join? [y/n/q] ");
     std::fflush(stdout);
@@ -128,17 +130,23 @@ int main(int argc, char** argv) {
     core::Label label = (answer == "y" || answer == "Y" || answer == "yes")
                             ? core::Label::kPositive
                             : core::Label::kNegative;
-    util::Status st = state.ApplyLabel(*next, label);
+    util::Status st = session.Answer(label);
     if (!st.ok()) {
       std::printf("That answer contradicts your earlier ones: %s\n",
                   st.ToString().c_str());
       return 1;
     }
     std::printf("  current hypothesis: %s\n",
-                index->omega().Format(state.InferredPredicate()).c_str());
+                session.index().omega().Format(
+                    session.CurrentPredicate()).c_str());
+  }
+  if (session.Finished()) {
+    std::printf("\nNo informative tuples left — the query is determined "
+                "on this data.\n");
   }
 
   std::printf("\nInferred join predicate: %s\n",
-              index->omega().Format(state.InferredPredicate()).c_str());
+              session.index().omega().Format(
+                  session.CurrentPredicate()).c_str());
   return 0;
 }

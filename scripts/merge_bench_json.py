@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Merges google-benchmark JSON files into one perf-trajectory file.
+
+Usage: merge_bench_json.py OUT IN1 [IN2 ...]
+
+The context block is taken from IN1 (one machine, one build — the inputs
+come from the same CI job); the benchmarks arrays are concatenated in input
+order. CI uses this to fold micro_core and throughput_sessions output into
+the single BENCH_core.json artifact (see bench/README.md).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path, in_paths = sys.argv[1], sys.argv[2:]
+
+    merged = None
+    for path in in_paths:
+        with open(path) as f:
+            data = json.load(f)
+        if merged is None:
+            merged = data
+        else:
+            merged["benchmarks"].extend(data["benchmarks"])
+
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"{out_path}: {len(merged['benchmarks'])} benchmarks "
+          f"from {len(in_paths)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

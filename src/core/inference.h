@@ -6,6 +6,12 @@
 // specific predicate consistent with the collected sample, which is
 // instance-equivalent to the user's goal (§3.3). An oracle that labels
 // inconsistently makes the session fail with InconsistentSample.
+//
+// This is the run-to-completion form for callers that own both sides of
+// the interaction (simulated oracles, tests). The step-driven equivalent
+// — question and answer as separate calls, for users who answer on their
+// own schedule — is runtime::Session, which reproduces this loop
+// bit-for-bit (property-tested in tests/runtime/session_test.cc).
 
 #ifndef JINFER_CORE_INFERENCE_H_
 #define JINFER_CORE_INFERENCE_H_

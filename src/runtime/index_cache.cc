@@ -1,0 +1,156 @@
+#include "runtime/index_cache.h"
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "util/bitset.h"
+
+namespace jinfer {
+namespace runtime {
+
+namespace {
+
+/// Two independently-mixed 64-bit lanes absorbed in lockstep. Each lane is
+/// a chained util::Mix64 with a lane-distinct tweak, so the pair behaves as
+/// one 128-bit digest: collapsing it would bring the collision probability
+/// for distinct instances into birthday range for large catalogs.
+class Hasher128 {
+ public:
+  void Absorb(uint64_t x) {
+    hi_ = util::Mix64(hi_ + x);
+    lo_ = util::Mix64(lo_ ^ (x * 0xc2b2ae3d27d4eb4fULL));
+  }
+
+  void AbsorbBytes(const void* data, size_t len) {
+    Absorb(len);
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    while (len >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      Absorb(word);
+      p += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      uint64_t word = 0;
+      std::memcpy(&word, p, len);
+      Absorb(word);
+    }
+  }
+
+  void AbsorbString(const std::string& s) { AbsorbBytes(s.data(), s.size()); }
+
+  /// Domain-separated type tags keep e.g. the int 1 and the string "\x01"
+  /// from colliding.
+  void AbsorbValue(const rel::Value& v) {
+    if (v.is_null()) {
+      Absorb(0x4e);  // 'N'
+    } else if (v.is_int()) {
+      Absorb(0x49);  // 'I'
+      Absorb(static_cast<uint64_t>(v.AsInt()));
+    } else if (v.is_double()) {
+      Absorb(0x44);  // 'D'
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      Absorb(bits);
+    } else {
+      Absorb(0x53);  // 'S'
+      AbsorbString(v.AsString());
+    }
+  }
+
+  void AbsorbRelation(const rel::Relation& rel) {
+    AbsorbString(rel.schema().relation_name());
+    Absorb(rel.num_attributes());
+    for (const std::string& attr : rel.schema().attribute_names()) {
+      AbsorbString(attr);
+    }
+    Absorb(rel.num_rows());
+    for (const rel::Row& row : rel.rows()) {
+      for (const rel::Value& cell : row) AbsorbValue(cell);
+    }
+  }
+
+  InstanceFingerprint Finish() const { return {hi_, lo_}; }
+
+ private:
+  uint64_t hi_ = 0x243f6a8885a308d3ULL;  // pi digits — nothing-up-my-sleeve.
+  uint64_t lo_ = 0x13198a2e03707344ULL;
+};
+
+}  // namespace
+
+InstanceFingerprint FingerprintInstance(const rel::Relation& r,
+                                        const rel::Relation& p,
+                                        bool compress) {
+  Hasher128 h;
+  h.AbsorbRelation(r);
+  h.AbsorbRelation(p);
+  h.Absorb(compress ? 1 : 0);
+  return h.Finish();
+}
+
+util::Result<std::shared_ptr<const core::SignatureIndex>>
+IndexCache::GetOrBuild(const rel::Relation& r, const rel::Relation& p) {
+  const InstanceFingerprint key = FingerprintInstance(r, p, options_.compress);
+
+  // Engaged only on a miss: the promise's shared state is a heap
+  // allocation the hit path (the per-session steady state) never needs.
+  std::optional<std::promise<BuildOutcome>> promise;
+  uint64_t my_id;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      std::shared_future<BuildOutcome> future = it->second.future;
+      lock.unlock();
+      return future.get();  // Blocks iff the build is still in flight.
+    }
+    my_id = ++next_id_;
+    promise.emplace();
+    entries_.emplace(key, Entry{promise->get_future().share(), my_id});
+    ++stats_.builds;
+  }
+
+  // Single-flight winner: build outside the lock so concurrent requests for
+  // other fingerprints (and waiters on this one) are never serialized on mu_.
+  util::Result<core::SignatureIndex> built =
+      core::SignatureIndex::Build(r, p, options_);
+  BuildOutcome outcome =
+      built.ok() ? BuildOutcome(std::make_shared<const core::SignatureIndex>(
+                       std::move(built).ValueOrDie()))
+                 : BuildOutcome(built.status());
+
+  if (!outcome.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.id == my_id) entries_.erase(it);
+  }
+  // Deliver after the eviction: a caller that misses the erased entry
+  // starts a fresh build instead of waiting on this failed one.
+  promise->set_value(outcome);
+  return outcome;
+}
+
+size_t IndexCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+IndexCacheStats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace runtime
+}  // namespace jinfer

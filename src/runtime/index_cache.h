@@ -1,0 +1,126 @@
+// IndexCache: builds each SignatureIndex at most once under concurrent
+// demand and shares it across sessions.
+//
+// The index is the expensive per-instance artifact every session needs, and
+// it is immutable once built — the natural unit of sharing for a runtime
+// serving many concurrent users over a catalog of instances (the per-user
+// protocol of the paper stays untouched; only the shared precomputation is
+// factored out). Entries are keyed by a content fingerprint of
+// (schema, rows, compression flag), so two callers handing in equal
+// relations — whether or not they are the same objects — share one build.
+//
+// Concurrency contract (single-flight): the first caller to request a
+// fingerprint becomes the builder; callers that race on the same
+// fingerprint block on the builder's result instead of duplicating the
+// work. Every caller receives the same shared_ptr<const SignatureIndex>.
+// A failed build is reported to everyone waiting on it and then evicted,
+// so a later request retries instead of caching the error.
+
+#ifndef JINFER_RUNTIME_INDEX_CACHE_H_
+#define JINFER_RUNTIME_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/signature_index.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace runtime {
+
+/// 128-bit content fingerprint of an inference instance: relation names,
+/// attribute names, every cell value (with its runtime type), and the
+/// compression flag. Equal instances always collide; distinct instances
+/// collide with probability ~2^-128 per pair, which the cache treats as
+/// never (a collision would silently alias two instances).
+struct InstanceFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const InstanceFingerprint& a,
+                         const InstanceFingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+/// Fingerprints (r, p, compress). Deterministic across runs on one
+/// platform — it folds explicit type tags and payload bytes, never
+/// pointer values or std::hash. String bytes are absorbed in native byte
+/// order, so fingerprints are NOT comparable across endianness; they are
+/// in-process cache keys, not a persistable format.
+InstanceFingerprint FingerprintInstance(const rel::Relation& r,
+                                        const rel::Relation& p, bool compress);
+
+struct IndexCacheStats {
+  uint64_t lookups = 0;  ///< GetOrBuild calls.
+  uint64_t hits = 0;     ///< Calls served from an existing entry (including
+                         ///< blocking on a build already in flight).
+  uint64_t builds = 0;   ///< Builds actually started (one per miss).
+  uint64_t failures = 0; ///< Builds that ended in an error (evicted).
+
+  double HitRate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class IndexCache {
+ public:
+  /// `build_options` apply to every build this cache performs. The thread
+  /// count does not affect the built index (see SignatureIndexOptions), so
+  /// it is excluded from the fingerprint; the compression flag changes the
+  /// index shape and is folded in.
+  explicit IndexCache(core::SignatureIndexOptions build_options = {})
+      : options_(build_options) {}
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the shared index for (r, p), building it if this is the first
+  /// request for the fingerprint. Blocks while another caller is building
+  /// the same fingerprint (single-flight). Thread-safe.
+  util::Result<std::shared_ptr<const core::SignatureIndex>> GetOrBuild(
+      const rel::Relation& r, const rel::Relation& p);
+
+  /// Number of resident entries (completed or in-flight builds).
+  size_t size() const;
+
+  IndexCacheStats stats() const;
+
+  /// Drops every entry. In-flight builds complete and are delivered to
+  /// their waiters but are not re-inserted.
+  void Clear();
+
+ private:
+  using BuildOutcome = util::Result<std::shared_ptr<const core::SignatureIndex>>;
+
+  struct FingerprintHash {
+    size_t operator()(const InstanceFingerprint& f) const {
+      return static_cast<size_t>(f.hi ^ (f.lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  /// The future lets losers of the insert race wait without holding mu_
+  /// while the winner builds; the id lets the winner evict exactly its own
+  /// entry on failure (never a successor inserted after a Clear).
+  struct Entry {
+    std::shared_future<BuildOutcome> future;
+    uint64_t id = 0;
+  };
+
+  core::SignatureIndexOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<InstanceFingerprint, Entry, FingerprintHash> entries_;
+  uint64_t next_id_ = 0;
+  IndexCacheStats stats_;
+};
+
+}  // namespace runtime
+}  // namespace jinfer
+
+#endif  // JINFER_RUNTIME_INDEX_CACHE_H_

@@ -1,0 +1,103 @@
+#include "runtime/session.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace jinfer {
+namespace runtime {
+
+namespace {
+
+/// Validated before the member initializers dereference it — a null handle
+/// must abort with this message, not segfault constructing the state.
+const core::SignatureIndex* CheckedIndex(const core::SignatureIndex* index) {
+  JINFER_CHECK(index != nullptr, "Session without an index");
+  return index;
+}
+
+}  // namespace
+
+Session::Session(std::shared_ptr<const core::SignatureIndex> index,
+                 std::unique_ptr<core::Strategy> strategy,
+                 SessionOptions options)
+    : keepalive_(std::move(index)),
+      index_(CheckedIndex(keepalive_.get())),
+      strategy_(std::move(strategy)),
+      options_(options),
+      state_(*index_) {
+  JINFER_CHECK(strategy_ != nullptr, "Session without a strategy");
+}
+
+Session::Session(const core::SignatureIndex& index,
+                 std::unique_ptr<core::Strategy> strategy,
+                 SessionOptions options)
+    : index_(&index),
+      strategy_(std::move(strategy)),
+      options_(options),
+      state_(index) {
+  JINFER_CHECK(strategy_ != nullptr, "Session without a strategy");
+}
+
+std::optional<core::ClassId> Session::NextQuestion() {
+  if (finished_) return std::nullopt;
+  if (pending_) return pending_;
+
+  util::Stopwatch watch;
+  if (options_.max_interactions > 0 &&
+      num_interactions_ >= options_.max_interactions) {
+    halted_early_ = state_.NumInformativeClasses() > 0;
+    finished_ = true;
+  } else {
+    std::optional<core::ClassId> next = strategy_->SelectNext(state_);
+    if (!next) {
+      // Halt condition Γ: the strategy may only give up when no informative
+      // tuple remains.
+      JINFER_CHECK(state_.NumInformativeClasses() == 0,
+                   "strategy %s returned no tuple with %zu informative "
+                   "classes remaining",
+                   strategy_->name(), state_.NumInformativeClasses());
+      finished_ = true;
+    } else {
+      JINFER_CHECK(state_.state(*next) != core::TupleState::kLabeled,
+                   "strategy %s re-presented the already-labeled class %u",
+                   strategy_->name(), *next);
+      pending_ = next;
+    }
+  }
+  seconds_ += watch.ElapsedSeconds();
+  return pending_;
+}
+
+util::Status Session::Answer(core::Label label) {
+  if (!pending_) {
+    return util::Status::FailedPrecondition(
+        "Answer with no pending question (call NextQuestion first)");
+  }
+  util::Stopwatch watch;
+  const uint64_t informative_before = state_.InformativeTupleWeight();
+  util::Status status = state_.ApplyLabel(*pending_, label);
+  seconds_ += watch.ElapsedSeconds();
+  if (!status.ok()) return status;  // Question stays pending; state untouched.
+
+  ++num_interactions_;
+  if (options_.record_trace) {
+    trace_.push_back(
+        core::InteractionRecord{*pending_, label, informative_before});
+  }
+  pending_.reset();
+  return util::Status::OK();
+}
+
+core::InferenceResult Session::Result() const {
+  core::InferenceResult result;
+  result.predicate = state_.InferredPredicate();
+  result.num_interactions = num_interactions_;
+  result.seconds = seconds_;
+  result.halted_early = halted_early_;
+  result.trace = trace_;
+  return result;
+}
+
+}  // namespace runtime
+}  // namespace jinfer

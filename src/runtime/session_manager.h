@@ -1,0 +1,76 @@
+// SessionManager: drives many inference sessions to completion over a
+// fixed pool of worker threads.
+//
+// Each job pairs a session factory with the oracle that answers its
+// questions. Workers pull jobs from a shared ready queue and advance one
+// session by a bounded slice of steps (NextQuestion → oracle → Answer)
+// before requeueing it, so N sessions make progress over far fewer threads
+// — the multiplexing a runtime needs when sessions outnumber cores. The
+// factory runs on the worker, which is where shared-state resolution
+// belongs: jobs that fetch their index through a runtime::IndexCache
+// exercise its single-flight path under real concurrency.
+//
+// Determinism contract: sessions share no mutable state (strategy RNGs are
+// per-session, oracles are per-job, the index is immutable), so a
+// session's transcript and result are a pure function of its job — bit-
+// identical whether it runs alone, serially, or among a thousand
+// concurrent sessions, for every thread count and slice size. Property-
+// tested in tests/runtime/session_manager_test.cc.
+
+#ifndef JINFER_RUNTIME_SESSION_MANAGER_H_
+#define JINFER_RUNTIME_SESSION_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/inference.h"
+#include "core/oracle.h"
+#include "runtime/session.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace runtime {
+
+/// One unit of work: build a session (on the worker), answer its questions
+/// with `oracle` until it finishes.
+struct SessionJob {
+  /// Called once, on the worker that first claims the job. May block (e.g.
+  /// on IndexCache::GetOrBuild); an error fails this job only.
+  std::function<util::Result<Session>()> make;
+
+  /// Answers the session's questions. Must not be shared with other jobs
+  /// unless it is thread-safe and order-insensitive.
+  std::unique_ptr<core::Oracle> oracle;
+};
+
+class SessionManager {
+ public:
+  struct Options {
+    /// Worker threads: >= 1 exact, 0 = one per hardware thread. Capped at
+    /// the job count; 1 runs everything inline on the calling thread.
+    int threads = 1;
+
+    /// Interactions a worker performs on a claimed session before
+    /// requeueing it (fairness knob); 0 = run a claimed session to
+    /// completion (coarsest schedule, fewest queue round-trips).
+    size_t steps_per_slice = 8;
+  };
+
+  SessionManager() : options_() {}
+  explicit SessionManager(Options options) : options_(options) {}
+
+  /// Runs every job to completion and returns their results in job order:
+  /// the session's final InferenceResult, or the error from its factory /
+  /// an inconsistent oracle. Blocks until all jobs finish.
+  std::vector<util::Result<core::InferenceResult>> RunAll(
+      std::vector<SessionJob> jobs);
+
+ private:
+  Options options_;
+};
+
+}  // namespace runtime
+}  // namespace jinfer
+
+#endif  // JINFER_RUNTIME_SESSION_MANAGER_H_

@@ -4,6 +4,7 @@
 
 #include "core/lattice.h"
 #include "core/oracle.h"
+#include "runtime/session.h"
 #include "util/string_util.h"
 
 namespace jinfer {
@@ -19,15 +20,19 @@ util::Result<StrategyStats> MeasureStrategy(const core::SignatureIndex& index,
   StrategyStats stats;
   stats.kind = kind;
   stats.runs = runs;
-  core::InferenceOptions options;
+  runtime::SessionOptions options;
   options.record_trace = false;
 
   for (size_t run = 0; run < runs; ++run) {
-    auto strategy = core::MakeStrategy(kind, seed + run);
+    // Step-driven session (same loop shape as the production runtime); the
+    // oracle answers inline, so this measures pure inference time.
+    runtime::Session session(index, core::MakeStrategy(kind, seed + run),
+                             options);
     core::GoalOracle oracle(goal);
-    JINFER_ASSIGN_OR_RETURN(
-        core::InferenceResult result,
-        core::RunInference(index, *strategy, oracle, options));
+    while (std::optional<core::ClassId> question = session.NextQuestion()) {
+      JINFER_RETURN_NOT_OK(session.Answer(oracle.LabelClass(index, *question)));
+    }
+    core::InferenceResult result = session.Result();
     if (!index.EquivalentOnInstance(result.predicate, goal)) {
       return util::Status::FailedPrecondition(util::StrFormat(
           "strategy %s inferred a predicate not instance-equivalent to the "

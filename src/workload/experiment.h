@@ -3,6 +3,10 @@
 // validating on every run that the inferred predicate is instance-
 // equivalent to the goal (§3.3), so a bench that prints numbers has also
 // proven correctness.
+//
+// Sessions are driven through the runtime::Session step API (the same
+// surface the concurrent runtime serves), with a GoalOracle answering
+// inline — so the harness measures exactly what production sessions run.
 
 #ifndef JINFER_WORKLOAD_EXPERIMENT_H_
 #define JINFER_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,152 @@
+#include "runtime/index_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace runtime {
+namespace {
+
+TEST(FingerprintTest, EqualInstancesCollide) {
+  InstanceFingerprint a = FingerprintInstance(testing::Example21R(),
+                                              testing::Example21P(), true);
+  InstanceFingerprint b = FingerprintInstance(testing::Example21R(),
+                                              testing::Example21P(), true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, SensitiveToEveryComponent) {
+  const rel::Relation r = testing::Example21R();
+  const rel::Relation p = testing::Example21P();
+  const InstanceFingerprint base = FingerprintInstance(r, p, true);
+
+  // One changed cell.
+  auto r_cell = rel::Relation::Make("R0", {"A1", "A2"},
+                                    {{0, 1}, {0, 2}, {2, 3}, {1, 0}});
+  ASSERT_TRUE(r_cell.ok());
+  EXPECT_FALSE(FingerprintInstance(*r_cell, p, true) == base);
+
+  // Same cells, different runtime type (int 0 vs string "0").
+  auto r_type = rel::Relation::Make("R0", {"A1", "A2"},
+                                    {{"0", 1}, {0, 2}, {2, 2}, {1, 0}});
+  ASSERT_TRUE(r_type.ok());
+  EXPECT_FALSE(FingerprintInstance(*r_type, p, true) == base);
+
+  // Renamed attribute.
+  auto r_attr = rel::Relation::Make("R0", {"A1", "AX"},
+                                    {{0, 1}, {0, 2}, {2, 2}, {1, 0}});
+  ASSERT_TRUE(r_attr.ok());
+  EXPECT_FALSE(FingerprintInstance(*r_attr, p, true) == base);
+
+  // Renamed relation.
+  auto r_name = rel::Relation::Make("RX", {"A1", "A2"},
+                                    {{0, 1}, {0, 2}, {2, 2}, {1, 0}});
+  ASSERT_TRUE(r_name.ok());
+  EXPECT_FALSE(FingerprintInstance(*r_name, p, true) == base);
+
+  // Swapped sides and flipped compression flag.
+  EXPECT_FALSE(FingerprintInstance(p, r, true) == base);
+  EXPECT_FALSE(FingerprintInstance(r, p, false) == base);
+}
+
+TEST(IndexCacheTest, SecondLookupSharesTheBuild) {
+  IndexCache cache;
+  auto first = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(first->get(), second->get());  // The same object, not a rebuild.
+  EXPECT_EQ((*first)->num_classes(), testing::Example21Index().num_classes());
+
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(IndexCacheTest, DistinctInstancesGetDistinctEntries) {
+  IndexCache cache;
+  auto a = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  auto b = cache.GetOrBuild(testing::FlightTable(), testing::HotelTable());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().builds, 2u);
+}
+
+// Single-flight: racing requests for one fingerprint must run the build
+// exactly once — every caller gets the same shared index object.
+TEST(IndexCacheTest, SingleFlightUnderRacingRequests) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kLookupsPerThread = 16;
+
+  IndexCache cache;
+  const rel::Relation r = testing::Example21R();
+  const rel::Relation p = testing::Example21P();
+
+  std::vector<const core::SignatureIndex*> seen(kThreads * kLookupsPerThread,
+                                                nullptr);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kLookupsPerThread; ++i) {
+        auto index = cache.GetOrBuild(r, p);
+        ASSERT_TRUE(index.ok());
+        seen[t * kLookupsPerThread + i] = index->get();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (const core::SignatureIndex* ptr : seen) EXPECT_EQ(ptr, seen[0]);
+
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.lookups, kThreads * kLookupsPerThread);
+  EXPECT_EQ(stats.hits, stats.lookups - 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(IndexCacheTest, FailedBuildIsEvictedAndRetried) {
+  IndexCache cache;
+  auto empty = rel::Relation::Make("E", {"A"}, {});
+  ASSERT_TRUE(empty.ok());
+
+  auto first = cache.GetOrBuild(*empty, testing::Example21P());
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(cache.size(), 0u);  // The error is not cached.
+
+  auto second = cache.GetOrBuild(*empty, testing::Example21P());
+  EXPECT_FALSE(second.ok());
+
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);  // Retried, not served from a poisoned entry.
+  EXPECT_EQ(stats.failures, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(IndexCacheTest, ClearDropsEntriesButHandoutsSurvive) {
+  IndexCache cache;
+  auto index = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_TRUE(index.ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  // The handed-out shared_ptr keeps the index alive past the eviction.
+  EXPECT_EQ((*index)->num_classes(), testing::Example21Index().num_classes());
+
+  auto rebuilt = cache.GetOrBuild(testing::Example21R(),
+                                  testing::Example21P());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(cache.stats().builds, 2u);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace jinfer

@@ -1,0 +1,199 @@
+#include "runtime/session_manager.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "runtime/index_cache.h"
+#include "testing/paper_fixtures.h"
+#include "util/status.h"
+#include "workload/experiment.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace runtime {
+namespace {
+
+void ExpectSameResult(const core::InferenceResult& a,
+                      const core::InferenceResult& b) {
+  EXPECT_EQ(a.predicate, b.predicate);
+  EXPECT_EQ(a.num_interactions, b.num_interactions);
+  EXPECT_EQ(a.halted_early, b.halted_early);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].cls, b.trace[i].cls) << "interaction " << i;
+    EXPECT_EQ(a.trace[i].label, b.trace[i].label) << "interaction " << i;
+    EXPECT_EQ(a.trace[i].informative_before, b.trace[i].informative_before)
+        << "interaction " << i;
+  }
+}
+
+/// One parameterized workload cell: (strategy, seed, goal) on a shared
+/// index. The job factory builds its session on the claiming worker, like
+/// production jobs do.
+struct Spec {
+  core::StrategyKind kind;
+  uint64_t seed;
+  core::JoinPredicate goal;
+};
+
+std::vector<Spec> MakeSpecs(const core::SignatureIndex& index) {
+  auto goals = workload::SampleGoalsBySize(index, /*max_per_size=*/2,
+                                           /*seed=*/31337);
+  JINFER_CHECK(goals.ok(), "goals");
+  std::vector<Spec> specs;
+  uint64_t seed = 0;
+  for (const auto& [size, bucket_goals] : *goals) {
+    for (const core::JoinPredicate& goal : bucket_goals) {
+      for (core::StrategyKind kind :
+           {core::StrategyKind::kBottomUp, core::StrategyKind::kTopDown,
+            core::StrategyKind::kLookahead1, core::StrategyKind::kLookahead2,
+            core::StrategyKind::kRandom}) {
+        specs.push_back(Spec{kind, ++seed, goal});
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<SessionJob> MakeJobs(const core::SignatureIndex& index,
+                                 const std::vector<Spec>& specs) {
+  std::vector<SessionJob> jobs;
+  jobs.reserve(specs.size());
+  for (const Spec& spec : specs) {
+    SessionJob job;
+    job.make = [&index, spec] {
+      return util::Result<Session>(
+          Session(index, core::MakeStrategy(spec.kind, spec.seed)));
+    };
+    job.oracle = std::make_unique<core::GoalOracle>(spec.goal);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+// The acceptance property: a session's transcript is bit-identical whether
+// it runs alone or among many concurrent sessions — at 1 and 4 threads,
+// and under the finest slice (1 step) that maximizes interleaving.
+TEST(SessionManagerTest, TranscriptsIdenticalSoloSerialAndConcurrent) {
+  auto inst = workload::GenerateSynthetic({3, 3, 30, 6}, 777);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+
+  const std::vector<Spec> specs = MakeSpecs(*index);
+  ASSERT_GE(specs.size(), 10u);
+
+  // Baseline: every spec run alone, no manager involved.
+  std::vector<core::InferenceResult> solo;
+  for (const Spec& spec : specs) {
+    Session session(*index, core::MakeStrategy(spec.kind, spec.seed));
+    core::GoalOracle oracle(spec.goal);
+    while (std::optional<core::ClassId> question = session.NextQuestion()) {
+      ASSERT_TRUE(
+          session.Answer(oracle.LabelClass(*index, *question)).ok());
+    }
+    solo.push_back(session.Result());
+  }
+
+  for (int threads : {1, 4}) {
+    SessionManager::Options options;
+    options.threads = threads;
+    options.steps_per_slice = 1;
+    SessionManager manager(options);
+    auto results = manager.RunAll(MakeJobs(*index, specs));
+    ASSERT_EQ(results.size(), specs.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << "job " << i << " at " << threads
+                                   << " threads";
+      ExpectSameResult(solo[i], *results[i]);
+    }
+  }
+}
+
+TEST(SessionManagerTest, StepsPerSliceZeroRunsClaimedSessionsToCompletion) {
+  core::SignatureIndex index = testing::Example21Index();
+  std::vector<Spec> specs = {
+      {core::StrategyKind::kTopDown, 1,
+       testing::Pred(index.omega(), {{0, 0}, {1, 1}})},
+      {core::StrategyKind::kBottomUp, 2,
+       testing::Pred(index.omega(), {{0, 2}})},
+  };
+  SessionManager::Options options;
+  options.threads = 2;
+  options.steps_per_slice = 0;
+  auto results = SessionManager(options).RunAll(MakeJobs(index, specs));
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->num_interactions, 0u);
+  }
+}
+
+TEST(SessionManagerTest, FactoryErrorFailsOnlyItsJob) {
+  core::SignatureIndex index = testing::Example21Index();
+
+  std::vector<SessionJob> jobs;
+  SessionJob good;
+  good.make = [&index] {
+    return util::Result<Session>(
+        Session(index, core::MakeStrategy(core::StrategyKind::kTopDown)));
+  };
+  good.oracle = std::make_unique<core::GoalOracle>(
+      testing::Pred(index.omega(), {{0, 0}, {1, 1}}));
+  jobs.push_back(std::move(good));
+
+  SessionJob bad;
+  bad.make = [] {
+    return util::Result<Session>(
+        util::Status::InvalidArgument("no such instance"));
+  };
+  bad.oracle = std::make_unique<core::GoalOracle>(core::JoinPredicate());
+  jobs.push_back(std::move(bad));
+
+  auto results = SessionManager().RunAll(std::move(jobs));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+}
+
+// Production shape: jobs resolve their index through a shared IndexCache
+// on the worker, so racing factories exercise the single-flight path.
+TEST(SessionManagerTest, JobsShareIndexesThroughTheCache) {
+  auto inst_a = workload::GenerateSynthetic({2, 2, 20, 5}, 1);
+  auto inst_b = workload::GenerateSynthetic({2, 2, 20, 5}, 2);
+  ASSERT_TRUE(inst_a.ok());
+  ASSERT_TRUE(inst_b.ok());
+
+  IndexCache cache;
+  std::vector<SessionJob> jobs;
+  for (size_t i = 0; i < 16; ++i) {
+    const workload::SyntheticInstance& inst = i % 2 == 0 ? *inst_a : *inst_b;
+    SessionJob job;
+    job.make = [&cache, &inst]() -> util::Result<Session> {
+      JINFER_ASSIGN_OR_RETURN(auto index,
+                              cache.GetOrBuild(inst.r, inst.p));
+      return Session(std::move(index),
+                     core::MakeStrategy(core::StrategyKind::kTopDown));
+    };
+    job.oracle = std::make_unique<core::GoalOracle>(
+        core::JoinPredicate::Singleton(0));
+    jobs.push_back(std::move(job));
+  }
+
+  SessionManager::Options options;
+  options.threads = 4;
+  auto results = SessionManager(options).RunAll(std::move(jobs));
+  for (const auto& result : results) EXPECT_TRUE(result.ok());
+
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);  // One per distinct instance, ever.
+  EXPECT_EQ(stats.lookups, 16u);
+  EXPECT_EQ(stats.hits, 14u);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace jinfer
