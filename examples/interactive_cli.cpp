@@ -2,11 +2,20 @@
 // your own terminal — the actual user-in-the-loop scenario of the paper.
 //
 // Usage:
-//   ./build/examples/interactive_cli R.csv P.csv [strategy]
-//   ./build/examples/interactive_cli              (built-in demo tables)
+//   ./build/examples/interactive_cli [--store-dir=DIR] R.csv P.csv [strategy]
+//   ./build/examples/interactive_cli [--store-dir=DIR]   (built-in demo)
 //
 // strategy ∈ {BU, TD, L1S, L2S, RND, EG}; default TD. Answer each prompt
 // with y/n (or q to stop early and accept the current hypothesis).
+//
+// --store-dir=DIR attaches a persistent index store (DESIGN.md §8): the
+// first run on an instance builds the signature index and persists it;
+// every later run — in any process — mmaps the stored file instead of
+// rebuilding. The banner prints which tier served the index
+// (memory / mapped / built), so the reuse is observable:
+//
+//   $ interactive_cli --store-dir=/tmp/jidx R.csv P.csv   # index: built
+//   $ interactive_cli --store-dir=/tmp/jidx R.csv P.csv   # index: mapped
 //
 // The session runs on the runtime layer: the index comes out of a
 // runtime::IndexCache (a second CLI on the same CSVs inside one process
@@ -18,13 +27,16 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "relational/csv.h"
 #include "relational/relation.h"
 #include "runtime/index_cache.h"
 #include "runtime/session.h"
+#include "store/index_store.h"
 
 using namespace jinfer;
 
@@ -73,10 +85,24 @@ void PrintTuple(const rel::Relation& r, const rel::Relation& p, size_t i,
 int main(int argc, char** argv) {
   rel::Relation r, p;
   std::string strategy_name = "TD";
+  std::string store_dir;
 
-  if (argc >= 3) {
-    auto rr = rel::ReadRelationCsvFile(argv[1], "R");
-    auto pp = rel::ReadRelationCsvFile(argv[2], "P");
+  // Split --store-dir[=DIR] off before the positional arguments.
+  std::vector<std::string> args;
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg.rfind("--store-dir=", 0) == 0) {
+      store_dir = arg.substr(std::strlen("--store-dir="));
+    } else if (arg == "--store-dir" && a + 1 < argc) {
+      store_dir = argv[++a];
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+
+  if (args.size() >= 2) {
+    auto rr = rel::ReadRelationCsvFile(args[0], "R");
+    auto pp = rel::ReadRelationCsvFile(args[1], "P");
     if (!rr.ok() || !pp.ok()) {
       std::fprintf(stderr, "load failed: %s / %s\n",
                    rr.status().ToString().c_str(),
@@ -85,12 +111,12 @@ int main(int argc, char** argv) {
     }
     r = std::move(rr).ValueOrDie();
     p = std::move(pp).ValueOrDie();
-    if (argc >= 4) strategy_name = argv[3];
+    if (args.size() >= 3) strategy_name = args[2];
   } else {
     std::printf("No CSVs given; using the paper's Flight/Hotel demo.\n\n");
     r = DemoFlight();
     p = DemoHotel();
-    if (argc == 2) strategy_name = argv[1];
+    if (args.size() == 1) strategy_name = args[0];
   }
 
   auto kind = core::StrategyKindFromName(strategy_name);
@@ -100,20 +126,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  runtime::IndexCache cache(kIndexOptions);
-  auto index = cache.GetOrBuild(r, p);
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+  runtime::IndexCacheOptions cache_options;
+  cache_options.build = kIndexOptions;
+  if (!store_dir.empty()) {
+    auto store = store::IndexStore::Open(store_dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "cannot open store: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    cache_options.store =
+        std::make_shared<store::IndexStore>(std::move(store).ValueOrDie());
+  }
+  runtime::IndexCache cache(cache_options);
+  auto tiered = cache.GetOrBuildTiered(r, p);
+  if (!tiered.ok()) {
+    std::fprintf(stderr, "%s\n", tiered.status().ToString().c_str());
     return 1;
   }
+  auto index = tiered->index;
   runtime::Session session(
-      *index, core::MakeStrategy(*kind, /*seed=*/std::random_device{}()));
+      index, core::MakeStrategy(*kind, /*seed=*/std::random_device{}()));
 
   std::printf("%zu x %zu rows -> %llu candidate tuples (%zu classes), "
-              "strategy %s\n",
+              "strategy %s, index: %s\n",
               r.num_rows(), p.num_rows(),
-              static_cast<unsigned long long>((*index)->num_tuples()),
-              (*index)->num_classes(), core::StrategyKindName(*kind));
+              static_cast<unsigned long long>(index->num_tuples()),
+              index->num_classes(), core::StrategyKindName(*kind),
+              runtime::IndexTierName(tiered->tier));
   std::printf("Label each proposed pairing: y = belongs to your join, "
               "n = does not, q = stop.\n");
 

@@ -9,6 +9,10 @@ Two classes of reference are checked over every git-tracked text file:
      or — for bare file names like README.md — anywhere in the tree.
   2. Relative link targets inside Markdown files ("[text](src/runtime/)"),
      excluding external URLs and pure #fragment links.
+  3. Section references of the form "DESIGN.md §N": the cited section must
+     exist as a "## §N" heading in DESIGN.md (section numbers are stable
+     there precisely so code comments can cite them — a citation of a
+     never-written section is the same rot as a dangling file name).
 
 Run from anywhere: paths resolve against the repo root. Exit code 1 lists
 every dangling reference with file:line so the CI docs job points straight
@@ -32,6 +36,17 @@ TEXT_SUFFIXES = {".md", ".h", ".cc", ".cpp", ".txt", ".yml", ".yaml", ".py",
 
 MD_MENTION = re.compile(r"[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]\.md\b")
 MD_LINK = re.compile(r"\]\(([^)\s]+)\)")
+SECTION_REF = re.compile(r"DESIGN\.md\s*§(\d+)")
+SECTION_HEADING = re.compile(r"^##\s*§(\d+)\b")
+
+
+def design_sections():
+    design = ROOT / "DESIGN.md"
+    if not design.exists():
+        return set()
+    return {m.group(1)
+            for line in design.read_text(encoding="utf-8").splitlines()
+            if (m := SECTION_HEADING.match(line))}
 
 
 def tracked_files():
@@ -68,6 +83,7 @@ def resolves(ref: str, source: pathlib.Path, md_names) -> bool:
 
 def main() -> int:
     md_names = known_md_names()
+    sections = design_sections()
     errors = []
     for path in tracked_files():
         rel = path.relative_to(ROOT)
@@ -86,6 +102,10 @@ def main() -> int:
                 if not resolves(ref, path, md_names):
                     errors.append(f"{rel}:{lineno}: dangling reference "
                                   f"'{ref}'")
+            for number in SECTION_REF.findall(line):
+                if number not in sections:
+                    errors.append(f"{rel}:{lineno}: dangling section "
+                                  f"reference 'DESIGN.md §{number}'")
     if errors:
         print("\n".join(errors))
         print(f"\n{len(errors)} dangling doc reference(s).", file=sys.stderr)

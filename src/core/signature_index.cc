@@ -15,6 +15,11 @@ namespace core {
 
 namespace {
 
+uint64_t NextBuildId() {
+  static std::atomic<uint64_t> next_build_id{1};
+  return next_build_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 /// Dictionary-encodes every cell of both relations. Equal non-null values
 /// get equal codes; every NULL gets a fresh code (NULL never matches
 /// anything, per rel::Value semantics).
@@ -39,52 +44,58 @@ struct Dictionary {
     return it->second;
   }
 
-  std::vector<std::vector<uint32_t>> EncodeRelation(const rel::Relation& rel) {
-    std::vector<std::vector<uint32_t>> out(rel.num_rows());
+  /// Flat row-major encoding: row i occupies [i*width, (i+1)*width). The
+  /// flat layout is what the persistent store serializes (and maps back)
+  /// verbatim.
+  std::vector<uint32_t> EncodeRelation(const rel::Relation& rel) {
+    std::vector<uint32_t> out;
+    out.reserve(rel.num_rows() * rel.num_attributes());
     for (size_t i = 0; i < rel.num_rows(); ++i) {
-      out[i].reserve(rel.num_attributes());
-      for (const auto& v : rel.row(i)) out[i].push_back(Encode(v));
+      for (const auto& v : rel.row(i)) out.push_back(Encode(v));
     }
     return out;
   }
 };
 
-/// A distinct encoded row with its multiplicity and a representative
-/// original row index.
+/// A distinct encoded row (pointer into the flat code array) with its
+/// multiplicity and a representative original row index.
 struct DistinctRow {
-  const std::vector<uint32_t>* codes;
+  const uint32_t* codes;
   uint64_t count;
   uint32_t rep;
 };
 
+/// Hash/equality over width-sized code rows, keyed by pointer into the
+/// flat array (no row copies); the width is fixed per relation.
 struct RowPtrHash {
-  size_t operator()(const std::vector<uint32_t>* row) const {
+  size_t width;
+  size_t operator()(const uint32_t* row) const {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (uint32_t c : *row) h = util::Mix64(c + h);
+    for (size_t k = 0; k < width; ++k) h = util::Mix64(row[k] + h);
     return static_cast<size_t>(h);
   }
 };
 
 struct RowPtrEq {
-  bool operator()(const std::vector<uint32_t>* a,
-                  const std::vector<uint32_t>* b) const {
-    return *a == *b;
+  size_t width;
+  bool operator()(const uint32_t* a, const uint32_t* b) const {
+    return std::equal(a, a + width, b);
   }
 };
 
-/// Hashed dedup keyed on pointers into `rows` (no row copies); first
-/// occurrence wins the representative slot, matching scan order.
-std::vector<DistinctRow> Deduplicate(
-    const std::vector<std::vector<uint32_t>>& rows) {
-  std::unordered_map<const std::vector<uint32_t>*, size_t, RowPtrHash,
-                     RowPtrEq>
-      seen;
-  seen.reserve(rows.size());
+/// Hashed dedup over the flat code array; first occurrence wins the
+/// representative slot, matching scan order.
+std::vector<DistinctRow> Deduplicate(const std::vector<uint32_t>& codes,
+                                     size_t width) {
+  const size_t num_rows = width == 0 ? 0 : codes.size() / width;
+  std::unordered_map<const uint32_t*, size_t, RowPtrHash, RowPtrEq> seen(
+      num_rows, RowPtrHash{width}, RowPtrEq{width});
   std::vector<DistinctRow> out;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    auto [it, inserted] = seen.try_emplace(&rows[i], out.size());
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint32_t* row = codes.data() + i * width;
+    auto [it, inserted] = seen.try_emplace(row, out.size());
     if (inserted) {
-      out.push_back(DistinctRow{&rows[i], 1, static_cast<uint32_t>(i)});
+      out.push_back(DistinctRow{row, 1, static_cast<uint32_t>(i)});
     } else {
       ++out[it->second].count;
     }
@@ -96,8 +107,8 @@ std::vector<DistinctRow> Deduplicate(
 struct PRowLookup {
   std::vector<std::pair<uint32_t, uint32_t>> entries;  // (code, j-mask)
 
-  explicit PRowLookup(const std::vector<uint32_t>& codes) {
-    for (size_t j = 0; j < codes.size(); ++j) {
+  PRowLookup(const uint32_t* codes, size_t width) {
+    for (size_t j = 0; j < width; ++j) {
       entries.emplace_back(codes[j], uint32_t{1} << j);
     }
     std::sort(entries.begin(), entries.end());
@@ -173,27 +184,29 @@ util::Result<SignatureIndex> SignatureIndex::Build(
 
   SignatureIndex index;
   index.omega_ = std::move(omega);
-  static std::atomic<uint64_t> next_build_id{1};
-  index.build_id_ = next_build_id.fetch_add(1, std::memory_order_relaxed);
+  index.build_id_ = NextBuildId();
+  index.compressed_ = options.compress;
   index.num_tuples_ =
       static_cast<uint64_t>(r.num_rows()) * static_cast<uint64_t>(p.num_rows());
 
   Dictionary dict;
-  index.r_codes_ = dict.EncodeRelation(r);
-  index.p_codes_ = dict.EncodeRelation(p);
+  index.owned_r_codes_ = dict.EncodeRelation(r);
+  index.owned_p_codes_ = dict.EncodeRelation(p);
+  const size_t r_width = index.omega_.num_r_attrs();
+  const size_t p_width = index.omega_.num_p_attrs();
 
   std::vector<DistinctRow> r_rows, p_rows;
   if (options.compress) {
-    r_rows = Deduplicate(index.r_codes_);
-    p_rows = Deduplicate(index.p_codes_);
+    r_rows = Deduplicate(index.owned_r_codes_, r_width);
+    p_rows = Deduplicate(index.owned_p_codes_, p_width);
   } else {
-    for (size_t i = 0; i < index.r_codes_.size(); ++i) {
-      r_rows.push_back(
-          DistinctRow{&index.r_codes_[i], 1, static_cast<uint32_t>(i)});
+    for (size_t i = 0; i < r.num_rows(); ++i) {
+      r_rows.push_back(DistinctRow{index.owned_r_codes_.data() + i * r_width,
+                                   1, static_cast<uint32_t>(i)});
     }
-    for (size_t j = 0; j < index.p_codes_.size(); ++j) {
-      p_rows.push_back(
-          DistinctRow{&index.p_codes_[j], 1, static_cast<uint32_t>(j)});
+    for (size_t j = 0; j < p.num_rows(); ++j) {
+      p_rows.push_back(DistinctRow{index.owned_p_codes_.data() + j * p_width,
+                                   1, static_cast<uint32_t>(j)});
     }
   }
 
@@ -202,12 +215,12 @@ util::Result<SignatureIndex> SignatureIndex::Build(
   // this point, so shared across the workers below.
   std::unordered_set<uint32_t> codes_in_p;
   for (const auto& pr : p_rows) {
-    for (uint32_t c : *pr.codes) codes_in_p.insert(c);
+    for (size_t j = 0; j < p_width; ++j) codes_in_p.insert(pr.codes[j]);
   }
 
   std::vector<PRowLookup> p_lookups;
   p_lookups.reserve(p_rows.size());
-  for (const auto& pr : p_rows) p_lookups.emplace_back(*pr.codes);
+  for (const auto& pr : p_rows) p_lookups.emplace_back(pr.codes, p_width);
 
   // Classification pass: each worker owns a contiguous block of distinct R
   // rows and a private signature→class table; JoinPredicate is a fixed-size
@@ -226,8 +239,8 @@ util::Result<SignatureIndex> SignatureIndex::Build(
         for (size_t rk = block_begin; rk < block_end; ++rk) {
           const DistinctRow& rr = r_rows[rk];
           active.clear();
-          for (size_t i = 0; i < rr.codes->size(); ++i) {
-            uint32_t code = (*rr.codes)[i];
+          for (size_t i = 0; i < r_width; ++i) {
+            uint32_t code = rr.codes[i];
             if (codes_in_p.contains(code)) active.emplace_back(i, code);
           }
           for (size_t pk = 0; pk < p_rows.size(); ++pk) {
@@ -266,13 +279,13 @@ util::Result<SignatureIndex> SignatureIndex::Build(
   for (ClassShard& shard : shards) {
     for (SignatureClass& sc : shard.classes) {
       auto [it, inserted] = index.class_of_signature_.try_emplace(
-          sc.signature, static_cast<ClassId>(index.classes_.size()));
+          sc.signature, static_cast<ClassId>(index.owned_classes_.size()));
       if (inserted) {
-        index.classes_.push_back(std::move(sc));
+        index.owned_classes_.push_back(std::move(sc));
       } else if (options.compress) {
-        index.classes_[it->second].count += sc.count;
+        index.owned_classes_[it->second].count += sc.count;
       } else {
-        index.classes_.push_back(std::move(sc));
+        index.owned_classes_.push_back(std::move(sc));
       }
     }
     shard.classes.clear();
@@ -283,33 +296,107 @@ util::Result<SignatureIndex> SignatureIndex::Build(
   // superset has strictly larger popcount, so bucket the classes by
   // popcount and test each signature only against buckets above its own;
   // equal-popcount signatures can never strictly contain one another.
-  const size_t num_classes = index.classes_.size();
+  const size_t num_classes = index.owned_classes_.size();
   std::vector<uint16_t> popcounts(num_classes);
   std::vector<std::vector<uint32_t>> buckets(index.omega_.size() + 1);
   for (size_t a = 0; a < num_classes; ++a) {
-    size_t bits = index.classes_[a].signature.Count();
+    size_t bits = index.owned_classes_[a].signature.Count();
     popcounts[a] = static_cast<uint16_t>(bits);
     buckets[bits].push_back(static_cast<uint32_t>(a));
   }
   util::ParallelFor(
       num_classes, num_threads, [&](size_t begin, size_t end, size_t) {
         for (size_t a = begin; a < end; ++a) {
-          const JoinPredicate& sig = index.classes_[a].signature;
+          const JoinPredicate& sig = index.owned_classes_[a].signature;
           bool maximal = true;
           for (size_t bits = popcounts[a] + 1;
                maximal && bits < buckets.size(); ++bits) {
             for (uint32_t b : buckets[bits]) {
-              if (sig.IsSubsetOfPrefix(index.classes_[b].signature,
+              if (sig.IsSubsetOfPrefix(index.owned_classes_[b].signature,
                                        active_words)) {
                 maximal = false;
                 break;
               }
             }
           }
-          index.classes_[a].maximal = maximal;
+          index.owned_classes_[a].maximal = maximal;
         }
       });
+
+  // Point the read surface at the owned buffers. Safe across moves: moving
+  // a vector transfers its heap buffer, so the span targets stay put.
+  index.classes_ = index.owned_classes_;
+  index.r_codes_ = index.owned_r_codes_;
+  index.p_codes_ = index.owned_p_codes_;
   return index;
+}
+
+util::Result<SignatureIndex> SignatureIndex::FromSections(
+    Omega omega, uint64_t num_tuples, bool compressed,
+    std::span<const SignatureClass> classes, std::span<const uint32_t> r_codes,
+    std::span<const uint32_t> p_codes, std::shared_ptr<const void> storage) {
+  const size_t r_width = omega.num_r_attrs();
+  const size_t p_width = omega.num_p_attrs();
+  if (r_width == 0 || p_width == 0 || r_codes.size() % r_width != 0 ||
+      p_codes.size() % p_width != 0 || r_codes.empty() || p_codes.empty()) {
+    return util::Status::ParseError(
+        "index sections: code arrays inconsistent with the schema widths");
+  }
+  const uint64_t expected_tuples =
+      static_cast<uint64_t>(r_codes.size() / r_width) *
+      static_cast<uint64_t>(p_codes.size() / p_width);
+  if (num_tuples != expected_tuples) {
+    return util::Status::ParseError(util::StrFormat(
+        "index sections: num_tuples %llu does not match %llu encoded rows",
+        static_cast<unsigned long long>(num_tuples),
+        static_cast<unsigned long long>(expected_tuples)));
+  }
+
+  SignatureIndex index;
+  index.omega_ = std::move(omega);
+  index.build_id_ = NextBuildId();
+  index.compressed_ = compressed;
+  index.num_tuples_ = num_tuples;
+  index.storage_ = std::move(storage);
+  index.classes_ = classes;
+  index.r_codes_ = r_codes;
+  index.p_codes_ = p_codes;
+  JINFER_RETURN_NOT_OK(index.IndexSignatures());
+  return index;
+}
+
+util::Status SignatureIndex::IndexSignatures() {
+  class_of_signature_.clear();
+  class_of_signature_.reserve(classes_.size());
+  uint64_t total = 0;
+  uint32_t max_row_r = 0, max_row_p = 0;
+  for (size_t a = 0; a < classes_.size(); ++a) {
+    const SignatureClass& sc = classes_[a];
+    auto [it, inserted] = class_of_signature_.try_emplace(
+        sc.signature, static_cast<ClassId>(a));
+    // Compressed indexes have one class per signature; in the uncompressed
+    // ablation shape duplicates are expected and the first class wins the
+    // map slot, matching Build's merge order.
+    if (!inserted && compressed_) {
+      return util::Status::ParseError(util::StrFormat(
+          "index sections: duplicate signature in classes %u and %zu of a "
+          "compressed index", it->second, a));
+    }
+    total += sc.count;
+    max_row_r = std::max(max_row_r, sc.rep_r);
+    max_row_p = std::max(max_row_p, sc.rep_p);
+  }
+  if (total != num_tuples_) {
+    return util::Status::ParseError(util::StrFormat(
+        "index sections: class counts sum to %llu, expected |D| = %llu",
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(num_tuples_)));
+  }
+  if (max_row_r >= num_r_rows() || max_row_p >= num_p_rows()) {
+    return util::Status::ParseError(
+        "index sections: class representative outside the encoded rows");
+  }
+  return util::Status::OK();
 }
 
 std::optional<ClassId> SignatureIndex::ClassOfSignature(
@@ -321,14 +408,15 @@ std::optional<ClassId> SignatureIndex::ClassOfSignature(
 
 JoinPredicate SignatureIndex::SignatureOfPair(size_t r_row,
                                               size_t p_row) const {
-  JINFER_CHECK(r_row < r_codes_.size() && p_row < p_codes_.size(),
+  JINFER_CHECK(r_row < num_r_rows() && p_row < num_p_rows(),
                "tuple (%zu,%zu) outside instance", r_row, p_row);
-  const auto& rc = r_codes_[r_row];
-  const auto& pc = p_codes_[p_row];
-  JoinPredicate sig;
+  const size_t n = omega_.num_r_attrs();
   const size_t m = omega_.num_p_attrs();
-  for (size_t i = 0; i < rc.size(); ++i) {
-    for (size_t j = 0; j < pc.size(); ++j) {
+  const uint32_t* rc = r_codes_.data() + r_row * n;
+  const uint32_t* pc = p_codes_.data() + p_row * m;
+  JoinPredicate sig;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
       if (rc[i] == pc[j]) sig.Set(i * m + j);
     }
   }

@@ -20,12 +20,22 @@
 // popcount-bucketed sweep: a signature is compared only against signatures
 // with strictly larger popcount, O(Σ_k |bucket_k| · |larger buckets|) word
 // ops instead of the naive O(C²), and is itself parallelized over classes.
+//
+// Storage model (DESIGN.md §8): the large arrays — the class table and the
+// dictionary-encoded row codes — are exposed as spans that point either
+// into vectors this index owns (the Build path) or into an externally
+// owned flat buffer such as an mmapped store file (FromSections, used by
+// src/store/'s zero-copy loader). The index is move-only: moving transfers
+// the owned buffers without invalidating the spans, while copying would
+// silently alias them.
 
 #ifndef JINFER_CORE_SIGNATURE_INDEX_H_
 #define JINFER_CORE_SIGNATURE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +48,11 @@ namespace jinfer {
 namespace core {
 
 /// One equivalence class of Cartesian-product tuples sharing a signature.
+///
+/// The layout is part of the persistent store's on-disk format (the class
+/// table section is a flat array of these records, DESIGN.md §8), so it is
+/// pinned by static_asserts in src/store/index_file.h; reorder or resize
+/// only together with a format version bump.
 struct SignatureClass {
   JoinPredicate signature;   ///< T(t) for every member tuple.
   uint64_t count = 0;        ///< Number of member tuples in D.
@@ -69,6 +84,30 @@ class SignatureIndex {
       const rel::Relation& r, const rel::Relation& p,
       const SignatureIndexOptions& options = {});
 
+  /// Reassembles an index from its serialized sections without copying the
+  /// large arrays: `classes` and the code spans are adopted as-is and must
+  /// stay valid for the index's lifetime — `storage` (e.g. a shared mmap
+  /// handle) is held to guarantee that. Only the signature→class hash map
+  /// is rebuilt (O(#classes), negligible next to the classification pass).
+  /// Fails with ParseError when the sections are mutually inconsistent
+  /// (sizes, duplicate signatures under compression, counts not summing to
+  /// num_tuples) — the store's last line of defense behind its checksum.
+  /// A freshly Build()-ed and a FromSections()-reassembled index over the
+  /// same instance are bit-identical in every observable (property-tested
+  /// in tests/store/).
+  static util::Result<SignatureIndex> FromSections(
+      Omega omega, uint64_t num_tuples, bool compressed,
+      std::span<const SignatureClass> classes,
+      std::span<const uint32_t> r_codes, std::span<const uint32_t> p_codes,
+      std::shared_ptr<const void> storage);
+
+  SignatureIndex(SignatureIndex&&) = default;
+  SignatureIndex& operator=(SignatureIndex&&) = default;
+  // Copying would alias the owned buffers through the spans; the runtime
+  // shares indexes via shared_ptr<const SignatureIndex> instead.
+  SignatureIndex(const SignatureIndex&) = delete;
+  SignatureIndex& operator=(const SignatureIndex&) = delete;
+
   const Omega& omega() const { return omega_; }
 
   /// Process-unique id stamped at Build time. Distinguishes a rebuilt
@@ -77,16 +116,32 @@ class SignatureIndex {
   /// this instead of the address.
   uint64_t build_id() const { return build_id_; }
 
+  /// True iff equal-signature tuples were grouped into weighted classes
+  /// (SignatureIndexOptions::compress at build time).
+  bool compressed() const { return compressed_; }
+
   size_t num_classes() const { return classes_.size(); }
   const SignatureClass& cls(ClassId id) const { return classes_[id]; }
-  const std::vector<SignatureClass>& classes() const { return classes_; }
+  std::span<const SignatureClass> classes() const { return classes_; }
 
   /// |D| = |R| * |P|.
   uint64_t num_tuples() const { return num_tuples_; }
 
   /// Row counts of the underlying instance.
-  size_t num_r_rows() const { return r_codes_.size(); }
-  size_t num_p_rows() const { return p_codes_.size(); }
+  size_t num_r_rows() const {
+    return omega_.num_r_attrs() == 0 ? 0
+                                     : r_codes_.size() / omega_.num_r_attrs();
+  }
+  size_t num_p_rows() const {
+    return omega_.num_p_attrs() == 0 ? 0
+                                     : p_codes_.size() / omega_.num_p_attrs();
+  }
+
+  /// Dictionary-encoded rows, flat row-major (row i occupies codes
+  /// [i*width, (i+1)*width) with width = the relation's attribute count).
+  /// These are the serialized sections of the persistent store.
+  std::span<const uint32_t> r_codes() const { return r_codes_; }
+  std::span<const uint32_t> p_codes() const { return p_codes_; }
 
   /// Class holding the given signature, if any tuple has it.
   std::optional<ClassId> ClassOfSignature(const JoinPredicate& sig) const;
@@ -114,16 +169,29 @@ class SignatureIndex {
  private:
   SignatureIndex() = default;
 
+  /// Rebuilds class_of_signature_ from classes_; shared by Build (which
+  /// fills it incrementally instead) and FromSections.
+  util::Status IndexSignatures();
+
   Omega omega_;
   uint64_t build_id_ = 0;
-  std::vector<SignatureClass> classes_;
-  std::unordered_map<JoinPredicate, ClassId, util::SmallBitsetHash>
-      class_of_signature_;
+  bool compressed_ = true;
   uint64_t num_tuples_ = 0;
 
-  // Dictionary-encoded original rows, for SignatureOfPair.
-  std::vector<std::vector<uint32_t>> r_codes_;
-  std::vector<std::vector<uint32_t>> p_codes_;
+  // Owned storage (the Build path). A mapped index leaves these empty and
+  // keeps the backing file alive through storage_ instead; either way the
+  // spans below are the single read surface.
+  std::vector<SignatureClass> owned_classes_;
+  std::vector<uint32_t> owned_r_codes_;
+  std::vector<uint32_t> owned_p_codes_;
+  std::shared_ptr<const void> storage_;
+
+  std::span<const SignatureClass> classes_;
+  std::span<const uint32_t> r_codes_;
+  std::span<const uint32_t> p_codes_;
+
+  std::unordered_map<JoinPredicate, ClassId, util::SmallBitsetHash>
+      class_of_signature_;
 };
 
 }  // namespace core

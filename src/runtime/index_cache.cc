@@ -1,100 +1,30 @@
 #include "runtime/index_cache.h"
 
-#include <cstring>
 #include <optional>
-#include <string>
-
-#include "util/bitset.h"
+#include <utility>
 
 namespace jinfer {
 namespace runtime {
 
-namespace {
-
-/// Two independently-mixed 64-bit lanes absorbed in lockstep. Each lane is
-/// a chained util::Mix64 with a lane-distinct tweak, so the pair behaves as
-/// one 128-bit digest: collapsing it would bring the collision probability
-/// for distinct instances into birthday range for large catalogs.
-class Hasher128 {
- public:
-  void Absorb(uint64_t x) {
-    hi_ = util::Mix64(hi_ + x);
-    lo_ = util::Mix64(lo_ ^ (x * 0xc2b2ae3d27d4eb4fULL));
+const char* IndexTierName(IndexTier tier) {
+  switch (tier) {
+    case IndexTier::kMemory: return "memory";
+    case IndexTier::kMapped: return "mapped";
+    case IndexTier::kBuilt: return "built";
   }
-
-  void AbsorbBytes(const void* data, size_t len) {
-    Absorb(len);
-    const unsigned char* p = static_cast<const unsigned char*>(data);
-    while (len >= 8) {
-      uint64_t word;
-      std::memcpy(&word, p, 8);
-      Absorb(word);
-      p += 8;
-      len -= 8;
-    }
-    if (len > 0) {
-      uint64_t word = 0;
-      std::memcpy(&word, p, len);
-      Absorb(word);
-    }
-  }
-
-  void AbsorbString(const std::string& s) { AbsorbBytes(s.data(), s.size()); }
-
-  /// Domain-separated type tags keep e.g. the int 1 and the string "\x01"
-  /// from colliding.
-  void AbsorbValue(const rel::Value& v) {
-    if (v.is_null()) {
-      Absorb(0x4e);  // 'N'
-    } else if (v.is_int()) {
-      Absorb(0x49);  // 'I'
-      Absorb(static_cast<uint64_t>(v.AsInt()));
-    } else if (v.is_double()) {
-      Absorb(0x44);  // 'D'
-      uint64_t bits;
-      double d = v.AsDouble();
-      std::memcpy(&bits, &d, sizeof(bits));
-      Absorb(bits);
-    } else {
-      Absorb(0x53);  // 'S'
-      AbsorbString(v.AsString());
-    }
-  }
-
-  void AbsorbRelation(const rel::Relation& rel) {
-    AbsorbString(rel.schema().relation_name());
-    Absorb(rel.num_attributes());
-    for (const std::string& attr : rel.schema().attribute_names()) {
-      AbsorbString(attr);
-    }
-    Absorb(rel.num_rows());
-    for (const rel::Row& row : rel.rows()) {
-      for (const rel::Value& cell : row) AbsorbValue(cell);
-    }
-  }
-
-  InstanceFingerprint Finish() const { return {hi_, lo_}; }
-
- private:
-  uint64_t hi_ = 0x243f6a8885a308d3ULL;  // pi digits — nothing-up-my-sleeve.
-  uint64_t lo_ = 0x13198a2e03707344ULL;
-};
-
-}  // namespace
-
-InstanceFingerprint FingerprintInstance(const rel::Relation& r,
-                                        const rel::Relation& p,
-                                        bool compress) {
-  Hasher128 h;
-  h.AbsorbRelation(r);
-  h.AbsorbRelation(p);
-  h.Absorb(compress ? 1 : 0);
-  return h.Finish();
+  return "unknown";
 }
 
 util::Result<std::shared_ptr<const core::SignatureIndex>>
 IndexCache::GetOrBuild(const rel::Relation& r, const rel::Relation& p) {
-  const InstanceFingerprint key = FingerprintInstance(r, p, options_.compress);
+  JINFER_ASSIGN_OR_RETURN(TieredIndex tiered, GetOrBuildTiered(r, p));
+  return std::move(tiered.index);
+}
+
+util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
+    const rel::Relation& r, const rel::Relation& p) {
+  const InstanceFingerprint key =
+      FingerprintInstance(r, p, options_.build.compress);
 
   // Engaged only on a miss: the promise's shared state is a heap
   // allocation the hit path (the per-session steady state) never needs.
@@ -103,38 +33,127 @@ IndexCache::GetOrBuild(const rel::Relation& r, const rel::Relation& p) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.lookups;
+    // Every lookup feeds the admission sketch, hits included: residency
+    // decisions compare true access frequencies, not miss frequencies.
+    sketch_.Increment(SketchKey(key));
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
       std::shared_future<BuildOutcome> future = it->second.future;
       lock.unlock();
-      return future.get();  // Blocks iff the build is still in flight.
+      // Blocks iff the resolution is still in flight.
+      JINFER_ASSIGN_OR_RETURN(auto index, future.get());
+      return TieredIndex{std::move(index), IndexTier::kMemory};
     }
     my_id = ++next_id_;
     promise.emplace();
-    entries_.emplace(key, Entry{promise->get_future().share(), my_id});
-    ++stats_.builds;
+    entries_.emplace(key, Entry{promise->get_future().share(), my_id, false});
   }
 
-  // Single-flight winner: build outside the lock so concurrent requests for
-  // other fingerprints (and waiters on this one) are never serialized on mu_.
-  util::Result<core::SignatureIndex> built =
-      core::SignatureIndex::Build(r, p, options_);
-  BuildOutcome outcome =
-      built.ok() ? BuildOutcome(std::make_shared<const core::SignatureIndex>(
-                       std::move(built).ValueOrDie()))
-                 : BuildOutcome(built.status());
+  // Single-flight winner: resolve outside the lock so concurrent requests
+  // for other fingerprints (and waiters on this one) are never serialized
+  // on mu_. Store first — an mmap load is ~constant-time against a build.
+  IndexTier tier = IndexTier::kBuilt;
+  BuildOutcome outcome = util::Status::NotFound("unresolved");
+  bool store_hit = false;
+  if (options_.store != nullptr) {
+    auto loaded = options_.store->Load(key);
+    if (loaded.ok()) {
+      outcome = std::move(loaded);
+      tier = IndexTier::kMapped;
+      store_hit = true;
+    }
+    // NotFound and quarantined-corruption both fall through to a build;
+    // the rebuilt index is persisted below, repopulating the slot.
+  }
+  bool persisted = false;
+  if (!store_hit) {
+    util::Result<core::SignatureIndex> built =
+        core::SignatureIndex::Build(r, p, options_.build);
+    if (built.ok()) {
+      auto shared = std::make_shared<const core::SignatureIndex>(
+          std::move(built).ValueOrDie());
+      if (options_.store != nullptr) {
+        persisted = options_.store->Put(*shared, key).ok();
+      }
+      outcome = BuildOutcome(std::move(shared));
+    } else {
+      outcome = BuildOutcome(built.status());
+    }
+  }
 
   if (!outcome.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failures;
-    auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.id == my_id) entries_.erase(it);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A failed outcome is always a failed build: a store-load failure
+      // falls through to the build path above rather than surfacing.
+      ++stats_.builds;
+      ++stats_.failures;
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.id == my_id) entries_.erase(it);
+    }
+    // Deliver after the eviction: a caller that misses the erased entry
+    // starts a fresh resolution instead of waiting on this failed one.
+    promise->set_value(outcome);
+    return outcome.status();
   }
-  // Deliver after the eviction: a caller that misses the erased entry
-  // starts a fresh build instead of waiting on this failed one.
+
+  // Deliver before admission: waiters get their index immediately; whether
+  // the entry stays resident is a separate (capacity) question.
   promise->set_value(outcome);
-  return outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (store_hit) {
+      ++stats_.mapped_loads;
+    } else {
+      ++stats_.builds;
+      if (persisted) ++stats_.store_writes;
+    }
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.id == my_id) {
+      it->second.ready = true;
+      if (options_.capacity > 0) EnforceCapacityLocked(key, my_id);
+    }
+  }
+  return TieredIndex{std::move(outcome).ValueOrDie(), tier};
+}
+
+void IndexCache::EnforceCapacityLocked(const InstanceFingerprint& key,
+                                       uint64_t id) {
+  size_t ready_count = 0;
+  for (const auto& [k, e] : entries_) {
+    if (e.ready) ++ready_count;
+  }
+  if (ready_count <= options_.capacity) return;
+
+  // TinyLFU admission: the newcomer displaces the coldest resident only if
+  // the sketch says it is accessed strictly more often; otherwise the
+  // newcomer itself is dropped (its callers keep their shared_ptrs, and
+  // with a store attached the next access is an mmap, not a rebuild).
+  // Ties and victim selection break deterministically on (estimate, id) —
+  // oldest entry first — so tests can pin the behavior.
+  const uint32_t newcomer_freq = sketch_.Estimate(SketchKey(key));
+  auto victim = entries_.end();
+  uint32_t victim_freq = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second.ready || it->second.id == id) continue;
+    const uint32_t freq = sketch_.Estimate(SketchKey(it->first));
+    if (victim == entries_.end() || freq < victim_freq ||
+        (freq == victim_freq && it->second.id < victim->second.id)) {
+      victim = it;
+      victim_freq = freq;
+    }
+  }
+  if (victim != entries_.end() && newcomer_freq > victim_freq) {
+    entries_.erase(victim);
+    ++stats_.evictions;
+  } else {
+    auto self = entries_.find(key);
+    if (self != entries_.end() && self->second.id == id) {
+      entries_.erase(self);
+      ++stats_.rejected_admissions;
+    }
+  }
 }
 
 size_t IndexCache::size() const {

@@ -1,5 +1,6 @@
 // IndexCache: builds each SignatureIndex at most once under concurrent
-// demand and shares it across sessions.
+// demand and shares it across sessions — now a two-tier cache backed by
+// the persistent store (DESIGN.md §8).
 //
 // The index is the expensive per-instance artifact every session needs, and
 // it is immutable once built — the natural unit of sharing for a runtime
@@ -9,12 +10,23 @@
 // (schema, rows, compression flag), so two callers handing in equal
 // relations — whether or not they are the same objects — share one build.
 //
+// Tiers, in resolution order:
+//   memory — resident shared_ptr<const SignatureIndex> entries, bounded by
+//            IndexCacheOptions::capacity with count-min-sketch admission
+//            (hot instances stay; one-hit wonders never displace them);
+//   mapped — an attached store::IndexStore: a miss mmaps the persisted
+//            file instead of rebuilding (zero-copy, ~constant time);
+//   built  — a full SignatureIndex::Build, persisted back to the store so
+//            every later process skips it.
+//
 // Concurrency contract (single-flight): the first caller to request a
-// fingerprint becomes the builder; callers that race on the same
-// fingerprint block on the builder's result instead of duplicating the
+// fingerprint becomes the resolver; callers that race on the same
+// fingerprint block on the resolver's result instead of duplicating the
 // work. Every caller receives the same shared_ptr<const SignatureIndex>.
-// A failed build is reported to everyone waiting on it and then evicted,
-// so a later request retries instead of caching the error.
+// A failed resolution is reported to everyone waiting on it and then
+// evicted, so a later request retries instead of caching the error.
+// Eviction is safe at any time: handed-out indexes survive via shared
+// ownership (a mapped index additionally keeps its file mapping alive).
 
 #ifndef JINFER_RUNTIME_INDEX_CACHE_H_
 #define JINFER_RUNTIME_INDEX_CACHE_H_
@@ -27,41 +39,69 @@
 
 #include "core/signature_index.h"
 #include "relational/relation.h"
+#include "store/fingerprint.h"
+#include "store/index_store.h"
+#include "util/frequency_sketch.h"
 #include "util/result.h"
 
 namespace jinfer {
 namespace runtime {
 
-/// 128-bit content fingerprint of an inference instance: relation names,
-/// attribute names, every cell value (with its runtime type), and the
-/// compression flag. Equal instances always collide; distinct instances
-/// collide with probability ~2^-128 per pair, which the cache treats as
-/// never (a collision would silently alias two instances).
-struct InstanceFingerprint {
-  uint64_t hi = 0;
-  uint64_t lo = 0;
+/// The 128-bit instance fingerprint now lives in the store layer (it names
+/// persisted files); these aliases keep the PR 3 spelling working.
+using InstanceFingerprint = store::InstanceFingerprint;
+using store::FingerprintInstance;
 
-  friend bool operator==(const InstanceFingerprint& a,
-                         const InstanceFingerprint& b) {
-    return a.hi == b.hi && a.lo == b.lo;
-  }
+/// Which tier satisfied a lookup.
+enum class IndexTier : uint8_t {
+  kMemory,  ///< Resident entry (or a resolution already in flight).
+  kMapped,  ///< Loaded zero-copy from the persistent store.
+  kBuilt,   ///< Built from the relations (and persisted, if a store is
+            ///< attached).
 };
 
-/// Fingerprints (r, p, compress). Deterministic across runs on one
-/// platform — it folds explicit type tags and payload bytes, never
-/// pointer values or std::hash. String bytes are absorbed in native byte
-/// order, so fingerprints are NOT comparable across endianness; they are
-/// in-process cache keys, not a persistable format.
-InstanceFingerprint FingerprintInstance(const rel::Relation& r,
-                                        const rel::Relation& p, bool compress);
+const char* IndexTierName(IndexTier tier);
+
+/// Default bound on resident entries. Bounded is the production default —
+/// PR 3's never-evicting behavior is the opt-in (capacity = 0): a runtime
+/// meeting millions of instances must not grow its index heap without
+/// limit, and with a store attached a non-resident instance costs only an
+/// mmap, not a rebuild.
+inline constexpr size_t kDefaultIndexCacheCapacity = 64;
+
+struct IndexCacheOptions {
+  /// Applied to every build this cache performs. The thread count does not
+  /// affect the built index (see SignatureIndexOptions), so it is excluded
+  /// from the fingerprint; the compression flag changes the index shape
+  /// and is folded in.
+  core::SignatureIndexOptions build;
+
+  /// Maximum resident completed entries in the memory tier; 0 = unbounded
+  /// (the explicit opt-out). In-flight resolutions are not counted — they
+  /// must stay visible for single-flight.
+  size_t capacity = kDefaultIndexCacheCapacity;
+
+  /// Optional persistent tier. When set, misses consult the store before
+  /// building, and successful builds are persisted back (best-effort: a
+  /// store write failure never fails the lookup).
+  std::shared_ptr<store::IndexStore> store;
+};
 
 struct IndexCacheStats {
   uint64_t lookups = 0;  ///< GetOrBuild calls.
-  uint64_t hits = 0;     ///< Calls served from an existing entry (including
-                         ///< blocking on a build already in flight).
-  uint64_t builds = 0;   ///< Builds actually started (one per miss).
-  uint64_t failures = 0; ///< Builds that ended in an error (evicted).
+  uint64_t hits = 0;     ///< Memory-tier hits (including blocking on a
+                         ///< resolution already in flight).
+  uint64_t builds = 0;   ///< Full SignatureIndex builds run (succeeded or
+                         ///< failed); store loads are counted separately.
+  uint64_t failures = 0; ///< Resolutions that ended in an error (evicted).
+  uint64_t mapped_loads = 0;  ///< Misses served by mmapping the store.
+  uint64_t store_writes = 0;  ///< Built indexes persisted to the store.
+  uint64_t evictions = 0;     ///< Residents displaced by a hotter newcomer.
+  uint64_t rejected_admissions = 0;  ///< Newcomers denied residency (still
+                                     ///< returned to their callers).
 
+  /// Memory-tier hit rate — the fraction of lookups that needed neither a
+  /// build nor a store load.
   double HitRate() const {
     return lookups == 0
                ? 0.0
@@ -69,31 +109,47 @@ struct IndexCacheStats {
   }
 };
 
+/// A GetOrBuildTiered result: the shared index plus which tier produced it.
+struct TieredIndex {
+  std::shared_ptr<const core::SignatureIndex> index;
+  IndexTier tier = IndexTier::kMemory;
+};
+
 class IndexCache {
  public:
-  /// `build_options` apply to every build this cache performs. The thread
-  /// count does not affect the built index (see SignatureIndexOptions), so
-  /// it is excluded from the fingerprint; the compression flag changes the
-  /// index shape and is folded in.
-  explicit IndexCache(core::SignatureIndexOptions build_options = {})
-      : options_(build_options) {}
+  explicit IndexCache(IndexCacheOptions options = {})
+      : options_(std::move(options)),
+        sketch_(options_.capacity == 0 ? 1024 : 16 * options_.capacity) {}
+
+  /// PR 3 constructor shape: build options only, defaults elsewhere.
+  explicit IndexCache(core::SignatureIndexOptions build_options)
+      : IndexCache(IndexCacheOptions{build_options, kDefaultIndexCacheCapacity,
+                                     nullptr}) {}
 
   IndexCache(const IndexCache&) = delete;
   IndexCache& operator=(const IndexCache&) = delete;
 
-  /// Returns the shared index for (r, p), building it if this is the first
-  /// request for the fingerprint. Blocks while another caller is building
-  /// the same fingerprint (single-flight). Thread-safe.
+  /// Returns the shared index for (r, p), resolving it if this is the
+  /// first request for the fingerprint — store load when attached, build
+  /// otherwise. Blocks while another caller is resolving the same
+  /// fingerprint (single-flight). Thread-safe.
   util::Result<std::shared_ptr<const core::SignatureIndex>> GetOrBuild(
       const rel::Relation& r, const rel::Relation& p);
 
-  /// Number of resident entries (completed or in-flight builds).
+  /// GetOrBuild plus the tier that satisfied the lookup (what the CLI
+  /// prints and the benches count).
+  util::Result<TieredIndex> GetOrBuildTiered(const rel::Relation& r,
+                                             const rel::Relation& p);
+
+  /// Number of resident entries (completed or in-flight resolutions).
   size_t size() const;
 
   IndexCacheStats stats() const;
 
-  /// Drops every entry. In-flight builds complete and are delivered to
-  /// their waiters but are not re-inserted.
+  const IndexCacheOptions& options() const { return options_; }
+
+  /// Drops every entry. In-flight resolutions complete and are delivered
+  /// to their waiters but are not re-inserted.
   void Clear();
 
  private:
@@ -106,16 +162,29 @@ class IndexCache {
   };
 
   /// The future lets losers of the insert race wait without holding mu_
-  /// while the winner builds; the id lets the winner evict exactly its own
-  /// entry on failure (never a successor inserted after a Clear).
+  /// while the winner resolves; the id lets the winner touch exactly its
+  /// own entry afterwards (never a successor inserted after a Clear).
+  /// `ready` marks completed entries — only those are eviction candidates.
   struct Entry {
     std::shared_future<BuildOutcome> future;
     uint64_t id = 0;
+    bool ready = false;
   };
 
-  core::SignatureIndexOptions options_;
+  /// 64-bit sketch key for a fingerprint.
+  static uint64_t SketchKey(const InstanceFingerprint& f) {
+    return f.hi ^ util::Mix64(f.lo);
+  }
+
+  /// Enforces the capacity bound after entry `id` for `key` completed:
+  /// count-min admission — evict the coldest resident if the newcomer is
+  /// hotter, otherwise drop the newcomer. Caller holds mu_.
+  void EnforceCapacityLocked(const InstanceFingerprint& key, uint64_t id);
+
+  IndexCacheOptions options_;
   mutable std::mutex mu_;
   std::unordered_map<InstanceFingerprint, Entry, FingerprintHash> entries_;
+  util::FrequencySketch sketch_;
   uint64_t next_id_ = 0;
   IndexCacheStats stats_;
 };

@@ -26,6 +26,7 @@
 
 #include "core/inference.h"
 #include "core/oracle.h"
+#include "runtime/index_cache.h"
 #include "runtime/session.h"
 #include "util/result.h"
 
@@ -55,10 +56,18 @@ class SessionManager {
     /// requeueing it (fairness knob); 0 = run a claimed session to
     /// completion (coarsest schedule, fewest queue round-trips).
     size_t steps_per_slice = 8;
+
+    /// Options for the manager-owned IndexCache (see cache()): build
+    /// options, the memory-tier capacity bound, and an optional persistent
+    /// store tier. The default is the documented bounded capacity
+    /// (runtime::kDefaultIndexCacheCapacity); set capacity = 0 to opt back
+    /// into PR 3's unbounded never-evicting behavior.
+    IndexCacheOptions cache_options;
   };
 
-  SessionManager() : options_() {}
-  explicit SessionManager(Options options) : options_(options) {}
+  SessionManager() : SessionManager(Options{}) {}
+  explicit SessionManager(Options options)
+      : options_(options), cache_(options.cache_options) {}
 
   /// Runs every job to completion and returns their results in job order:
   /// the session's final InferenceResult, or the error from its factory /
@@ -66,8 +75,14 @@ class SessionManager {
   std::vector<util::Result<core::InferenceResult>> RunAll(
       std::vector<SessionJob> jobs);
 
+  /// The manager-owned index cache. Session factories that capture it
+  /// resolve their indexes through one shared, bounded, tiered cache —
+  /// the intended wiring for a server bundling worker pool and cache.
+  IndexCache& cache() { return cache_; }
+
  private:
   Options options_;
+  IndexCache cache_;
 };
 
 }  // namespace runtime

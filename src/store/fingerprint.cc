@@ -1,0 +1,100 @@
+#include "store/fingerprint.h"
+
+#include <cstring>
+
+#include "util/bitset.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace store {
+
+namespace {
+
+/// Two independently-mixed 64-bit lanes absorbed in lockstep. Each lane is
+/// a chained util::Mix64 with a lane-distinct tweak, so the pair behaves as
+/// one 128-bit digest: collapsing it would bring the collision probability
+/// for distinct instances into birthday range for large catalogs.
+class Hasher128 {
+ public:
+  void Absorb(uint64_t x) {
+    hi_ = util::Mix64(hi_ + x);
+    lo_ = util::Mix64(lo_ ^ (x * 0xc2b2ae3d27d4eb4fULL));
+  }
+
+  void AbsorbBytes(const void* data, size_t len) {
+    Absorb(len);
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    while (len >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      Absorb(word);
+      p += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      uint64_t word = 0;
+      std::memcpy(&word, p, len);
+      Absorb(word);
+    }
+  }
+
+  void AbsorbString(const std::string& s) { AbsorbBytes(s.data(), s.size()); }
+
+  /// Domain-separated type tags keep e.g. the int 1 and the string "\x01"
+  /// from colliding.
+  void AbsorbValue(const rel::Value& v) {
+    if (v.is_null()) {
+      Absorb(0x4e);  // 'N'
+    } else if (v.is_int()) {
+      Absorb(0x49);  // 'I'
+      Absorb(static_cast<uint64_t>(v.AsInt()));
+    } else if (v.is_double()) {
+      Absorb(0x44);  // 'D'
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      Absorb(bits);
+    } else {
+      Absorb(0x53);  // 'S'
+      AbsorbString(v.AsString());
+    }
+  }
+
+  void AbsorbRelation(const rel::Relation& rel) {
+    AbsorbString(rel.schema().relation_name());
+    Absorb(rel.num_attributes());
+    for (const std::string& attr : rel.schema().attribute_names()) {
+      AbsorbString(attr);
+    }
+    Absorb(rel.num_rows());
+    for (const rel::Row& row : rel.rows()) {
+      for (const rel::Value& cell : row) AbsorbValue(cell);
+    }
+  }
+
+  InstanceFingerprint Finish() const { return {hi_, lo_}; }
+
+ private:
+  uint64_t hi_ = 0x243f6a8885a308d3ULL;  // pi digits — nothing-up-my-sleeve.
+  uint64_t lo_ = 0x13198a2e03707344ULL;
+};
+
+}  // namespace
+
+std::string InstanceFingerprint::ToHex() const {
+  return util::StrFormat("%016llx%016llx", static_cast<unsigned long long>(hi),
+                         static_cast<unsigned long long>(lo));
+}
+
+InstanceFingerprint FingerprintInstance(const rel::Relation& r,
+                                        const rel::Relation& p,
+                                        bool compress) {
+  Hasher128 h;
+  h.AbsorbRelation(r);
+  h.AbsorbRelation(p);
+  h.Absorb(compress ? 1 : 0);
+  return h.Finish();
+}
+
+}  // namespace store
+}  // namespace jinfer

@@ -1,0 +1,50 @@
+// InstanceFingerprint: the 128-bit content fingerprint of an inference
+// instance, shared by the in-memory IndexCache (PR 3) and the persistent
+// index store (this PR) — one identity from first request to on-disk file.
+//
+// It digests relation names, attribute names, every cell value (with its
+// runtime type) and the compression flag. Equal instances always collide;
+// distinct instances collide with probability ~2^-128 per pair, which both
+// cache and store treat as never (a collision would silently alias two
+// instances).
+//
+// Determinism: the digest folds explicit type tags and payload bytes,
+// never pointer values or std::hash, so it is stable across runs — which
+// is what lets store files be content-addressed by fingerprint. String
+// bytes are absorbed in native byte order, so fingerprints are NOT
+// portable across endianness; the store's file format carries a byte-order
+// marker and refuses foreign files for the same reason (DESIGN.md §8).
+
+#ifndef JINFER_STORE_FINGERPRINT_H_
+#define JINFER_STORE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/relation.h"
+
+namespace jinfer {
+namespace store {
+
+struct InstanceFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const InstanceFingerprint& a,
+                         const InstanceFingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+
+  /// 32 lowercase hex digits (hi then lo) — the store's file-name stem.
+  std::string ToHex() const;
+};
+
+/// Fingerprints (r, p, compress). The SignatureIndex thread count is
+/// deliberately excluded: it never changes the built index.
+InstanceFingerprint FingerprintInstance(const rel::Relation& r,
+                                        const rel::Relation& p, bool compress);
+
+}  // namespace store
+}  // namespace jinfer
+
+#endif  // JINFER_STORE_FINGERPRINT_H_

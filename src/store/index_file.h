@@ -1,0 +1,144 @@
+// Index file format: one flat, relocatable, little-endian binary file
+// holding a serialized core::SignatureIndex — the RDF-3X-style on-disk
+// layout (flat sections, offsets in a fixed header, cast-in-place records)
+// that lets the loader adapt a mapped file without copying the large
+// arrays. See DESIGN.md §8 for the layout diagram and the determinism
+// argument.
+//
+// Layout (all offsets from byte 0 of the file):
+//
+//   [ IndexFileHeader ]          fixed-size, magic/version/byte-order,
+//                                instance fingerprint, counts, and a
+//                                section directory {offset, bytes} × 4
+//   [ names section ]            u32-length-prefixed strings: R relation
+//                                name, R attribute names, P relation name,
+//                                P attribute names (counts in the header)
+//   [ classes section ]          num_classes × SignatureClass records,
+//                                layout pinned by the static_asserts below
+//                                (signature words, count, representatives,
+//                                maximality flag; padding written as zero)
+//   [ r_codes section ]          num_r_rows × num_r_attrs uint32, row-major
+//   [ p_codes section ]          num_p_rows × num_p_attrs uint32, row-major
+//   [ IndexFileFooter ]          Checksum64 of every byte before the
+//                                footer, and the magic again
+//
+// Every section offset is 64-byte aligned (pages are, so mapped section
+// pointers are too). Serialization is deterministic: serializing the same
+// index twice yields byte-identical files, so content-addressed file names
+// (IndexStore) never alias distinct bytes.
+//
+// Validation is pure over a byte span — no I/O — so the corruption tests
+// exercise every rejection path without a file system, and the mmap loader
+// (mapped_index.h) shares exactly the code the tests cover.
+
+#ifndef JINFER_STORE_INDEX_FILE_H_
+#define JINFER_STORE_INDEX_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/signature_index.h"
+#include "store/fingerprint.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace store {
+
+inline constexpr uint32_t kIndexFileMagic = 0x5844494a;  // "JIDX" on LE.
+inline constexpr uint32_t kIndexFileVersion = 1;
+/// Written as the native byte order; a loader seeing it byte-swapped is on
+/// a foreign-endian platform and must refuse (zero-copy cannot swap).
+inline constexpr uint32_t kByteOrderMarker = 0x01020304;
+inline constexpr size_t kSectionAlignment = 64;
+
+enum SectionId : uint32_t {
+  kSectionNames = 0,
+  kSectionClasses = 1,
+  kSectionRCodes = 2,
+  kSectionPCodes = 3,
+  kNumSections = 4,
+};
+
+struct SectionExtent {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+};
+
+struct IndexFileHeader {
+  uint32_t magic = kIndexFileMagic;
+  uint32_t version = kIndexFileVersion;
+  uint32_t byte_order = kByteOrderMarker;
+  uint32_t flags = 0;  ///< bit 0: signature-class compression was on.
+  uint64_t fingerprint_hi = 0;
+  uint64_t fingerprint_lo = 0;
+  uint64_t file_bytes = 0;  ///< Total file size including the footer.
+  uint64_t num_tuples = 0;
+  uint64_t num_classes = 0;
+  uint32_t num_r_attrs = 0;
+  uint32_t num_p_attrs = 0;
+  uint64_t num_r_rows = 0;
+  uint64_t num_p_rows = 0;
+  SectionExtent sections[kNumSections];
+};
+
+struct IndexFileFooter {
+  uint64_t checksum = 0;  ///< Checksum64 of bytes [0, file_bytes - 16).
+  uint32_t magic = kIndexFileMagic;
+  uint32_t reserved = 0;
+};
+
+inline constexpr uint32_t kFlagCompressed = 1u << 0;
+
+// The classes section is a cast-in-place array of core::SignatureClass, so
+// its layout is part of the format: any change to the struct is a format
+// version bump. These asserts make that contract fail loudly at compile
+// time instead of corrupting files quietly.
+static_assert(std::is_trivially_copyable_v<core::SignatureClass>);
+static_assert(std::is_standard_layout_v<core::SignatureClass>);
+static_assert(sizeof(core::JoinPredicate) == 32);
+static_assert(sizeof(core::SignatureClass) == 56);
+static_assert(offsetof(core::SignatureClass, signature) == 0);
+static_assert(offsetof(core::SignatureClass, count) == 32);
+static_assert(offsetof(core::SignatureClass, rep_r) == 40);
+static_assert(offsetof(core::SignatureClass, rep_p) == 44);
+static_assert(offsetof(core::SignatureClass, maximal) == 48);
+static_assert(std::is_trivially_copyable_v<IndexFileHeader>);
+static_assert(std::is_trivially_copyable_v<IndexFileFooter>);
+static_assert(sizeof(IndexFileHeader) == 144);
+static_assert(sizeof(IndexFileFooter) == 16);
+
+/// Everything a validated file exposes, as views into the original bytes
+/// (the spans alias `bytes`; the decoded names are copies — they are tiny).
+struct IndexFileView {
+  const IndexFileHeader* header = nullptr;
+  InstanceFingerprint fingerprint;
+  bool compressed = false;
+  std::string r_relation;
+  std::string p_relation;
+  std::vector<std::string> r_attrs;
+  std::vector<std::string> p_attrs;
+  std::span<const core::SignatureClass> classes;
+  std::span<const uint32_t> r_codes;
+  std::span<const uint32_t> p_codes;
+};
+
+/// Serializes `index` into the format above. Deterministic: struct padding
+/// is explicitly zeroed before fields are copied in.
+std::vector<uint8_t> SerializeIndexFile(const core::SignatureIndex& index,
+                                        const InstanceFingerprint& fingerprint);
+
+/// Validates a complete file image and returns views into it. Rejects —
+/// with a ParseError naming the offending field — truncation, bad magic,
+/// unsupported version, foreign byte order, out-of-bounds / overlapping /
+/// misaligned sections, count mismatches, malformed names and checksum
+/// failures. Never reads outside `bytes`.
+util::Result<IndexFileView> ValidateIndexFile(std::span<const uint8_t> bytes);
+
+}  // namespace store
+}  // namespace jinfer
+
+#endif  // JINFER_STORE_INDEX_FILE_H_

@@ -1,0 +1,213 @@
+#include "store/index_store.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "store/index_file.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kFileSuffix = ".jidx";
+constexpr const char* kQuarantineDir = "quarantine";
+
+/// Writes `bytes` to `path` and fsyncs before closing, so the subsequent
+/// rename publishes fully-durable content.
+util::Status WriteFileDurably(const std::string& path,
+                              const std::vector<uint8_t>& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return util::Status::IoError(util::StrFormat(
+        "open(%s) for write: %s", path.c_str(), std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      util::Status status = util::Status::IoError(util::StrFormat(
+          "write(%s): %s", path.c_str(), std::strerror(errno)));
+      ::close(fd);
+      ::unlink(path.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    util::Status status = util::Status::IoError(util::StrFormat(
+        "fsync(%s): %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  ::close(fd);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<IndexStore> IndexStore::Open(std::string dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError(util::StrFormat(
+        "cannot create store directory %s: %s", dir.c_str(),
+        ec.message().c_str()));
+  }
+  if (!fs::is_directory(dir, ec) || ec) {
+    return util::Status::IoError(util::StrFormat(
+        "store path %s is not a directory", dir.c_str()));
+  }
+  // Surface a read-only directory here, once, instead of letting every
+  // Put fail silently later (the cache treats Put as best-effort, so a
+  // misconfigured store would otherwise just disable persistence).
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    return util::Status::IoError(util::StrFormat(
+        "store directory %s is not writable: %s", dir.c_str(),
+        std::strerror(errno)));
+  }
+  return IndexStore(std::move(dir));
+}
+
+std::string IndexStore::PathFor(const InstanceFingerprint& fingerprint) const {
+  return (fs::path(dir_) / ("index-" + fingerprint.ToHex() + kFileSuffix))
+      .string();
+}
+
+bool IndexStore::Contains(const InstanceFingerprint& fingerprint) const {
+  std::error_code ec;
+  return fs::exists(PathFor(fingerprint), ec) && !ec;
+}
+
+util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
+    const InstanceFingerprint& fingerprint) const {
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_->loads;
+  }
+  const std::string path = PathFor(fingerprint);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_->load_misses;
+    return util::Status::NotFound(util::StrFormat(
+        "no stored index for fingerprint %s", fingerprint.ToHex().c_str()));
+  }
+
+  util::Result<MappedIndex> mapped = LoadMappedIndex(path);
+  if (mapped.ok() && !(mapped->fingerprint == fingerprint)) {
+    mapped = util::Status::ParseError(util::StrFormat(
+        "stored index %s carries fingerprint %s — file renamed or header "
+        "corrupted", path.c_str(), mapped->fingerprint.ToHex().c_str()));
+  }
+  if (!mapped.ok()) {
+    Quarantine(path);
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_->quarantined;
+    return util::Status::ParseError(util::StrFormat(
+        "stored index %s rejected and quarantined: %s", path.c_str(),
+        mapped.status().message().c_str()));
+  }
+
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_->load_hits;
+  return std::move(mapped)->index;
+}
+
+util::Status IndexStore::Put(const core::SignatureIndex& index,
+                             const InstanceFingerprint& fingerprint) const {
+  const std::string path = PathFor(fingerprint);
+  std::error_code ec;
+  if (fs::exists(path, ec) && !ec) {
+    // Content-addressed: a *valid* existing file already holds exactly
+    // these bytes (serialization is deterministic), so rewriting buys
+    // nothing. Validate before skipping — skipping over a corrupt
+    // leftover (e.g. a failed quarantine) would wedge the slot forever.
+    auto existing = LoadMappedIndex(path);
+    if (existing.ok() && existing->fingerprint == fingerprint) {
+      std::lock_guard<std::mutex> lock(*mu_);
+      ++stats_->skipped_writes;
+      return util::Status::OK();
+    }
+    Quarantine(path);
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_->quarantined;
+  }
+
+  const std::vector<uint8_t> bytes = SerializeIndexFile(index, fingerprint);
+
+  // Unique temp name per (process, attempt): concurrent writers — even
+  // across processes — never collide, and the same-directory rename is
+  // atomic, so readers only ever see complete files.
+  static std::atomic<uint64_t> temp_counter{0};
+  const std::string temp = (fs::path(dir_) /
+                            util::StrFormat(
+                                ".tmp-%ld-%llu%s", static_cast<long>(::getpid()),
+                                static_cast<unsigned long long>(
+                                    temp_counter.fetch_add(1)),
+                                kFileSuffix))
+                               .string();
+  JINFER_RETURN_NOT_OK(WriteFileDurably(temp, bytes));
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return util::Status::IoError(util::StrFormat(
+        "rename(%s -> %s) failed", temp.c_str(), path.c_str()));
+  }
+  // The rename publishes the name; fsyncing the directory journals it.
+  // Without this a power loss can roll back to a state where the fsynced
+  // *contents* exist but the directory entry does not — Put would have
+  // reported a durable write that evaporates on reboot.
+  int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0 || ::fsync(dfd) != 0) {
+    util::Status status = util::Status::IoError(util::StrFormat(
+        "fsync(%s): %s", dir_.c_str(), std::strerror(errno)));
+    if (dfd >= 0) ::close(dfd);
+    return status;
+  }
+  ::close(dfd);
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_->writes;
+  return util::Status::OK();
+}
+
+void IndexStore::Quarantine(const std::string& path) const {
+  std::error_code ec;
+  const fs::path qdir = fs::path(dir_) / kQuarantineDir;
+  fs::create_directories(qdir, ec);
+  if (ec) {
+    // No quarantine home — removal is still mandatory: a corrupt file
+    // left in its slot would be re-mapped (and re-fail) forever.
+    fs::remove(path, ec);
+    return;
+  }
+  fs::path target = qdir / fs::path(path).filename();
+  // Keep earlier quarantined generations: suffix until the name is free.
+  for (int attempt = 1; fs::exists(target, ec) && attempt < 100; ++attempt) {
+    target = qdir / (fs::path(path).filename().string() +
+                     util::StrFormat(".%d", attempt));
+  }
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);  // Last resort: never re-load corrupt bytes.
+}
+
+IndexStoreStats IndexStore::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return *stats_;
+}
+
+}  // namespace store
+}  // namespace jinfer

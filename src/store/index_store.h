@@ -1,0 +1,105 @@
+// IndexStore: a directory of persisted signature indexes, content-addressed
+// by instance fingerprint.
+//
+// One file per instance, named index-<32 hex digits>.jidx after the
+// 128-bit fingerprint of (schema, rows, compress) — the same fingerprint
+// the runtime IndexCache keys on, so cache and store agree on identity by
+// construction. Because serialization is deterministic, writers racing on
+// one fingerprint produce byte-identical files and the last rename wins
+// harmlessly.
+//
+// Durability discipline (Put): serialize to a unique temporary in the same
+// directory, fsync, then rename(2) onto the final name — readers and
+// concurrent processes only ever observe complete files. Loads mmap the
+// file read-only and validate header + checksum before any section is
+// trusted (mapped_index.h).
+//
+// Corruption quarantine (Load): a file that fails validation — truncated,
+// bit-rotted, version-mismatched, or carrying the wrong fingerprint — is
+// moved into quarantine/ under the store directory and the load reports a
+// ParseError. The slot is then free: the next Put repopulates it with a
+// fresh build, and the quarantined bytes stay available for post-mortem.
+// A corrupt store therefore degrades to a cold one; it never crashes the
+// runtime and never wedges a fingerprint permanently.
+//
+// Thread/process safety: Load and Put are safe from concurrent threads and
+// processes (atomic rename, unique temp names, stats under a mutex).
+
+#ifndef JINFER_STORE_INDEX_STORE_H_
+#define JINFER_STORE_INDEX_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/signature_index.h"
+#include "store/fingerprint.h"
+#include "store/mapped_index.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace jinfer {
+namespace store {
+
+struct IndexStoreStats {
+  uint64_t loads = 0;        ///< Load calls.
+  uint64_t load_hits = 0;    ///< Loads that returned a mapped index.
+  uint64_t load_misses = 0;  ///< Loads with no file for the fingerprint.
+  uint64_t writes = 0;       ///< Puts that wrote a file.
+  uint64_t skipped_writes = 0;  ///< Puts that found the file already there.
+  uint64_t quarantined = 0;  ///< Corrupt files moved to quarantine/.
+};
+
+class IndexStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`. Fails with
+  /// IoError when the directory cannot be created or is not writable.
+  static util::Result<IndexStore> Open(std::string dir);
+
+  IndexStore(IndexStore&&) = default;
+  IndexStore& operator=(IndexStore&&) = default;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path the given fingerprint serializes to (whether or not it exists).
+  std::string PathFor(const InstanceFingerprint& fingerprint) const;
+
+  /// True iff a file for the fingerprint currently exists (it may still
+  /// fail validation at Load time).
+  bool Contains(const InstanceFingerprint& fingerprint) const;
+
+  /// Maps and validates the index for `fingerprint`. NotFound when absent;
+  /// ParseError (after quarantining the file) when present but invalid —
+  /// including a file whose header fingerprint disagrees with its name.
+  util::Result<std::shared_ptr<const core::SignatureIndex>> Load(
+      const InstanceFingerprint& fingerprint) const;
+
+  /// Persists `index` under `fingerprint` (write-temp, fsync, rename,
+  /// fsync the directory). A no-op when a *valid* file already exists:
+  /// files are content-addressed, so it already holds these bytes. An
+  /// existing file that fails validation is quarantined and replaced —
+  /// Put is the self-heal path after corruption.
+  util::Status Put(const core::SignatureIndex& index,
+                   const InstanceFingerprint& fingerprint) const;
+
+  IndexStoreStats stats() const;
+
+ private:
+  explicit IndexStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Moves `path` into quarantine/ (best-effort; the load error is
+  /// reported either way).
+  void Quarantine(const std::string& path) const;
+
+  std::string dir_;
+  // shared_ptr so IndexStore stays movable while stats live behind a
+  // stable address for const methods on concurrent threads.
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
+  std::shared_ptr<IndexStoreStats> stats_ = std::make_shared<IndexStoreStats>();
+};
+
+}  // namespace store
+}  // namespace jinfer
+
+#endif  // JINFER_STORE_INDEX_STORE_H_

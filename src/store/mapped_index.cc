@@ -1,0 +1,100 @@
+#include "store/mapped_index.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "relational/schema.h"
+#include "store/index_file.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace store {
+
+util::Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::IoError(util::StrFormat(
+        "open(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    util::Status status = util::Status::IoError(util::StrFormat(
+        "fstat(%s): %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return util::Status::ParseError(
+        util::StrFormat("index file %s is empty", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  // MAP_PRIVATE read-only: the mapping is never written, and a concurrent
+  // truncation of the underlying file can at worst SIGBUS — which the
+  // store's write-temp-then-rename discipline rules out (files are
+  // immutable once visible under their content-addressed name).
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping holds its own reference.
+  if (data == MAP_FAILED) {
+    return util::Status::IoError(util::StrFormat(
+        "mmap(%s, %zu bytes): %s", path.c_str(), size,
+        std::strerror(errno)));
+  }
+  return MappedFile(data, size);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+util::Result<MappedIndex> LoadMappedIndex(const std::string& path) {
+  JINFER_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  auto mapping = std::make_shared<MappedFile>(std::move(file));
+
+  JINFER_ASSIGN_OR_RETURN(IndexFileView view,
+                          ValidateIndexFile(mapping->bytes()));
+
+  JINFER_ASSIGN_OR_RETURN(
+      rel::Schema r_schema,
+      rel::Schema::Make(view.r_relation, view.r_attrs));
+  JINFER_ASSIGN_OR_RETURN(
+      rel::Schema p_schema,
+      rel::Schema::Make(view.p_relation, view.p_attrs));
+  JINFER_ASSIGN_OR_RETURN(core::Omega omega,
+                          core::Omega::Make(r_schema, p_schema));
+
+  JINFER_ASSIGN_OR_RETURN(
+      core::SignatureIndex index,
+      core::SignatureIndex::FromSections(
+          std::move(omega), view.header->num_tuples, view.compressed,
+          view.classes, view.r_codes, view.p_codes, mapping));
+
+  MappedIndex out;
+  out.index = std::make_shared<const core::SignatureIndex>(std::move(index));
+  out.fingerprint = view.fingerprint;
+  out.compressed = view.compressed;
+  out.file_bytes = mapping->bytes().size();
+  return out;
+}
+
+}  // namespace store
+}  // namespace jinfer

@@ -1,0 +1,75 @@
+// Zero-copy loading of persisted signature indexes.
+//
+// MappedFile is a small RAII wrapper over open+mmap (read-only, shared);
+// LoadMappedIndex maps an index file, validates it (header, sections,
+// checksum — see index_file.h), and adapts the mapped sections behind the
+// ordinary core::SignatureIndex read interface via
+// SignatureIndex::FromSections. The class table and the encoded-row arrays
+// are *not* copied: the returned index's spans point straight into the
+// mapping, which it keeps alive through shared ownership — sessions may
+// outlive the store, the cache, and each other.
+//
+// Cost model: validation touches every page once (the checksum pass), the
+// signature→class hash map is rebuilt in O(#classes), and nothing else is
+// materialized — on the (3,3,1000,100) bench instance this is ≥10× cheaper
+// than rebuilding the index from the relations (BM_ColdStart* in
+// bench/throughput_sessions.cc).
+
+#ifndef JINFER_STORE_MAPPED_INDEX_H_
+#define JINFER_STORE_MAPPED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/signature_index.h"
+#include "store/fingerprint.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace store {
+
+/// Read-only memory mapping of a whole file. Move-only; unmaps on
+/// destruction.
+class MappedFile {
+ public:
+  static util::Result<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A successfully mapped and validated index, plus the file metadata a
+/// caller needs to cross-check it (the store compares `fingerprint`
+/// against the one it asked for).
+struct MappedIndex {
+  std::shared_ptr<const core::SignatureIndex> index;
+  InstanceFingerprint fingerprint;
+  bool compressed = false;
+  uint64_t file_bytes = 0;
+};
+
+/// Maps `path` and adapts it as a SignatureIndex (zero-copy; the index
+/// owns the mapping). Fails with IoError when the file cannot be opened or
+/// mapped and ParseError when it does not validate; never crashes on
+/// corrupt input.
+util::Result<MappedIndex> LoadMappedIndex(const std::string& path);
+
+}  // namespace store
+}  // namespace jinfer
+
+#endif  // JINFER_STORE_MAPPED_INDEX_H_

@@ -1,0 +1,97 @@
+// Checksum64: a fast streaming 64-bit integrity checksum in the XXH
+// family of non-cryptographic word-at-a-time hashes, built on the
+// library's shared Mix64 finalizer.
+//
+// Used by the persistent index store (src/store/) to detect torn writes,
+// truncation and bit rot: the checksum of every file byte up to the
+// footer is stored in the footer and re-verified on load. It detects
+// corruption; it does not authenticate (an attacker who can rewrite the
+// file can rewrite the footer).
+//
+// The digest is a pure function of the byte stream — chunk boundaries
+// between Absorb calls do not change the result — and is deterministic
+// across runs and platforms of equal endianness (words are read with
+// memcpy in native byte order, matching the little-endian file format
+// it guards).
+
+#ifndef JINFER_UTIL_CHECKSUM_H_
+#define JINFER_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/bitset.h"  // util::Mix64
+
+namespace jinfer {
+namespace util {
+
+class Checksum64 {
+ public:
+  Checksum64() = default;
+
+  /// Absorbs `len` bytes. Splitting a stream across calls at any boundary
+  /// yields the same digest as one call: full 8-byte words are folded as
+  /// they complete, and partial words wait in a carry buffer.
+  void Absorb(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    total_ += len;
+    if (carry_len_ > 0) {
+      while (len > 0 && carry_len_ < 8) {
+        carry_[carry_len_++] = *p++;
+        --len;
+      }
+      if (carry_len_ == 8) {
+        FoldWord(carry_);
+        carry_len_ = 0;
+      }
+    }
+    while (len >= 8) {
+      FoldWord(p);
+      p += 8;
+      len -= 8;
+    }
+    while (len > 0) {
+      carry_[carry_len_++] = *p++;
+      --len;
+    }
+  }
+
+  /// Digest of everything absorbed so far (the tail is zero-padded and the
+  /// total length folded in, so "abc" and "abc\0" differ). Does not
+  /// consume the state: more Absorb calls may follow.
+  uint64_t Finish() const {
+    uint64_t h = state_;
+    if (carry_len_ > 0) {
+      unsigned char tail[8] = {0};
+      std::memcpy(tail, carry_, carry_len_);
+      uint64_t word;
+      std::memcpy(&word, tail, 8);
+      h = Mix64(word + h);
+    }
+    return Mix64(total_ ^ h);
+  }
+
+ private:
+  void FoldWord(const unsigned char* p) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    state_ = Mix64(word + state_);
+  }
+
+  uint64_t state_ = 0xa4093822299f31d0ULL;  // pi digits, like Hasher128.
+  uint64_t total_ = 0;
+  unsigned char carry_[8] = {0};
+  size_t carry_len_ = 0;
+};
+
+/// One-shot convenience over a contiguous buffer.
+inline uint64_t Checksum64Of(const void* data, size_t len) {
+  Checksum64 c;
+  c.Absorb(data, len);
+  return c.Finish();
+}
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_CHECKSUM_H_

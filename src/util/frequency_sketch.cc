@@ -1,0 +1,50 @@
+#include "util/frequency_sketch.h"
+
+#include <bit>
+
+#include "util/bitset.h"  // util::Mix64
+
+namespace jinfer {
+namespace util {
+
+FrequencySketch::FrequencySketch(size_t counters_per_row) {
+  if (counters_per_row < 16) counters_per_row = 16;
+  counters_per_row = std::bit_ceil(counters_per_row);
+  mask_ = counters_per_row - 1;
+  window_ = 8 * static_cast<uint64_t>(counters_per_row);
+  counters_.assign(kRows * counters_per_row, 0);
+}
+
+size_t FrequencySketch::CounterIndex(uint64_t key, size_t row) const {
+  // Per-row independent derivation: re-mix the key with a row tweak so the
+  // four probes land on uncorrelated counters.
+  uint64_t h = Mix64(key + row * 0x9e3779b97f4a7c15ULL);
+  return row * (mask_ + 1) + (static_cast<size_t>(h) & mask_);
+}
+
+void FrequencySketch::Increment(uint64_t key) {
+  for (size_t row = 0; row < kRows; ++row) {
+    uint8_t& c = counters_[CounterIndex(key, row)];
+    if (c < kMaxCounter) ++c;
+  }
+  ++total_increments_;
+  if (++since_aging_ >= window_) Age();
+}
+
+uint32_t FrequencySketch::Estimate(uint64_t key) const {
+  uint32_t est = kMaxCounter;
+  for (size_t row = 0; row < kRows; ++row) {
+    uint32_t c = counters_[CounterIndex(key, row)];
+    if (c < est) est = c;
+  }
+  return est;
+}
+
+void FrequencySketch::Age() {
+  for (uint8_t& c : counters_) c >>= 1;
+  since_aging_ = 0;
+  ++agings_;
+}
+
+}  // namespace util
+}  // namespace jinfer

@@ -1,0 +1,71 @@
+// FrequencySketch: a count-min sketch of access frequencies with periodic
+// aging, in the TinyLFU style (cf. the EvolvingSketch line of work).
+//
+// The runtime's IndexCache uses it to decide cache residency under a
+// capacity bound: every lookup increments the requested fingerprint, and
+// when the cache is full a newcomer is admitted only if its estimated
+// frequency beats the coldest resident's. The sketch is O(1) per access
+// and fixed-size, so it remembers the popularity of *evicted* (and
+// never-admitted) keys — the property a plain per-entry counter cannot
+// provide, and the reason a one-hit-wonder scan cannot flush the hot set.
+//
+// Mechanics: kRows rows of 8-bit saturating counters; a key increments one
+// counter per row (independently derived indices) and its estimate is the
+// row-wise minimum, which only ever over-counts. After `window` increments
+// every counter is halved — frequencies decay, so the sketch tracks recent
+// popularity rather than all-time counts and saturation never becomes
+// permanent.
+//
+// Not thread-safe; callers (IndexCache) serialize access under their own
+// lock. Deterministic: the state is a pure function of the increment
+// sequence.
+
+#ifndef JINFER_UTIL_FREQUENCY_SKETCH_H_
+#define JINFER_UTIL_FREQUENCY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jinfer {
+namespace util {
+
+class FrequencySketch {
+ public:
+  /// `counters_per_row` is rounded up to a power of two; sized ~16x the
+  /// expected number of hot keys to keep collision over-counting rare.
+  /// The aging window is 8 * counters_per_row increments.
+  explicit FrequencySketch(size_t counters_per_row = 1024);
+
+  /// Records one access of `key` (a pre-mixed 64-bit hash).
+  void Increment(uint64_t key);
+
+  /// Estimated access count of `key` since roughly the last aging window;
+  /// never under-counts relative to the decayed truth.
+  uint32_t Estimate(uint64_t key) const;
+
+  /// Total increments recorded (monotonic; not decayed). Exposed for tests.
+  uint64_t total_increments() const { return total_increments_; }
+
+  /// Number of halving passes performed so far. Exposed for tests.
+  uint64_t agings() const { return agings_; }
+
+ private:
+  static constexpr size_t kRows = 4;
+  static constexpr uint8_t kMaxCounter = 255;
+
+  size_t CounterIndex(uint64_t key, size_t row) const;
+  void Age();
+
+  size_t mask_;            // counters_per_row - 1
+  uint64_t window_;        // increments between halvings
+  uint64_t since_aging_ = 0;
+  uint64_t total_increments_ = 0;
+  uint64_t agings_ = 0;
+  std::vector<uint8_t> counters_;  // kRows rows, row-major
+};
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_FREQUENCY_SKETCH_H_

@@ -1,10 +1,16 @@
 #include "runtime/index_cache.h"
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "store/index_store.h"
 #include "testing/paper_fixtures.h"
 
 namespace jinfer {
@@ -130,6 +136,131 @@ TEST(IndexCacheTest, FailedBuildIsEvictedAndRetried) {
   EXPECT_EQ(stats.builds, 2u);  // Retried, not served from a poisoned entry.
   EXPECT_EQ(stats.failures, 2u);
   EXPECT_EQ(stats.hits, 0u);
+}
+
+// --- Tiering and the capacity bound (ISSUE 4) -------------------------
+
+/// A second distinct instance with the same shape as Example 2.1.
+rel::Relation AltR() {
+  auto r = rel::Relation::Make("R0", {"A1", "A2"},
+                               {{7, 8}, {8, 9}, {9, 7}, {7, 9}});
+  JINFER_CHECK(r.ok(), "alt fixture");
+  return std::move(r).ValueOrDie();
+}
+
+TEST(IndexCacheTest, TierIsReportedPerLookup) {
+  IndexCache cache;
+  auto first = cache.GetOrBuildTiered(testing::Example21R(),
+                                      testing::Example21P());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->tier, IndexTier::kBuilt);
+  auto second = cache.GetOrBuildTiered(testing::Example21R(),
+                                       testing::Example21P());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->tier, IndexTier::kMemory);
+  EXPECT_EQ(first->index.get(), second->index.get());
+}
+
+// The PR 3 cache never evicted; the bound + sketch admission is the fix.
+// A cold newcomer must not displace a hot resident, and a newcomer that
+// *becomes* hot must eventually displace it.
+TEST(IndexCacheTest, ColdNewcomerDoesNotDisplaceAHotResident) {
+  IndexCache cache(IndexCacheOptions{{}, /*capacity=*/1, nullptr});
+
+  // Make the first instance hot: five lookups.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+  }
+  // One access of a second instance: resolved and returned, not admitted.
+  auto cold = cache.GetOrBuildTiered(AltR(), testing::Example21P());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->tier, IndexTier::kBuilt);
+  EXPECT_EQ(cold->index->num_classes() > 0, true);  // Usable handout.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().rejected_admissions, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // The hot instance is still resident (memory-tier hit, no rebuild).
+  auto hot = cache.GetOrBuildTiered(testing::Example21R(),
+                                    testing::Example21P());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->tier, IndexTier::kMemory);
+}
+
+TEST(IndexCacheTest, NewlyHotInstanceEventuallyEvictsTheColdOne) {
+  IndexCache cache(IndexCacheOptions{{}, /*capacity=*/1, nullptr});
+  ASSERT_TRUE(
+      cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+
+  // Hammer the second instance until its sketch frequency beats the
+  // resident's (1 access); the second access is already strictly hotter.
+  IndexTier last = IndexTier::kBuilt;
+  for (int i = 0; i < 4 && last != IndexTier::kMemory; ++i) {
+    auto got = cache.GetOrBuildTiered(AltR(), testing::Example21P());
+    ASSERT_TRUE(got.ok());
+    last = got->tier;
+  }
+  EXPECT_EQ(last, IndexTier::kMemory);  // Admitted and then hit.
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(IndexCacheTest, ZeroCapacityOptsIntoUnbounded) {
+  IndexCache cache(IndexCacheOptions{{}, /*capacity=*/0, nullptr});
+  ASSERT_TRUE(
+      cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+  ASSERT_TRUE(
+      cache.GetOrBuild(testing::FlightTable(), testing::HotelTable()).ok());
+  ASSERT_TRUE(cache.GetOrBuild(AltR(), testing::Example21P()).ok());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().rejected_admissions, 0u);
+}
+
+TEST(IndexCacheTest, StoreTierServesMappedAcrossCaches) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("jinfer_cache_store_test_" + std::to_string(::getpid())))
+          .string();
+  auto opened = store::IndexStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  auto shared_store =
+      std::make_shared<store::IndexStore>(std::move(opened).ValueOrDie());
+
+  {
+    // First process/cache: miss → build → persist.
+    IndexCache cache(IndexCacheOptions{{}, kDefaultIndexCacheCapacity,
+                                       shared_store});
+    auto built = cache.GetOrBuildTiered(testing::Example21R(),
+                                        testing::Example21P());
+    ASSERT_TRUE(built.ok());
+    EXPECT_EQ(built->tier, IndexTier::kBuilt);
+    EXPECT_EQ(cache.stats().store_writes, 1u);
+  }
+  {
+    // "Restarted" cache over the same store: miss → mmap, no rebuild.
+    IndexCache cache(IndexCacheOptions{{}, kDefaultIndexCacheCapacity,
+                                       shared_store});
+    auto mapped = cache.GetOrBuildTiered(testing::Example21R(),
+                                         testing::Example21P());
+    ASSERT_TRUE(mapped.ok());
+    EXPECT_EQ(mapped->tier, IndexTier::kMapped);
+    EXPECT_EQ(cache.stats().builds, 0u);
+    EXPECT_EQ(cache.stats().mapped_loads, 1u);
+    // The mapped index serves classification like a built one.
+    EXPECT_EQ(mapped->index->num_classes(),
+              testing::Example21Index().num_classes());
+    // And the next lookup is a plain memory hit.
+    auto again = cache.GetOrBuildTiered(testing::Example21R(),
+                                        testing::Example21P());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->tier, IndexTier::kMemory);
+    EXPECT_EQ(again->index.get(), mapped->index.get());
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 TEST(IndexCacheTest, ClearDropsEntriesButHandoutsSurvive) {

@@ -194,6 +194,48 @@ TEST(SessionManagerTest, JobsShareIndexesThroughTheCache) {
   EXPECT_EQ(stats.hits, 14u);
 }
 
+// The manager-owned cache (ISSUE 4): capacity and store options flow in
+// through SessionManager::Options, and jobs resolve through manager.cache()
+// instead of a hand-carried cache object. The documented default is the
+// bounded capacity; the assertions pin that the bound was applied.
+TEST(SessionManagerTest, ManagerOwnedCacheHonorsTheCapacityBound) {
+  auto inst_a = workload::GenerateSynthetic({2, 2, 20, 5}, 1);
+  auto inst_b = workload::GenerateSynthetic({2, 2, 20, 5}, 2);
+  ASSERT_TRUE(inst_a.ok());
+  ASSERT_TRUE(inst_b.ok());
+
+  SessionManager::Options options;
+  options.threads = 2;
+  EXPECT_EQ(options.cache_options.capacity, kDefaultIndexCacheCapacity);
+  options.cache_options.capacity = 1;  // Force admission pressure.
+  SessionManager manager(options);
+
+  std::vector<SessionJob> jobs;
+  for (size_t i = 0; i < 12; ++i) {
+    const workload::SyntheticInstance& inst = i % 2 == 0 ? *inst_a : *inst_b;
+    SessionJob job;
+    job.make = [&manager, &inst]() -> util::Result<Session> {
+      JINFER_ASSIGN_OR_RETURN(auto index,
+                              manager.cache().GetOrBuild(inst.r, inst.p));
+      return Session(std::move(index),
+                     core::MakeStrategy(core::StrategyKind::kTopDown));
+    };
+    job.oracle = std::make_unique<core::GoalOracle>(
+        core::JoinPredicate::Singleton(0));
+    jobs.push_back(std::move(job));
+  }
+  auto results = manager.RunAll(std::move(jobs));
+  for (const auto& result : results) EXPECT_TRUE(result.ok());
+
+  IndexCacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.lookups, 12u);
+  // Capacity 1 over two alternating instances: at most one stays resident,
+  // so the bound must have rejected or evicted at least once — the
+  // never-evicts bug this option fixes would show zeros here.
+  EXPECT_GE(stats.evictions + stats.rejected_admissions, 1u);
+  EXPECT_LE(manager.cache().size(), 1u);
+}
+
 }  // namespace
 }  // namespace runtime
 }  // namespace jinfer

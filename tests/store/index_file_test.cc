@@ -1,0 +1,105 @@
+// Format-level tests of the index file serializer and validator: the pure
+// byte-span surface, no file system involved.
+
+#include "store/index_file.h"
+
+#include <gtest/gtest.h>
+
+#include "store/fingerprint.h"
+#include "testing/paper_fixtures.h"
+
+namespace jinfer {
+namespace store {
+namespace {
+
+core::SignatureIndex BuildFixtureIndex() {
+  auto index = core::SignatureIndex::Build(testing::Example21R(),
+                                           testing::Example21P());
+  JINFER_CHECK(index.ok(), "fixture index");
+  return std::move(index).ValueOrDie();
+}
+
+InstanceFingerprint FixtureFingerprint() {
+  return FingerprintInstance(testing::Example21R(), testing::Example21P(),
+                             true);
+}
+
+TEST(IndexFileTest, SerializationIsDeterministic) {
+  const core::SignatureIndex a = BuildFixtureIndex();
+  const core::SignatureIndex b = BuildFixtureIndex();
+  // Equal content serializes to equal bytes — including the padding inside
+  // SignatureClass records — or content-addressing would be unsound.
+  EXPECT_EQ(SerializeIndexFile(a, FixtureFingerprint()),
+            SerializeIndexFile(b, FixtureFingerprint()));
+}
+
+TEST(IndexFileTest, HeaderCarriesTheInstanceMetadata) {
+  const core::SignatureIndex index = BuildFixtureIndex();
+  const InstanceFingerprint fp = FixtureFingerprint();
+  const std::vector<uint8_t> bytes = SerializeIndexFile(index, fp);
+
+  auto view = ValidateIndexFile(bytes);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->fingerprint == fp);
+  EXPECT_TRUE(view->compressed);
+  EXPECT_EQ(view->header->num_classes, index.num_classes());
+  EXPECT_EQ(view->header->num_tuples, index.num_tuples());
+  EXPECT_EQ(view->header->num_r_rows, index.num_r_rows());
+  EXPECT_EQ(view->header->num_p_rows, index.num_p_rows());
+  EXPECT_EQ(view->r_relation, "R0");
+  EXPECT_EQ(view->r_attrs, testing::Example21R().schema().attribute_names());
+  EXPECT_EQ(view->p_attrs, testing::Example21P().schema().attribute_names());
+}
+
+TEST(IndexFileTest, SectionsRoundTripBitIdentical) {
+  const core::SignatureIndex index = BuildFixtureIndex();
+  const std::vector<uint8_t> bytes =
+      SerializeIndexFile(index, FixtureFingerprint());
+
+  auto view = ValidateIndexFile(bytes);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  ASSERT_EQ(view->classes.size(), index.num_classes());
+  for (size_t a = 0; a < index.num_classes(); ++a) {
+    const core::SignatureClass& built = index.cls(static_cast<uint32_t>(a));
+    const core::SignatureClass& mapped = view->classes[a];
+    EXPECT_EQ(built.signature, mapped.signature);
+    EXPECT_EQ(built.count, mapped.count);
+    EXPECT_EQ(built.rep_r, mapped.rep_r);
+    EXPECT_EQ(built.rep_p, mapped.rep_p);
+    EXPECT_EQ(built.maximal, mapped.maximal);
+  }
+  EXPECT_TRUE(std::equal(view->r_codes.begin(), view->r_codes.end(),
+                         index.r_codes().begin(), index.r_codes().end()));
+  EXPECT_TRUE(std::equal(view->p_codes.begin(), view->p_codes.end(),
+                         index.p_codes().begin(), index.p_codes().end()));
+}
+
+TEST(IndexFileTest, SectionOffsetsAreAligned) {
+  const std::vector<uint8_t> bytes =
+      SerializeIndexFile(BuildFixtureIndex(), FixtureFingerprint());
+  auto view = ValidateIndexFile(bytes);
+  ASSERT_TRUE(view.ok());
+  for (size_t s = 0; s < kNumSections; ++s) {
+    EXPECT_EQ(view->header->sections[s].offset % kSectionAlignment, 0u)
+        << "section " << s;
+  }
+}
+
+TEST(IndexFileTest, UncompressedIndexRoundTrips) {
+  auto built = core::SignatureIndex::Build(
+      testing::Example21R(), testing::Example21P(),
+      {.compress = false, .threads = 1});
+  ASSERT_TRUE(built.ok());
+  const InstanceFingerprint fp = FingerprintInstance(
+      testing::Example21R(), testing::Example21P(), false);
+  const std::vector<uint8_t> bytes = SerializeIndexFile(*built, fp);
+  auto view = ValidateIndexFile(bytes);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_FALSE(view->compressed);
+  EXPECT_EQ(view->header->num_classes, built->num_tuples());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace jinfer

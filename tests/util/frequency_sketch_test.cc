@@ -1,0 +1,63 @@
+#include "util/frequency_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+
+namespace jinfer {
+namespace util {
+namespace {
+
+TEST(FrequencySketchTest, EstimateTracksIncrements) {
+  FrequencySketch sketch(256);
+  const uint64_t hot = Mix64(1);
+  const uint64_t cold = Mix64(2);
+  EXPECT_EQ(sketch.Estimate(hot), 0u);
+  for (int i = 0; i < 10; ++i) sketch.Increment(hot);
+  sketch.Increment(cold);
+  // Count-min never under-counts.
+  EXPECT_GE(sketch.Estimate(hot), 10u);
+  EXPECT_GE(sketch.Estimate(cold), 1u);
+  EXPECT_GT(sketch.Estimate(hot), sketch.Estimate(cold));
+}
+
+TEST(FrequencySketchTest, CountersSaturateInsteadOfWrapping) {
+  FrequencySketch sketch(16);
+  const uint64_t key = Mix64(7);
+  for (int i = 0; i < 5000; ++i) sketch.Increment(key);
+  // 8-bit counters cap at 255 (minus any aging halvings on the way).
+  EXPECT_LE(sketch.Estimate(key), 255u);
+  EXPECT_GT(sketch.Estimate(key), 0u);
+}
+
+TEST(FrequencySketchTest, AgingHalvesEstimates) {
+  FrequencySketch sketch(16);  // Window = 8 * 16 = 128 increments.
+  const uint64_t key = Mix64(42);
+  for (int i = 0; i < 100; ++i) sketch.Increment(key);
+  const uint32_t before = sketch.Estimate(key);
+  ASSERT_GE(before, 100u);
+  // Push unrelated keys until a halving pass fires.
+  uint64_t filler = 1000;
+  while (sketch.agings() == 0) sketch.Increment(Mix64(++filler));
+  EXPECT_LE(sketch.Estimate(key), before / 2 + 1);
+  // The decayed key can be out-competed by a newly hot one now.
+  for (int i = 0; i < 100; ++i) sketch.Increment(Mix64(4242));
+  EXPECT_GT(sketch.Estimate(Mix64(4242)), sketch.Estimate(key));
+}
+
+TEST(FrequencySketchTest, DeterministicForAGivenSequence) {
+  FrequencySketch a(64), b(64);
+  for (uint64_t i = 0; i < 500; ++i) {
+    a.Increment(Mix64(i % 17));
+    b.Increment(Mix64(i % 17));
+  }
+  for (uint64_t k = 0; k < 17; ++k) {
+    EXPECT_EQ(a.Estimate(Mix64(k)), b.Estimate(Mix64(k)));
+  }
+  EXPECT_EQ(a.agings(), b.agings());
+  EXPECT_EQ(a.total_increments(), b.total_increments());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace jinfer
