@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "relational/column_table.h"
 #include "relational/value.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -20,9 +21,11 @@ uint64_t NextBuildId() {
   return next_build_id.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// Dictionary-encodes every cell of both relations. Equal non-null values
+/// The row-major reference dictionary retained from the pre-columnar seed:
+/// encodes every cell through a Value-keyed hash map. Equal non-null values
 /// get equal codes; every NULL gets a fresh code (NULL never matches
-/// anything, per rel::Value semantics).
+/// anything, per rel::Value semantics). EncodeInstance (the production
+/// columnar remap) reproduces its code assignment bit-for-bit.
 ///
 /// Invariant: NULL codes and non-null codes are drawn from disjoint ranges —
 /// non-null codes ascend from 0, NULL codes descend from UINT32_MAX — so a
@@ -30,7 +33,7 @@ uint64_t NextBuildId() {
 /// single shared counter is only collision-free while every consumer
 /// increments it; the split ranges make the guarantee structural and survive
 /// interleaved NULL/non-NULL encodes in any order.)
-struct Dictionary {
+struct ReferenceDictionary {
   std::unordered_map<rel::Value, uint32_t, rel::ValueHash> codes;
   uint32_t next_code = 0;
   uint32_t next_null_code = std::numeric_limits<uint32_t>::max();
@@ -47,11 +50,11 @@ struct Dictionary {
   /// Flat row-major encoding: row i occupies [i*width, (i+1)*width). The
   /// flat layout is what the persistent store serializes (and maps back)
   /// verbatim.
-  std::vector<uint32_t> EncodeRelation(const rel::Relation& rel) {
+  std::vector<uint32_t> EncodeRows(const std::vector<rel::Row>& rows) {
     std::vector<uint32_t> out;
-    out.reserve(rel.num_rows() * rel.num_attributes());
-    for (size_t i = 0; i < rel.num_rows(); ++i) {
-      for (const auto& v : rel.row(i)) out.push_back(Encode(v));
+    out.reserve(rows.size() * (rows.empty() ? 0 : rows.front().size()));
+    for (const rel::Row& row : rows) {
+      for (const auto& v : row) out.push_back(Encode(v));
     }
     return out;
   }
@@ -173,6 +176,66 @@ struct ClassShard {
 
 }  // namespace
 
+EncodedInstance EncodeInstance(const rel::Relation& r, const rel::Relation& p) {
+  // One shared global dictionary; per-column remap tables translate each
+  // relation's local codes into it. A (column, local code) pair consults
+  // the global dictionary exactly once — every later cell holding that
+  // value is a single array read — and the row-major walk order makes the
+  // assignment identical to the reference's cell-by-cell first-occurrence
+  // numbering.
+  rel::ColumnDictionary global;
+  uint32_t next_null_code = std::numeric_limits<uint32_t>::max();
+  constexpr uint32_t kUnmapped = 0xFFFFFFFFu;  // No global code < this one
+                                               // can exist: the exhaustion
+                                               // check fires first.
+
+  auto encode = [&](const rel::ColumnTable& t) {
+    const size_t cols = t.num_columns();
+    const size_t rows = t.num_rows();
+    std::vector<std::vector<uint32_t>> remap(cols);
+    std::vector<std::span<const uint32_t>> codes(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      remap[c].assign(t.dictionary(c).size(), kUnmapped);
+      codes[c] = t.codes(c);
+    }
+    std::vector<uint32_t> out;
+    out.reserve(rows * cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t c = 0; c < cols; ++c) {
+        const uint32_t local = codes[c][i];
+        if (local == rel::kNullCellCode) {
+          JINFER_CHECK(global.size() < next_null_code,
+                       "dictionary code space exhausted");
+          out.push_back(next_null_code--);
+          continue;
+        }
+        uint32_t& g = remap[c][local];
+        if (g == kUnmapped) {
+          JINFER_CHECK(global.size() < next_null_code,
+                       "dictionary code space exhausted");
+          g = global.EncodeView(t.dictionary(c).view(local));
+        }
+        out.push_back(g);
+      }
+    }
+    return out;
+  };
+
+  EncodedInstance encoded;
+  encoded.r_codes = encode(r.columns());
+  encoded.p_codes = encode(p.columns());
+  return encoded;
+}
+
+EncodedInstance EncodeInstanceReference(const std::vector<rel::Row>& r_rows,
+                                        const std::vector<rel::Row>& p_rows) {
+  ReferenceDictionary dict;
+  EncodedInstance encoded;
+  encoded.r_codes = dict.EncodeRows(r_rows);
+  encoded.p_codes = dict.EncodeRows(p_rows);
+  return encoded;
+}
+
 util::Result<SignatureIndex> SignatureIndex::Build(
     const rel::Relation& r, const rel::Relation& p,
     const SignatureIndexOptions& options) {
@@ -181,30 +244,48 @@ util::Result<SignatureIndex> SignatureIndex::Build(
         "SignatureIndex requires non-empty instances of both relations");
   }
   JINFER_ASSIGN_OR_RETURN(Omega omega, Omega::Make(r.schema(), p.schema()));
+  return BuildFromEncoded(std::move(omega), EncodeInstance(r, p), options);
+}
 
+util::Result<SignatureIndex> SignatureIndex::BuildReferenceRowMajor(
+    const rel::Schema& r_schema, const std::vector<rel::Row>& r_rows,
+    const rel::Schema& p_schema, const std::vector<rel::Row>& p_rows,
+    const SignatureIndexOptions& options) {
+  if (r_rows.empty() || p_rows.empty()) {
+    return util::Status::InvalidArgument(
+        "SignatureIndex requires non-empty instances of both relations");
+  }
+  JINFER_ASSIGN_OR_RETURN(Omega omega, Omega::Make(r_schema, p_schema));
+  return BuildFromEncoded(std::move(omega),
+                          EncodeInstanceReference(r_rows, p_rows), options);
+}
+
+util::Result<SignatureIndex> SignatureIndex::BuildFromEncoded(
+    Omega omega, EncodedInstance encoded,
+    const SignatureIndexOptions& options) {
   SignatureIndex index;
   index.omega_ = std::move(omega);
   index.build_id_ = NextBuildId();
   index.compressed_ = options.compress;
-  index.num_tuples_ =
-      static_cast<uint64_t>(r.num_rows()) * static_cast<uint64_t>(p.num_rows());
-
-  Dictionary dict;
-  index.owned_r_codes_ = dict.EncodeRelation(r);
-  index.owned_p_codes_ = dict.EncodeRelation(p);
+  index.owned_r_codes_ = std::move(encoded.r_codes);
+  index.owned_p_codes_ = std::move(encoded.p_codes);
   const size_t r_width = index.omega_.num_r_attrs();
   const size_t p_width = index.omega_.num_p_attrs();
+  const size_t num_r_rows = index.owned_r_codes_.size() / r_width;
+  const size_t num_p_rows = index.owned_p_codes_.size() / p_width;
+  index.num_tuples_ =
+      static_cast<uint64_t>(num_r_rows) * static_cast<uint64_t>(num_p_rows);
 
   std::vector<DistinctRow> r_rows, p_rows;
   if (options.compress) {
     r_rows = Deduplicate(index.owned_r_codes_, r_width);
     p_rows = Deduplicate(index.owned_p_codes_, p_width);
   } else {
-    for (size_t i = 0; i < r.num_rows(); ++i) {
+    for (size_t i = 0; i < num_r_rows; ++i) {
       r_rows.push_back(DistinctRow{index.owned_r_codes_.data() + i * r_width,
                                    1, static_cast<uint32_t>(i)});
     }
-    for (size_t j = 0; j < p.num_rows(); ++j) {
+    for (size_t j = 0; j < num_p_rows; ++j) {
       p_rows.push_back(DistinctRow{index.owned_p_codes_.data() + j * p_width,
                                    1, static_cast<uint32_t>(j)});
     }

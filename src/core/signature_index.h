@@ -9,7 +9,10 @@
 // instead of O(|D|); the paper's per-tuple counts are recovered from the
 // class multiplicities.
 //
-// Build cost: one pass over R′ × P′ on dictionary-encoded rows, where R′/P′
+// Build cost: an encode phase that remaps the relations' per-column
+// dictionary codes into one global code space (O(cells) array lookups +
+// O(distinct values) hashing — see EncodeInstance below and DESIGN.md §9),
+// then one pass over R′ × P′ on the encoded rows, where R′/P′
 // are the duplicate-compressed sides (hashed dedup, O(|R| + |P|) expected).
 // The pass is partitioned across `options.threads` workers — each worker
 // classifies a contiguous block of distinct R rows into a private
@@ -76,12 +79,49 @@ struct SignatureIndexOptions {
   int threads = 1;
 };
 
+/// A dictionary-encoded instance: flat row-major uint32 code arrays for R
+/// and P over one shared global code space. Equal non-null values share a
+/// code across both relations; every NULL cell gets a fresh code from the
+/// descending range (NULL never matches anything, per rel::Value
+/// semantics). This is the SignatureIndex build's input format and the
+/// persistent store's serialized row representation.
+struct EncodedInstance {
+  std::vector<uint32_t> r_codes;
+  std::vector<uint32_t> p_codes;
+};
+
+/// Production encode: merges the relations' per-column dictionaries into
+/// the global code space with a column-wise remap — one array lookup per
+/// cell, value hashing only once per distinct (column, value). The code
+/// assignment reproduces the retained row-major reference bit-for-bit
+/// (property-tested): global codes ascend from 0 in row-major
+/// first-occurrence order over R then P, NULL codes descend from
+/// UINT32_MAX per NULL cell in the same walk order.
+EncodedInstance EncodeInstance(const rel::Relation& r, const rel::Relation& p);
+
+/// Reference encode retained from the pre-columnar seed: walks
+/// materialized rows cell by cell through a Value-keyed hash dictionary.
+/// Kept (like minimax_reference) as the yardstick for the
+/// encoded-vs-legacy property tests and the BM_EncodeRelation /
+/// BM_IngestAndBuild row-major bench variants; not a production path.
+EncodedInstance EncodeInstanceReference(const std::vector<rel::Row>& r_rows,
+                                        const std::vector<rel::Row>& p_rows);
+
 class SignatureIndex {
  public:
   /// Builds the index for an instance of two relations. Fails when Ω
   /// exceeds predicate capacity or a relation is empty.
   static util::Result<SignatureIndex> Build(
       const rel::Relation& r, const rel::Relation& p,
+      const SignatureIndexOptions& options = {});
+
+  /// The full row-major reference pipeline: EncodeInstanceReference over
+  /// pre-materialized rows, then the same classification passes as Build.
+  /// Property tests assert Build over the columnar storage is bit-identical
+  /// to this for every observable (class table, row codes, transcripts).
+  static util::Result<SignatureIndex> BuildReferenceRowMajor(
+      const rel::Schema& r_schema, const std::vector<rel::Row>& r_rows,
+      const rel::Schema& p_schema, const std::vector<rel::Row>& p_rows,
       const SignatureIndexOptions& options = {});
 
   /// Reassembles an index from its serialized sections without copying the
@@ -168,6 +208,13 @@ class SignatureIndex {
 
  private:
   SignatureIndex() = default;
+
+  /// Shared back half of Build and BuildReferenceRowMajor: dedup, the
+  /// parallel classification pass and the maximality sweep over an
+  /// already-encoded instance.
+  static util::Result<SignatureIndex> BuildFromEncoded(
+      Omega omega, EncodedInstance encoded,
+      const SignatureIndexOptions& options);
 
   /// Rebuilds class_of_signature_ from classes_; shared by Build (which
   /// fills it incrementally instead) and FromSections.

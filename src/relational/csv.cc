@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "relational/column_table.h"
 #include "util/string_util.h"
 
 namespace jinfer {
@@ -10,53 +11,104 @@ namespace rel {
 
 namespace {
 
-/// Splits one CSV record into fields, honoring double-quote quoting.
-/// `quoted[i]` records whether field i was quoted (a quoted empty field is
-/// the empty string, not NULL).
-util::Status SplitCsvRecord(const std::string& line,
-                            std::vector<std::string>* fields,
-                            std::vector<bool>* quoted) {
+struct CsvField {
+  std::string_view text;
+  bool quoted = false;
+};
+
+/// Scans one CSV record into fields — THE quote state machine, shared by
+/// the header path and the streaming ingest path (one machine, so a field
+/// count and the parsed fields can never disagree). Plain fields are
+/// zero-copy slices of `line`; quoted fields unescape into `scratch`,
+/// which is reserved to |line| up front so the returned views never move
+/// (unescaping only shrinks). Quote semantics, unchanged from the seed: a
+/// quote opens a quoted run only while the field is still empty, "" inside
+/// a quoted run is an escaped quote, and text after a closing quote is
+/// taken literally.
+util::Status ScanCsvRecord(std::string_view line, std::string& scratch,
+                           std::vector<CsvField>* fields) {
   fields->clear();
-  quoted->clear();
-  std::string cur;
-  bool in_quotes = false;
-  bool was_quoted = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
-          ++i;
+  scratch.clear();
+  scratch.reserve(line.size());
+  size_t pos = 0;
+  while (true) {
+    CsvField field;
+    if (pos < line.size() && line[pos] == '"') {
+      const size_t start = scratch.size();
+      field.quoted = true;
+      bool in_quotes = true;
+      size_t i = pos + 1;
+      for (; i < line.size(); ++i) {
+        char c = line[i];
+        if (in_quotes) {
+          if (c == '"') {
+            if (i + 1 < line.size() && line[i + 1] == '"') {
+              scratch += '"';
+              ++i;
+            } else {
+              in_quotes = false;
+            }
+          } else {
+            scratch += c;
+          }
+        } else if (c == '"' && scratch.size() == start) {
+          in_quotes = true;
+        } else if (c == ',') {
+          break;
         } else {
-          in_quotes = false;
+          scratch += c;
         }
-      } else {
-        cur += c;
       }
-    } else if (c == '"' && cur.empty()) {
-      in_quotes = true;
-      was_quoted = true;
-    } else if (c == ',') {
-      fields->push_back(std::move(cur));
-      quoted->push_back(was_quoted);
-      cur.clear();
-      was_quoted = false;
+      if (in_quotes) {
+        return util::Status::ParseError("unterminated quote in CSV record: " +
+                                        std::string(line));
+      }
+      field.text = std::string_view(scratch).substr(start);
+      pos = i;  // At the separating comma or end of record.
     } else {
-      cur += c;
+      size_t comma = line.find(',', pos);
+      size_t end = comma == std::string_view::npos ? line.size() : comma;
+      field.text = line.substr(pos, end - pos);
+      pos = end;
     }
+    fields->push_back(field);
+    if (pos >= line.size()) break;
+    ++pos;  // Skip the comma; an immediately following end of record means
+            // one more (empty) field, which the next loop turn emits.
   }
-  if (in_quotes) {
-    return util::Status::ParseError("unterminated quote in CSV record: " +
-                                    line);
-  }
-  fields->push_back(std::move(cur));
-  quoted->push_back(was_quoted);
   return util::Status::OK();
 }
 
-std::string EscapeCsvField(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+/// Appends one scanned field straight into the cursor column, with no
+/// Value temporary. A quoted field is always a string (even a quoted
+/// number or ""); unquoted fields go through the one shared classifier
+/// (ClassifyCsvField, the same rule Value::FromCsvField applies).
+void AppendTypedField(ColumnTable& t, std::string_view field, bool quoted) {
+  if (quoted) {
+    t.AppendString(field);
+    return;
+  }
+  CsvScalar scalar = ClassifyCsvField(field);
+  switch (scalar.type) {
+    case ValueType::kNull:
+      t.AppendNull();
+      return;
+    case ValueType::kInt:
+      t.AppendInt(scalar.int_value);
+      return;
+    case ValueType::kDouble:
+      t.AppendDouble(scalar.double_value);
+      return;
+    case ValueType::kString:
+      break;
+  }
+  t.AppendString(field);
+}
+
+std::string EscapeCsvField(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(s);
+  }
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += "\"\"";
@@ -70,47 +122,53 @@ std::string EscapeCsvField(const std::string& s) {
 
 util::Result<Relation> ReadRelationCsvText(const std::string& text,
                                            const std::string& relation_name) {
-  std::istringstream is(text);
-  std::string line;
+  // Single pass over the buffer: slice records at newlines, scan each once,
+  // and stream the fields straight into the relation's columns. The arity
+  // check runs on the scanned record before any cell is appended, so a
+  // malformed line never leaves a partial row behind.
+  size_t cursor = 0;
+  auto next_line = [&](std::string_view* line) -> bool {
+    if (cursor >= text.size()) return false;
+    size_t nl = text.find('\n', cursor);
+    size_t end = nl == std::string::npos ? text.size() : nl;
+    *line = std::string_view(text).substr(cursor, end - cursor);
+    cursor = end + 1;
+    if (!line->empty() && line->back() == '\r') line->remove_suffix(1);
+    return true;
+  };
 
-  if (!std::getline(is, line)) {
+  std::string_view line;
+  if (!next_line(&line)) {
     return util::Status::ParseError("empty CSV input for relation " +
                                     relation_name);
   }
-  if (!line.empty() && line.back() == '\r') line.pop_back();
 
+  std::vector<CsvField> fields;
+  std::string scratch;
+  JINFER_RETURN_NOT_OK(ScanCsvRecord(line, scratch, &fields));
   std::vector<std::string> header;
-  std::vector<bool> header_quoted;
-  JINFER_RETURN_NOT_OK(SplitCsvRecord(line, &header, &header_quoted));
-  for (auto& h : header) h = std::string(util::Trim(h));
+  header.reserve(fields.size());
+  for (const CsvField& f : fields) {
+    header.emplace_back(util::Trim(f.text));
+  }
   JINFER_ASSIGN_OR_RETURN(Schema schema,
                           Schema::Make(relation_name, std::move(header)));
 
   Relation out(std::move(schema));
-  std::vector<std::string> fields;
-  std::vector<bool> quoted;
+  ColumnTable& table = out.mutable_columns();
   size_t lineno = 1;
-  while (std::getline(is, line)) {
+  while (next_line(&line)) {
     ++lineno;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    JINFER_RETURN_NOT_OK(SplitCsvRecord(line, &fields, &quoted));
+    JINFER_RETURN_NOT_OK(ScanCsvRecord(line, scratch, &fields));
     if (fields.size() != out.num_attributes()) {
       return util::Status::ParseError(util::StrFormat(
           "%s line %zu: expected %zu fields, got %zu",
-          relation_name.c_str(), lineno, out.num_attributes(), fields.size()));
+          relation_name.c_str(), lineno, out.num_attributes(),
+          fields.size()));
     }
-    Row row;
-    row.reserve(fields.size());
-    for (size_t i = 0; i < fields.size(); ++i) {
-      // A quoted field is always a string (even a quoted number or "").
-      if (quoted[i]) {
-        row.emplace_back(fields[i]);
-      } else {
-        row.push_back(Value::FromCsvField(fields[i]));
-      }
-    }
-    JINFER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+    for (const CsvField& f : fields) AppendTypedField(table, f.text, f.quoted);
+    table.FinishRow();
   }
   return out;
 }
@@ -133,14 +191,16 @@ std::string WriteRelationCsv(const Relation& relation) {
     os << (i ? "," : "") << EscapeCsvField(names[i]);
   }
   os << '\n';
-  for (const auto& row : relation.rows()) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i) os << ',';
-      if (row[i].is_string()) {
-        os << EscapeCsvField(row[i].AsString());
-      } else {
-        os << row[i].ToString();
-      }
+  const ColumnTable& t = relation.columns();
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    for (size_t c = 0; c < relation.num_attributes(); ++c) {
+      if (c) os << ',';
+      CellView cell = t.cell(r, c);
+      if (cell.type == ValueType::kString) {
+        os << EscapeCsvField(cell.str);
+      } else if (!cell.is_null()) {
+        os << cell.ToValue().ToString();
+      }  // NULL renders as the empty field.
     }
     os << '\n';
   }

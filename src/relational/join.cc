@@ -11,20 +11,31 @@ namespace rel {
 namespace {
 
 /// Composite hash of the theta-projected key of a row; nullopt when any key
-/// component is NULL (NULL never joins).
-std::optional<size_t> KeyHash(const Row& row, const std::vector<size_t>& cols) {
+/// component is NULL (NULL never joins). Per-value hashes come precomputed
+/// from the column dictionaries, so string keys are never rehashed per row.
+///
+/// Known, deliberately preserved seed quirk: doubles hash by bit pattern,
+/// so a -0.0 key never probes +0.0's bucket and the hash join misses that
+/// one IEEE-equal pair (EquijoinIndicesNaive, which compares cells
+/// directly, finds it). Fixing the hash would break bit-identity with the
+/// retained row-major reference, whose Value-keyed dictionaries bucket by
+/// the same bit-pattern hash.
+std::optional<size_t> KeyHash(const ColumnTable& t, size_t row,
+                              const std::vector<size_t>& cols) {
   size_t h = 0x9e3779b97f4a7c15ULL;
   for (size_t c : cols) {
-    if (row[c].is_null()) return std::nullopt;
-    h = h * 0x100000001b3ULL ^ row[c].Hash();
+    uint32_t code = t.codes(c)[row];
+    if (code == kNullCellCode) return std::nullopt;
+    h = h * 0x100000001b3ULL ^ t.dictionary(c).value_hash(code);
   }
   return h;
 }
 
-bool KeysEqual(const Row& a, const std::vector<size_t>& acols, const Row& b,
-               const std::vector<size_t>& bcols) {
+bool KeysEqual(const ColumnTable& a, size_t arow,
+               const std::vector<size_t>& acols, const ColumnTable& b,
+               size_t brow, const std::vector<size_t>& bcols) {
   for (size_t k = 0; k < acols.size(); ++k) {
-    if (!(a[acols[k]] == b[bcols[k]])) return false;
+    if (a.cell(arow, acols[k]) != b.cell(brow, bcols[k])) return false;
   }
   return true;
 }
@@ -71,15 +82,15 @@ util::Result<std::vector<std::pair<size_t, size_t>>> EquijoinIndices(
   std::unordered_multimap<size_t, size_t> table;
   table.reserve(p.num_rows());
   for (size_t j = 0; j < p.num_rows(); ++j) {
-    if (auto h = KeyHash(p.row(j), pcols)) table.emplace(*h, j);
+    if (auto h = KeyHash(p.columns(), j, pcols)) table.emplace(*h, j);
   }
 
   for (size_t i = 0; i < r.num_rows(); ++i) {
-    auto h = KeyHash(r.row(i), rcols);
+    auto h = KeyHash(r.columns(), i, rcols);
     if (!h) continue;
     auto [begin, end] = table.equal_range(*h);
     for (auto it = begin; it != end; ++it) {
-      if (KeysEqual(r.row(i), rcols, p.row(it->second), pcols)) {
+      if (KeysEqual(r.columns(), i, rcols, p.columns(), it->second, pcols)) {
         out.emplace_back(i, it->second);
       }
     }
@@ -96,7 +107,7 @@ util::Result<std::vector<std::pair<size_t, size_t>>> EquijoinIndicesNaive(
     for (size_t j = 0; j < p.num_rows(); ++j) {
       bool all = true;
       for (const auto& [a, b] : theta) {
-        if (!(r.at(i, a) == p.at(j, b))) {
+        if (r.cell(i, a) != p.cell(j, b)) {
           all = false;
           break;
         }
@@ -129,14 +140,14 @@ util::Result<std::vector<size_t>> SemijoinIndices(
   std::unordered_multimap<size_t, size_t> table;
   table.reserve(p.num_rows());
   for (size_t j = 0; j < p.num_rows(); ++j) {
-    if (auto h = KeyHash(p.row(j), pcols)) table.emplace(*h, j);
+    if (auto h = KeyHash(p.columns(), j, pcols)) table.emplace(*h, j);
   }
   for (size_t i = 0; i < r.num_rows(); ++i) {
-    auto h = KeyHash(r.row(i), rcols);
+    auto h = KeyHash(r.columns(), i, rcols);
     if (!h) continue;
     auto [begin, end] = table.equal_range(*h);
     for (auto it = begin; it != end; ++it) {
-      if (KeysEqual(r.row(i), rcols, p.row(it->second), pcols)) {
+      if (KeysEqual(r.columns(), i, rcols, p.columns(), it->second, pcols)) {
         out.push_back(i);
         break;
       }

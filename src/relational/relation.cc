@@ -20,19 +20,35 @@ util::Result<Relation> Relation::Make(std::string name,
   return r;
 }
 
-util::Status Relation::AppendRow(Row row) {
+util::Status Relation::AppendRowSpan(std::span<const Value> row) {
   if (row.size() != schema_.num_attributes()) {
     return util::Status::InvalidArgument(util::StrFormat(
         "row arity %zu does not match schema arity %zu of %s", row.size(),
         schema_.num_attributes(), schema_.relation_name().c_str()));
   }
-  rows_.push_back(std::move(row));
+  for (const Value& v : row) table_.AppendValue(v);
+  table_.FinishRow();
   return util::Status::OK();
 }
 
+Row Relation::row(size_t i) const {
+  Row out;
+  out.reserve(num_attributes());
+  for (size_t c = 0; c < num_attributes(); ++c) {
+    out.push_back(table_.ValueAt(i, c));
+  }
+  return out;
+}
+
+std::vector<Row> Relation::rows() const {
+  std::vector<Row> out;
+  out.reserve(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) out.push_back(row(i));
+  return out;
+}
+
 std::string Relation::ToString(size_t max_rows) const {
-  size_t limit = max_rows == 0 ? rows_.size() : std::min(max_rows,
-                                                         rows_.size());
+  size_t limit = max_rows == 0 ? num_rows() : std::min(max_rows, num_rows());
   size_t cols = schema_.num_attributes();
 
   std::vector<size_t> width(cols);
@@ -43,13 +59,13 @@ std::string Relation::ToString(size_t max_rows) const {
   for (size_t r = 0; r < limit; ++r) {
     cells[r].resize(cols);
     for (size_t c = 0; c < cols; ++c) {
-      cells[r][c] = rows_[r][c].ToString();
+      cells[r][c] = table_.ValueAt(r, c).ToString();
       width[c] = std::max(width[c], cells[r][c].size());
     }
   }
 
   std::ostringstream os;
-  os << schema_.relation_name() << " (" << rows_.size() << " rows)\n";
+  os << schema_.relation_name() << " (" << num_rows() << " rows)\n";
   for (size_t c = 0; c < cols; ++c) {
     os << (c ? " | " : "  ")
        << util::PadRight(schema_.attribute_names()[c], width[c]);
@@ -61,8 +77,8 @@ std::string Relation::ToString(size_t max_rows) const {
     }
     os << '\n';
   }
-  if (limit < rows_.size()) {
-    os << "  ... (" << rows_.size() - limit << " more rows)\n";
+  if (limit < num_rows()) {
+    os << "  ... (" << num_rows() - limit << " more rows)\n";
   }
   return os.str();
 }

@@ -16,26 +16,34 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
+uint64_t HashNull() { return Mix(0x6e756c6cULL); }
+
+uint64_t HashInt(int64_t v) {
+  return Mix(0x696e74ULL ^ static_cast<uint64_t>(v));
+}
+
+uint64_t HashDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return Mix(0x646f75ULL ^ bits);
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix(0x737472ULL ^ h);
+}
+
 size_t Value::Hash() const {
   struct Visitor {
-    size_t operator()(const Null&) const { return Mix(0x6e756c6cULL); }
-    size_t operator()(int64_t v) const {
-      return Mix(0x696e74ULL ^ static_cast<uint64_t>(v));
-    }
-    size_t operator()(double v) const {
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(v));
-      __builtin_memcpy(&bits, &v, sizeof(bits));
-      return Mix(0x646f75ULL ^ bits);
-    }
-    size_t operator()(const std::string& s) const {
-      uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
-      for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-      }
-      return Mix(0x737472ULL ^ h);
-    }
+    size_t operator()(const Null&) const { return HashNull(); }
+    size_t operator()(int64_t v) const { return HashInt(v); }
+    size_t operator()(double v) const { return HashDouble(v); }
+    size_t operator()(const std::string& s) const { return HashString(s); }
   };
   return std::visit(Visitor{}, repr_);
 }
@@ -54,20 +62,88 @@ std::string Value::ToString() const {
   return std::visit(Visitor{}, repr_);
 }
 
-Value Value::FromCsvField(std::string_view field) {
-  if (field.empty()) return Value();
+CsvScalar ClassifyCsvField(std::string_view field) {
+  CsvScalar out;
+  if (field.empty()) return out;  // kNull
   const char* begin = field.data();
   const char* end = begin + field.size();
 
-  int64_t ival = 0;
-  auto [iptr, ierr] = std::from_chars(begin, end, ival);
-  if (ierr == std::errc() && iptr == end) return Value(ival);
+  auto [iptr, ierr] = std::from_chars(begin, end, out.int_value);
+  if (ierr == std::errc() && iptr == end) {
+    out.type = ValueType::kInt;
+    return out;
+  }
+  auto [dptr, derr] = std::from_chars(begin, end, out.double_value);
+  if (derr == std::errc() && dptr == end) {
+    out.type = ValueType::kDouble;
+    return out;
+  }
+  out.type = ValueType::kString;
+  return out;
+}
 
-  double dval = 0;
-  auto [dptr, derr] = std::from_chars(begin, end, dval);
-  if (derr == std::errc() && dptr == end) return Value(dval);
-
+Value Value::FromCsvField(std::string_view field) {
+  CsvScalar scalar = ClassifyCsvField(field);
+  switch (scalar.type) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt:
+      return Value(scalar.int_value);
+    case ValueType::kDouble:
+      return Value(scalar.double_value);
+    case ValueType::kString:
+      break;
+  }
   return Value(std::string(field));
+}
+
+uint64_t CellView::Hash() const {
+  switch (type) {
+    case ValueType::kNull:
+      return HashNull();
+    case ValueType::kInt:
+      return HashInt(num);
+    case ValueType::kDouble:
+      return HashDouble(AsDouble());
+    case ValueType::kString:
+      return HashString(str);
+  }
+  return HashNull();
+}
+
+Value CellView::ToValue() const {
+  switch (type) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt:
+      return Value(num);
+    case ValueType::kDouble:
+      return Value(AsDouble());
+    case ValueType::kString:
+      return Value(std::string(str));
+  }
+  return Value();
+}
+
+CellView CellView::Of(const Value& v) {
+  CellView out;
+  out.type = v.type();
+  switch (out.type) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      out.num = v.AsInt();
+      break;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      __builtin_memcpy(&out.num, &d, sizeof(out.num));
+      break;
+    }
+    case ValueType::kString:
+      out.str = v.AsString();
+      break;
+  }
+  return out;
 }
 
 }  // namespace rel

@@ -1,4 +1,6 @@
-// Value: the dynamically-typed cell of a relation.
+// Value: the dynamically-typed cell of a relation, plus the shared value
+// semantics (type tags, hash primitives, the NULL rule) that the columnar
+// storage layer and the store fingerprint build on.
 //
 // Equality is what the whole paper runs on (equijoin predicates are
 // conjunctions of equalities between attributes), so the semantics here are
@@ -7,17 +9,58 @@
 //   * Null follows SQL: Null == Null is FALSE. The appendix A.1 reduction
 //     depends on its bottom values not matching anything, including each
 //     other.
+//
+// The NULL rule in one place (shared by Value, CellView, the ColumnTable
+// dictionaries and store::Fingerprint): all NULLs hash alike — HashNull()
+// below is the single definition — but no NULL ever compares equal, not
+// even to itself. Hashing may bucket every bottom value together; equality
+// must still keep them apart, which is why the columnar dictionaries track
+// NULLs in a bitmap instead of interning them (an interned NULL would make
+// two bottom values share a code, i.e. compare equal downstream).
 
 #ifndef JINFER_RELATIONAL_VALUE_H_
 #define JINFER_RELATIONAL_VALUE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <variant>
 
 namespace jinfer {
 namespace rel {
+
+/// Runtime type of a cell. The enumerator values double as the domain-
+/// separation tags store::Fingerprint absorbs in front of each payload, so
+/// they are part of the persistent instance identity (content-addressed
+/// .jidx files ride on it): never renumber without a fingerprint migration
+/// (DESIGN.md §9).
+enum class ValueType : uint8_t {
+  kNull = 0x4e,    // 'N'
+  kInt = 0x49,     // 'I'
+  kDouble = 0x44,  // 'D'
+  kString = 0x53,  // 'S'
+};
+
+/// Classification of one unquoted CSV field under the inference rule
+/// "" -> NULL, integer literal -> int, floating literal -> double,
+/// anything else -> string. Shared by Value::FromCsvField and the
+/// streaming CSV reader, so the rule exists exactly once.
+struct CsvScalar {
+  ValueType type = ValueType::kNull;
+  int64_t int_value = 0;     ///< Payload when type == kInt.
+  double double_value = 0;   ///< Payload when type == kDouble.
+};                           ///< kString: use the field bytes themselves.
+CsvScalar ClassifyCsvField(std::string_view field);
+
+/// Hash primitives consistent with value equality, one per runtime type.
+/// Every hash in the relational layer (Value::Hash, CellView::Hash, the
+/// ColumnTable dictionary lookup, the join hash tables) goes through these,
+/// so a value hashes identically no matter which representation holds it.
+uint64_t HashNull();
+uint64_t HashInt(int64_t v);
+uint64_t HashDouble(double v);
+uint64_t HashString(std::string_view s);
 
 /// SQL-style NULL marker (the appendix's bottom value).
 struct Null {
@@ -39,6 +82,13 @@ class Value {
   bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
   bool is_double() const { return std::holds_alternative<double>(repr_); }
   bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  ValueType type() const {
+    if (is_null()) return ValueType::kNull;
+    if (is_int()) return ValueType::kInt;
+    if (is_double()) return ValueType::kDouble;
+    return ValueType::kString;
+  }
 
   /// Accessors; calling the wrong one throws std::bad_variant_access.
   int64_t AsInt() const { return std::get<int64_t>(repr_); }
@@ -71,6 +121,42 @@ class Value {
 
 struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A non-owning decoded cell: what the columnar layer hands out in place of
+/// a heap-backed Value on read paths. `num` holds the integer payload or
+/// the bit pattern of a double; `str` points into a dictionary's string
+/// arena (valid while the owning ColumnTable lives). Equality and hashing
+/// follow Value exactly, including the NULL rule above.
+struct CellView {
+  ValueType type = ValueType::kNull;
+  int64_t num = 0;
+  std::string_view str;
+
+  bool is_null() const { return type == ValueType::kNull; }
+  int64_t AsInt() const { return num; }
+  double AsDouble() const {
+    double d;
+    std::memcpy(&d, &num, sizeof(d));
+    return d;
+  }
+  std::string_view AsString() const { return str; }
+
+  uint64_t Hash() const;
+  Value ToValue() const;
+
+  /// Views `v`'s payload; `v` must outlive the view (string payloads alias).
+  static CellView Of(const Value& v);
+
+  friend bool operator==(const CellView& a, const CellView& b) {
+    if (a.is_null() || b.is_null() || a.type != b.type) return false;
+    if (a.type == ValueType::kString) return a.str == b.str;
+    if (a.type == ValueType::kDouble) return a.AsDouble() == b.AsDouble();
+    return a.num == b.num;
+  }
+  friend bool operator!=(const CellView& a, const CellView& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace rel

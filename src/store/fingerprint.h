@@ -14,6 +14,14 @@
 // bytes are absorbed in native byte order, so fingerprints are NOT
 // portable across endianness; the store's file format carries a byte-order
 // marker and refuses foreign files for the same reason (DESIGN.md §8).
+//
+// Stability across the columnar refactor: the digest now walks cells
+// through the relations' column dictionaries, but absorbs the byte stream
+// of the original row-major cell walk unchanged — the type tags ARE the
+// rel::ValueType enumerator values. Content-equality with pre-columnar
+// fingerprints is pinned by tests/store/fingerprint_compat_test.cc
+// (frozen reference hasher + golden seed values); see DESIGN.md §9 for
+// why the dictionary+codes digest was rejected.
 
 #ifndef JINFER_STORE_FINGERPRINT_H_
 #define JINFER_STORE_FINGERPRINT_H_

@@ -87,6 +87,11 @@ TpchScale MiniScaleB() {
                    /*orders=*/1500, /*max_lineitems_per_order=*/4};
 }
 
+// Each AppendRow({...}) below binds the initializer-list overload, which
+// dictionary-encodes the cells straight into the relation's columns — the
+// braced row never materializes as a stored rel::Row. Key/date/quantity
+// columns intern a few thousand distinct ints; the Token/Phone comment
+// columns are where the per-column string arenas earn their keep.
 util::Result<TpchDatabase> GenerateTpch(const TpchScale& scale,
                                         uint64_t seed) {
   if (scale.parts == 0 || scale.suppliers == 0 ||

@@ -1,0 +1,53 @@
+// Large-instance smoke target, built only under -DJINFER_LARGE_TESTS=ON:
+// a Fig. 7-scale 10⁶-row synthetic instance must ingest (columnar
+// generator), fingerprint, and build into a ready SignatureIndex, then
+// answer a full inference session. This is the scale the ColumnTable
+// refactor (DESIGN.md §9) exists for: 3M cells per relation stream into
+// code vectors with a 10-entry dictionary per column, and signature-class
+// compression collapses the 10¹² tuples of D into ≤10⁶ distinct R'×P'
+// pairs for classification.
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/oracle.h"
+#include "core/strategy.h"
+#include "store/fingerprint.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace {
+
+TEST(LargeInstanceSmoke, MillionRowIngestFingerprintAndBuild) {
+  constexpr size_t kRows = 1'000'000;
+  auto inst = workload::GenerateSynthetic({3, 3, kRows, 10}, 31337);
+  ASSERT_TRUE(inst.ok());
+  ASSERT_EQ(inst->r.num_rows(), kRows);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(inst->r.columns().dictionary(c).size(), 10u);
+  }
+
+  store::InstanceFingerprint fp =
+      store::FingerprintInstance(inst->r, inst->p, true);
+  EXPECT_NE(fp.ToHex(), store::InstanceFingerprint{}.ToHex());
+
+  auto index = core::SignatureIndex::Build(inst->r, inst->p,
+                                           {.compress = true, .threads = 0});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_tuples(),
+            static_cast<uint64_t>(kRows) * static_cast<uint64_t>(kRows));
+  // v=10 over 3 attributes: at most 10³ distinct rows per side, so the
+  // class table is tiny despite |D| = 10¹².
+  EXPECT_LE(index->num_classes(), 1000u * 1000u);
+  EXPECT_GE(index->num_classes(), 2u);
+
+  core::JoinPredicate goal = index->cls(0).signature;
+  auto strategy = core::MakeStrategy(core::StrategyKind::kTopDown);
+  core::GoalOracle oracle(goal);
+  auto result = core::RunInference(*index, *strategy, oracle, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(index->EquivalentOnInstance(result->predicate, goal));
+}
+
+}  // namespace
+}  // namespace jinfer

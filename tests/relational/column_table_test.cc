@@ -1,0 +1,235 @@
+#include "relational/column_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "relational/relation.h"
+
+namespace jinfer {
+namespace rel {
+namespace {
+
+TEST(ColumnDictionaryTest, InternsDistinctValuesOnce) {
+  ColumnDictionary d;
+  EXPECT_EQ(d.EncodeInt(7), 0u);
+  EXPECT_EQ(d.EncodeString("x"), 1u);
+  EXPECT_EQ(d.EncodeDouble(2.5), 2u);
+  EXPECT_EQ(d.EncodeInt(7), 0u);
+  EXPECT_EQ(d.EncodeString("x"), 1u);
+  EXPECT_EQ(d.EncodeDouble(2.5), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(ColumnDictionaryTest, CrossTypePayloadsStayDistinct) {
+  ColumnDictionary d;
+  uint32_t i = d.EncodeInt(1);
+  uint32_t s = d.EncodeString("1");
+  uint32_t f = d.EncodeDouble(1.0);
+  EXPECT_NE(i, s);
+  EXPECT_NE(i, f);
+  EXPECT_NE(s, f);
+}
+
+TEST(ColumnDictionaryTest, ViewRoundTripsValues) {
+  ColumnDictionary d;
+  uint32_t i = d.EncodeValue(Value(42));
+  uint32_t s = d.EncodeValue(Value("join"));
+  uint32_t f = d.EncodeValue(Value(0.125));
+  EXPECT_EQ(d.ToValue(i), Value(42));
+  EXPECT_EQ(d.ToValue(s), Value("join"));
+  EXPECT_EQ(d.ToValue(f), Value(0.125));
+  EXPECT_EQ(d.view(s).AsString(), "join");
+  EXPECT_EQ(d.type(f), ValueType::kDouble);
+}
+
+TEST(ColumnDictionaryTest, CachedHashMatchesValueHash) {
+  ColumnDictionary d;
+  uint32_t i = d.EncodeInt(42);
+  uint32_t s = d.EncodeString("join");
+  EXPECT_EQ(d.value_hash(i), Value(42).Hash());
+  EXPECT_EQ(d.value_hash(s), Value("join").Hash());
+}
+
+TEST(ColumnDictionaryTest, StringArenaSurvivesGrowth) {
+  ColumnDictionary d;
+  std::vector<uint32_t> codes;
+  for (int i = 0; i < 200; ++i) {
+    codes.push_back(d.EncodeString("value-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(d.view(codes[i]).AsString(), "value-" + std::to_string(i));
+  }
+  // Re-encoding returns the original codes (no duplicate interning).
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(d.EncodeString("value-" + std::to_string(i)), codes[i]);
+  }
+}
+
+TEST(ColumnDictionaryTest, EmptyStringIsARealEntry) {
+  ColumnDictionary d;
+  uint32_t e = d.EncodeString("");
+  EXPECT_EQ(d.EncodeString(""), e);
+  EXPECT_NE(d.EncodeString("a"), e);
+  EXPECT_EQ(d.view(e).AsString(), "");
+  EXPECT_FALSE(d.view(e).is_null());  // "" is a string, not a bottom value.
+}
+
+TEST(ColumnDictionaryTest, NaNGetsAFreshCodePerOccurrence) {
+  // NaN equals nothing, so two NaN cells sharing a code would start
+  // joining each other. Each encode appends a fresh entry (the bottom-
+  // value treatment, with the payload preserved).
+  ColumnDictionary d;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  uint32_t a = d.EncodeDouble(nan);
+  uint32_t b = d.EncodeDouble(nan);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(std::isnan(d.view(a).AsDouble()));
+  EXPECT_NE(d.view(a), d.view(b));  // CellView keeps IEEE NaN != NaN.
+  // Ordinary doubles still intern: one entry, shared code.
+  EXPECT_EQ(d.EncodeDouble(2.5), d.EncodeDouble(2.5));
+}
+
+TEST(ColumnDictionaryTest, DenseSeedMakesCodeEqualValue) {
+  ColumnDictionary d;
+  d.SeedDenseIntDomain(100);
+  EXPECT_EQ(d.size(), 100u);
+  for (int64_t v : {int64_t{0}, int64_t{17}, int64_t{99}}) {
+    EXPECT_EQ(d.view(static_cast<uint32_t>(v)).AsInt(), v);
+    EXPECT_EQ(d.EncodeInt(v), static_cast<uint32_t>(v));
+  }
+}
+
+TEST(ColumnTableTest, StreamingAppendAndDecode) {
+  ColumnTable t(3);
+  t.AppendInt(1);
+  t.AppendString("x");
+  t.AppendDouble(3.5);
+  t.FinishRow();
+  t.AppendNull();
+  t.AppendString("x");
+  t.AppendInt(2);
+  t.FinishRow();
+
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ValueAt(0, 0), Value(1));
+  EXPECT_EQ(t.ValueAt(0, 1), Value("x"));
+  EXPECT_EQ(t.ValueAt(0, 2), Value(3.5));
+  EXPECT_TRUE(t.ValueAt(1, 0).is_null());
+  EXPECT_EQ(t.ValueAt(1, 2), Value(2));
+
+  // Equal values in one column share a code; the dictionary holds it once.
+  EXPECT_EQ(t.codes(1)[0], t.codes(1)[1]);
+  EXPECT_EQ(t.dictionary(1).size(), 1u);
+}
+
+TEST(ColumnTableTest, NullBitmapAndSentinelAgree) {
+  ColumnTable t(2);
+  for (int i = 0; i < 130; ++i) {  // Spans three bitmap words.
+    if (i % 3 == 0) {
+      t.AppendNull();
+    } else {
+      t.AppendInt(i);
+    }
+    t.AppendInt(-i);
+    t.FinishRow();
+  }
+  ASSERT_EQ(t.num_rows(), 130u);
+  EXPECT_TRUE(t.column_has_nulls(0));
+  EXPECT_FALSE(t.column_has_nulls(1));
+  EXPECT_EQ(t.null_words(0).size(), (130u + 63) / 64);
+  for (size_t i = 0; i < 130; ++i) {
+    bool expect_null = i % 3 == 0;
+    EXPECT_EQ(t.IsNull(i, 0), expect_null) << i;
+    EXPECT_EQ(t.codes(0)[i] == kNullCellCode, expect_null) << i;
+    EXPECT_FALSE(t.IsNull(i, 1));
+  }
+}
+
+TEST(ColumnTableTest, CellViewEqualityFollowsValueSemantics) {
+  ColumnTable t(2);
+  t.AppendInt(5);
+  t.AppendInt(5);
+  t.FinishRow();
+  t.AppendNull();
+  t.AppendNull();
+  t.FinishRow();
+
+  EXPECT_EQ(t.cell(0, 0), t.cell(0, 1));
+  // The bottom-value rule: NULL cells never compare equal, not even to
+  // themselves (appendix A.1 depends on it).
+  EXPECT_NE(t.cell(1, 0), t.cell(1, 1));
+  EXPECT_NE(t.cell(1, 0), t.cell(1, 0));
+  EXPECT_NE(t.cell(1, 0), t.cell(0, 0));
+  // ... but they all hash alike, through the one shared HashNull().
+  EXPECT_EQ(t.cell(1, 0).Hash(), t.cell(1, 1).Hash());
+  EXPECT_EQ(t.cell(1, 0).Hash(), Value().Hash());
+}
+
+TEST(ColumnTableTest, MixedTypeColumnKeepsRuntimeTypes) {
+  ColumnTable t(1);
+  t.AppendInt(1);
+  t.FinishRow();
+  t.AppendString("1");
+  t.FinishRow();
+  t.AppendDouble(1.0);
+  t.FinishRow();
+  EXPECT_EQ(t.dictionary(0).size(), 3u);
+  EXPECT_NE(t.cell(0, 0), t.cell(1, 0));
+  EXPECT_NE(t.cell(0, 0), t.cell(2, 0));
+  EXPECT_EQ(t.ValueAt(1, 0), Value("1"));
+}
+
+TEST(ColumnTableTest, AppendCodeFastPathMatchesAppendInt) {
+  ColumnTable fast(2), slow(2);
+  for (size_t c = 0; c < 2; ++c) fast.dictionary(c).SeedDenseIntDomain(8);
+  for (uint32_t i = 0; i < 64; ++i) {
+    fast.AppendCode(i % 8);
+    fast.AppendCode((i * 3) % 8);
+    fast.FinishRow();
+    slow.AppendInt(i % 8);
+    slow.AppendInt((i * 3) % 8);
+    slow.FinishRow();
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(fast.ValueAt(i, c), slow.ValueAt(i, c));
+    }
+  }
+}
+
+TEST(RelationFacadeTest, RowViewsDecodeColumnarStorage) {
+  auto r = Relation::Make("R", {"A", "B"},
+                          {{1, "x"}, {Value(), 2.5}, {1, "x"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+  Row row0 = r->row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], Value(1));
+  EXPECT_EQ(row0[1], Value("x"));
+  EXPECT_TRUE(r->at(1, 0).is_null());
+  EXPECT_EQ(r->rows().size(), 3u);
+  // Identical rows share column codes end to end.
+  EXPECT_EQ(r->columns().codes(0)[0], r->columns().codes(0)[2]);
+  EXPECT_EQ(r->columns().codes(1)[0], r->columns().codes(1)[2]);
+}
+
+TEST(RelationFacadeTest, InitializerListAppendEncodesDirectly) {
+  auto r = Relation::Make("R", {"A", "B"}, {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->AppendRow({Value(3), Value("y")}).ok());
+  ASSERT_TRUE(r->AppendRow({3, "y"}).ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->columns().dictionary(0).size(), 1u);
+  EXPECT_EQ(r->columns().dictionary(1).size(), 1u);
+  // Arity errors reject the row before any cell lands.
+  EXPECT_TRUE(r->AppendRow({Value(1)}).IsInvalidArgument());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->columns().codes(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace jinfer

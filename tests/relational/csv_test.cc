@@ -95,6 +95,56 @@ TEST(CsvWriteTest, RoundTripsTypedData) {
   EXPECT_EQ(reparsed->at(1, 2), Value(3.5));
 }
 
+TEST(CsvWriteTest, ColumnTableRoundTripPreservesEveryCell) {
+  // CSV -> ColumnTable -> WriteRelationCsv -> ColumnTable: cells that have
+  // a faithful CSV rendering (ints, fractional doubles, non-numeric
+  // strings, NULLs) survive exactly — same types, same codes structure.
+  const std::string text =
+      "K,Name,Score\n"
+      "1,alice,0.5\n"
+      ",\"b,ob\",-2\n"
+      "3,alice,\n"
+      "1,\"say \"\"hi\"\"\",0.5\n";
+  auto first = ReadRelationCsvText(text, "T");
+  ASSERT_TRUE(first.ok());
+  auto second = ReadRelationCsvText(WriteRelationCsv(*first), "T");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->num_rows(), first->num_rows());
+  for (size_t r = 0; r < first->num_rows(); ++r) {
+    for (size_t c = 0; c < first->num_attributes(); ++c) {
+      if (first->at(r, c).is_null()) {
+        EXPECT_TRUE(second->at(r, c).is_null()) << r << "," << c;
+      } else {
+        EXPECT_EQ(first->at(r, c), second->at(r, c)) << r << "," << c;
+      }
+    }
+  }
+  // The reparse interned the same distinct values per column.
+  for (size_t c = 0; c < first->num_attributes(); ++c) {
+    EXPECT_EQ(first->columns().dictionary(c).size(),
+              second->columns().dictionary(c).size());
+  }
+}
+
+TEST(CsvReadTest, StreamingParseSharesDictionaryCodes) {
+  auto r = ReadRelationCsvText("City,N\nNYC,1\nParis,2\nNYC,1\n", "R");
+  ASSERT_TRUE(r.ok());
+  const ColumnTable& t = r->columns();
+  EXPECT_EQ(t.dictionary(0).size(), 2u);  // NYC, Paris — interned once.
+  EXPECT_EQ(t.codes(0)[0], t.codes(0)[2]);
+  EXPECT_EQ(t.codes(1)[0], t.codes(1)[2]);
+  EXPECT_NE(t.codes(0)[0], t.codes(0)[1]);
+}
+
+TEST(CsvReadTest, ArityErrorLeavesNoPartialRow) {
+  auto r = ReadRelationCsvText("A,B\n1,2\n3\n", "R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  auto r2 = ReadRelationCsvText("A,B\n1,2\n3,4,5\n", "R");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("got 3"), std::string::npos);
+}
+
 TEST(CsvFileTest, MissingFileIsIoError) {
   EXPECT_TRUE(ReadRelationCsvFile("/nonexistent/path.csv", "R")
                   .status()

@@ -96,6 +96,51 @@ TEST(ValueFromCsvFieldTest, IntTakesPrecedenceOverDouble) {
   EXPECT_TRUE(Value::FromCsvField("7.0").is_double());
 }
 
+// --- The shared value-semantics layer (hash primitives, CellView) -------
+
+TEST(HashPrimitivesTest, AgreeWithValueHashForEveryType) {
+  EXPECT_EQ(HashNull(), Value().Hash());
+  EXPECT_EQ(HashInt(42), Value(42).Hash());
+  EXPECT_EQ(HashDouble(2.5), Value(2.5).Hash());
+  EXPECT_EQ(HashString("join"), Value("join").Hash());
+}
+
+TEST(HashPrimitivesTest, BottomValueRuleAllNullsHashAlike) {
+  // The appendix A.1 rule, centralized: every NULL hashes identically —
+  // through Value, through CellView, through the raw primitive — while no
+  // two NULLs ever compare equal anywhere.
+  EXPECT_EQ(Value().Hash(), Value(Null{}).Hash());
+  EXPECT_EQ(CellView{}.Hash(), HashNull());
+  EXPECT_EQ(CellView::Of(Value()).Hash(), HashNull());
+  EXPECT_NE(Value(), Value());
+  EXPECT_NE(CellView{}, CellView{});
+  EXPECT_NE(CellView::Of(Value()), CellView::Of(Value()));
+}
+
+TEST(CellViewTest, EqualityMirrorsValueEquality) {
+  Value iv(3), sv("3"), dv(3.0), nv;
+  EXPECT_EQ(CellView::Of(iv), CellView::Of(Value(3)));
+  EXPECT_NE(CellView::Of(iv), CellView::Of(sv));
+  EXPECT_NE(CellView::Of(iv), CellView::Of(dv));
+  EXPECT_NE(CellView::Of(nv), CellView::Of(nv));
+  EXPECT_NE(CellView::Of(nv), CellView::Of(Value(0)));
+  // IEEE corner the bit pattern would get wrong: -0.0 == +0.0.
+  EXPECT_EQ(CellView::Of(Value(-0.0)), CellView::Of(Value(0.0)));
+}
+
+TEST(CellViewTest, RoundTripsThroughValue) {
+  for (const Value& v :
+       {Value(7), Value(-2.25), Value("abc"), Value(""), Value()}) {
+    CellView view = CellView::Of(v);
+    Value back = view.ToValue();
+    EXPECT_EQ(back.is_null(), v.is_null());
+    if (!v.is_null()) {
+      EXPECT_EQ(back, v);
+      EXPECT_EQ(view.Hash(), v.Hash());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rel
 }  // namespace jinfer

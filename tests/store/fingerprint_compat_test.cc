@@ -1,0 +1,181 @@
+// The fingerprint compatibility contract (DESIGN.md §9): the columnar
+// refactor kept InstanceFingerprint content-equal to the pre-columnar
+// cell-by-cell digest, so IndexCache keys and content-addressed .jidx
+// files written before the refactor stay valid and the file format stays
+// at version 1.
+//
+// Two lines of defense:
+//   * FrozenReference* — a verbatim copy of the seed's row-major hasher,
+//     walking materialized Value rows; the production (columnar) digest
+//     must match it on every instance shape.
+//   * Golden* — literal fingerprints captured from the seed binary before
+//     the refactor. These catch the failure mode the frozen copy cannot:
+//     both implementations drifting together.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+#include "relational/relation.h"
+#include "store/fingerprint.h"
+#include "util/bitset.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace jinfer {
+namespace store {
+namespace {
+
+/// Frozen copy of the seed's Hasher128 + row-major absorb order. Do not
+/// "fix" or share code with the production hasher — its whole value is
+/// being an independent implementation of the v1 byte stream.
+class FrozenHasher128 {
+ public:
+  void Absorb(uint64_t x) {
+    hi_ = util::Mix64(hi_ + x);
+    lo_ = util::Mix64(lo_ ^ (x * 0xc2b2ae3d27d4eb4fULL));
+  }
+
+  void AbsorbBytes(const void* data, size_t len) {
+    Absorb(len);
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    while (len >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      Absorb(word);
+      p += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      uint64_t word = 0;
+      std::memcpy(&word, p, len);
+      Absorb(word);
+    }
+  }
+
+  void AbsorbString(const std::string& s) { AbsorbBytes(s.data(), s.size()); }
+
+  void AbsorbValue(const rel::Value& v) {
+    if (v.is_null()) {
+      Absorb(0x4e);
+    } else if (v.is_int()) {
+      Absorb(0x49);
+      Absorb(static_cast<uint64_t>(v.AsInt()));
+    } else if (v.is_double()) {
+      Absorb(0x44);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      Absorb(bits);
+    } else {
+      Absorb(0x53);
+      AbsorbString(v.AsString());
+    }
+  }
+
+  void AbsorbRelation(const rel::Relation& rel) {
+    AbsorbString(rel.schema().relation_name());
+    Absorb(rel.num_attributes());
+    for (const std::string& attr : rel.schema().attribute_names()) {
+      AbsorbString(attr);
+    }
+    Absorb(rel.num_rows());
+    for (const rel::Row& row : rel.rows()) {
+      for (const rel::Value& cell : row) AbsorbValue(cell);
+    }
+  }
+
+  InstanceFingerprint Finish() const { return {hi_, lo_}; }
+
+ private:
+  uint64_t hi_ = 0x243f6a8885a308d3ULL;
+  uint64_t lo_ = 0x13198a2e03707344ULL;
+};
+
+InstanceFingerprint FrozenReferenceFingerprint(const rel::Relation& r,
+                                               const rel::Relation& p,
+                                               bool compress) {
+  FrozenHasher128 h;
+  h.AbsorbRelation(r);
+  h.AbsorbRelation(p);
+  h.Absorb(compress ? 1 : 0);
+  return h.Finish();
+}
+
+TEST(FingerprintCompatTest, FrozenReferenceMatchesProductionDigest) {
+  std::vector<std::pair<rel::Relation, rel::Relation>> instances;
+  {
+    auto inst = workload::GenerateSynthetic({3, 3, 50, 10}, 2024);
+    ASSERT_TRUE(inst.ok());
+    instances.emplace_back(std::move(inst->r), std::move(inst->p));
+  }
+  {
+    auto r = rel::ReadRelationCsvText(
+        "A1,A2\n1,\"x,y\"\n,3.5\n\"\",\n-7,dup\n-7,dup\n", "R");
+    auto p = rel::ReadRelationCsvText("B1\nx\n\"\"\n", "P");
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(p.ok());
+    instances.emplace_back(std::move(*r), std::move(*p));
+  }
+  {
+    auto db = workload::GenerateTpch(workload::MiniScaleA(), 3);
+    ASSERT_TRUE(db.ok());
+    instances.emplace_back(std::move(db->customer), std::move(db->orders));
+  }
+
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (bool compress : {true, false}) {
+      InstanceFingerprint production =
+          FingerprintInstance(instances[i].first, instances[i].second,
+                              compress);
+      InstanceFingerprint reference = FrozenReferenceFingerprint(
+          instances[i].first, instances[i].second, compress);
+      EXPECT_EQ(production, reference)
+          << "instance " << i << " compress=" << compress;
+    }
+  }
+}
+
+// Literal digests captured from the pre-columnar seed binary (PR 4 tree).
+// If one of these changes, pre-refactor store files silently become
+// unreachable — that is a format migration, not a refactor, and requires
+// an index-file version bump plus a DESIGN.md §9 update.
+TEST(FingerprintCompatTest, GoldenSeedFingerprints) {
+  {
+    auto inst = workload::GenerateSynthetic({3, 3, 1000, 100}, 424242);
+    ASSERT_TRUE(inst.ok());
+    EXPECT_EQ(FingerprintInstance(inst->r, inst->p, true).ToHex(),
+              "c156512856aaaa6269d34d53d9158bda");
+    EXPECT_EQ(FingerprintInstance(inst->r, inst->p, false).ToHex(),
+              "155a2ca4fda97d0d8899f083c413735b");
+  }
+  {
+    auto inst = workload::GenerateSynthetic({3, 3, 40, 8}, 9000);
+    ASSERT_TRUE(inst.ok());
+    EXPECT_EQ(FingerprintInstance(inst->r, inst->p, true).ToHex(),
+              "1f40b7506b5b4e4dd628094d895b2faf");
+  }
+  {
+    auto r = rel::ReadRelationCsvText(
+        "A1,A2,A3\n1,x,3.5\n,\"x,y\",2\n\"\",abc,\n7,\"7\",7.0\n", "R");
+    auto p = rel::ReadRelationCsvText("B1,B2\nx,1\n\"abc\",3.5\n,\n2,7\n",
+                                      "P");
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(FingerprintInstance(*r, *p, true).ToHex(),
+              "5c05cede445ddd292352a61145548d57");
+  }
+  {
+    auto db = workload::GenerateTpch(workload::MiniScaleA(), 7);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ(FingerprintInstance(db->part, db->partsupp, true).ToHex(),
+              "3f36d286ff330eb08efd72b6428dfee6");
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace jinfer
