@@ -24,6 +24,7 @@
 #include "sat/random_cnf.h"
 #include "semijoin/consistency.h"
 #include "semijoin/reduction_3sat.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
 #include "workload/tpch.h"
@@ -504,6 +505,30 @@ void BM_SemijoinConsistency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SemijoinConsistency)->Arg(6)->Arg(10);
+
+// The contract instrumented sites rely on (util/failpoint.h): a disarmed
+// FailpointHit is one relaxed atomic load — production code pays nothing
+// for carrying the chaos hooks. Compare against BM_FailpointArmedUntripped
+// (armed registry, point that never fires) to see the slow-path cost that
+// arming turns on.
+void BM_FailpointDisarmed(benchmark::State& state) {
+  util::Failpoints::Reset();
+  for (auto _ : state) {
+    util::Status s = util::FailpointHit("store.put.fsync");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+void BM_FailpointArmedUntripped(benchmark::State& state) {
+  JINFER_CHECK(util::Failpoints::Arm("bench.never", "prob:0").ok(), "arm");
+  for (auto _ : state) {
+    util::Status s = util::FailpointHit("bench.never");
+    benchmark::DoNotOptimize(s);
+  }
+  util::Failpoints::Reset();
+}
+BENCHMARK(BM_FailpointArmedUntripped);
 
 }  // namespace
 }  // namespace jinfer

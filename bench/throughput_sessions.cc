@@ -28,6 +28,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -41,6 +42,7 @@
 #include "store/fingerprint.h"
 #include "store/index_store.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "workload/synthetic.h"
 
 namespace jinfer {
@@ -241,6 +243,73 @@ BENCHMARK(BM_ThroughputSessionsTiered)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime();
+
+// The tiered workload under a deterministic fault schedule (DESIGN.md §10):
+// a fifth of mapped loads and a tenth of builds fail transiently, so
+// sessions ride the degraded paths — store-load fallback to build,
+// per-fingerprint failure backoff, factory retries — while the manager
+// keeps every job alive (unlimited transient retries). The number to watch
+// is sessions/sec against BM_ThroughputSessionsTiered: the price of
+// surviving a flaky store, with the retry/shed counters alongside.
+void BM_ThroughputSessionsDegraded(benchmark::State& state) {
+  auto st = BenchStore();
+  for (const workload::SyntheticInstance& inst : Instances()) {
+    const store::InstanceFingerprint fp =
+        store::FingerprintInstance(inst.r, inst.p, true);
+    if (!st->Contains(fp)) {
+      auto built = core::SignatureIndex::Build(inst.r, inst.p);
+      JINFER_CHECK(built.ok() && st->Put(*built, fp).ok(), "persist");
+    }
+  }
+
+  runtime::SessionManager::Options options;
+  options.threads = static_cast<int>(state.range(0));
+  options.steps_per_slice = 8;
+  options.cache_options.store = st;
+  options.cache_options.failure_backoff_base = std::chrono::milliseconds(1);
+  options.cache_options.failure_backoff_max = std::chrono::milliseconds(20);
+  options.factory_retry.max_attempts = 0;  // Faults are transient: persist.
+  options.factory_retry.base_backoff = std::chrono::microseconds(200);
+  options.factory_retry.max_backoff = std::chrono::microseconds(5000);
+  runtime::SessionManager manager(options);
+
+  JINFER_CHECK(util::Failpoints::ArmFromSpec(
+                   "store.load.mmap=prob:0.2:7;cache.build=prob:0.1:11")
+                   .ok(),
+               "arm schedule");
+
+  for (auto _ : state) {
+    std::vector<runtime::SessionJob> jobs;
+    jobs.reserve(kSessions);
+    for (size_t s = 0; s < kSessions; ++s) {
+      jobs.push_back(MakeJob(manager.cache(), s));
+    }
+    auto results = manager.RunAll(std::move(jobs));
+    JINFER_CHECK(results.size() == kSessions, "lost sessions");
+    for (const auto& result : results) {
+      JINFER_CHECK(result.ok(), "session failed under transient faults: %s",
+                   result.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  util::Failpoints::Reset();
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSessions));
+  runtime::IndexCacheStats cache_stats = manager.cache().stats();
+  runtime::SessionManager::Stats manager_stats = manager.stats();
+  state.counters["degraded_builds"] =
+      static_cast<double>(cache_stats.degraded_builds);
+  state.counters["fail_fast"] = static_cast<double>(cache_stats.fail_fast);
+  state.counters["factory_retries"] =
+      static_cast<double>(manager_stats.factory_retries);
+  state.counters["store_load_retries"] =
+      static_cast<double>(st->stats().load_retries);
+}
+BENCHMARK(BM_ThroughputSessionsDegraded)
+    ->Arg(1)
+    ->Arg(4)
     ->UseRealTime();
 
 // Cost of the cache hot path alone: fingerprint two relations and return

@@ -2,11 +2,17 @@
 // your own terminal — the actual user-in-the-loop scenario of the paper.
 //
 // Usage:
-//   ./build/examples/interactive_cli [--store-dir=DIR] R.csv P.csv [strategy]
+//   ./build/examples/interactive_cli [--store-dir=DIR] [--deadline-ms=N]
+//                                    R.csv P.csv [strategy]
 //   ./build/examples/interactive_cli [--store-dir=DIR]   (built-in demo)
 //
 // strategy ∈ {BU, TD, L1S, L2S, RND, EG}; default TD. Answer each prompt
 // with y/n (or q to stop early and accept the current hypothesis).
+//
+// Interrupting the session (Ctrl-C) or exceeding --deadline-ms does not
+// throw work away: the loop stops at the next question boundary and prints
+// the current hypothesis — every answer given so far still counts
+// (DESIGN.md §10: cancellation is cooperative, never mid-interaction).
 //
 // --store-dir=DIR attaches a persistent index store (DESIGN.md §8): the
 // first run on an instance builds the signature index and persists it;
@@ -24,7 +30,11 @@
 // NextQuestion and Answer exactly the way a server parks a session while
 // its user thinks.
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -37,6 +47,7 @@
 #include "runtime/index_cache.h"
 #include "runtime/session.h"
 #include "store/index_store.h"
+#include "util/deadline.h"
 
 using namespace jinfer;
 
@@ -80,14 +91,22 @@ void PrintTuple(const rel::Relation& r, const rel::Relation& p, size_t i,
   std::printf("\n");
 }
 
+/// Set by the SIGINT handler; checked at question boundaries. sig_atomic_t
+/// is the only type the standard guarantees a handler may write.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   rel::Relation r, p;
   std::string strategy_name = "TD";
   std::string store_dir;
+  long deadline_ms = 0;
 
-  // Split --store-dir[=DIR] off before the positional arguments.
+  // Split --store-dir[=DIR] and --deadline-ms=N off before the positional
+  // arguments.
   std::vector<std::string> args;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -95,10 +114,27 @@ int main(int argc, char** argv) {
       store_dir = arg.substr(std::strlen("--store-dir="));
     } else if (arg == "--store-dir" && a + 1 < argc) {
       store_dir = argv[++a];
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      char* end = nullptr;
+      deadline_ms = std::strtol(arg.c_str() + std::strlen("--deadline-ms="),
+                                &end, 10);
+      if (end == nullptr || *end != '\0' || deadline_ms < 0) {
+        std::fprintf(stderr, "bad --deadline-ms value in '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
     } else {
       args.push_back(std::move(arg));
     }
   }
+
+  // Graceful Ctrl-C: no SA_RESTART, so a blocked getline returns EINTR and
+  // the loop exits at the question boundary with the session state intact.
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSigint;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
 
   if (args.size() >= 2) {
     auto rr = rel::ReadRelationCsvFile(args[0], "R");
@@ -156,8 +192,18 @@ int main(int argc, char** argv) {
               runtime::IndexTierName(tiered->tier));
   std::printf("Label each proposed pairing: y = belongs to your join, "
               "n = does not, q = stop.\n");
+  if (deadline_ms > 0) {
+    std::printf("Session deadline: %ld ms.\n", deadline_ms);
+  }
 
+  const util::Deadline deadline =
+      util::Deadline::After(std::chrono::milliseconds(deadline_ms));
+  bool cancelled = false;
   while (std::optional<core::ClassId> next = session.NextQuestion()) {
+    if (g_interrupted || deadline.expired()) {
+      cancelled = true;
+      break;
+    }
     const core::SignatureClass& cls = session.index().cls(*next);
     std::printf("\nQuestion %zu:\n", session.num_interactions() + 1);
     PrintTuple(r, p, cls.rep_r, cls.rep_p);
@@ -165,7 +211,16 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     std::string answer;
-    if (!std::getline(std::cin, answer)) break;
+    if (!std::getline(std::cin, answer)) {
+      // EOF, or EINTR from Ctrl-C (no SA_RESTART): stop cleanly either way
+      // and keep every answer already given.
+      if (g_interrupted || errno == EINTR) cancelled = true;
+      break;
+    }
+    if (g_interrupted || deadline.expired()) {
+      cancelled = true;
+      break;
+    }
     if (answer == "q" || answer == "Q") break;
     core::Label label = (answer == "y" || answer == "Y" || answer == "yes")
                             ? core::Label::kPositive
@@ -180,7 +235,12 @@ int main(int argc, char** argv) {
                 session.index().omega().Format(
                     session.CurrentPredicate()).c_str());
   }
-  if (session.Finished()) {
+  if (cancelled) {
+    std::printf("\n%s after %zu answered question(s); the hypothesis below "
+                "reflects every answer so far.\n",
+                g_interrupted ? "Interrupted" : "Deadline reached",
+                session.num_interactions());
+  } else if (session.Finished()) {
     std::printf("\nNo informative tuples left — the query is determined "
                 "on this data.\n");
   }

@@ -1,7 +1,12 @@
 #include "runtime/index_cache.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
+
+#include "util/failpoint.h"
+#include "util/retry.h"
+#include "util/string_util.h"
 
 namespace jinfer {
 namespace runtime {
@@ -45,6 +50,18 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
       JINFER_ASSIGN_OR_RETURN(auto index, future.get());
       return TieredIndex{std::move(index), IndexTier::kMemory};
     }
+    // Inside a failure-backoff window the herd fails fast; exactly the
+    // first lookup past the window (or a waiter joining an in-flight
+    // resolution above) runs a real retry.
+    auto failed = failures_.find(key);
+    if (failed != failures_.end() &&
+        std::chrono::steady_clock::now() < failed->second.retry_after) {
+      ++stats_.fail_fast;
+      return util::Status::Unavailable(util::StrFormat(
+          "index resolution for fingerprint %s backing off after %u "
+          "transient failure(s)",
+          key.ToHex().c_str(), failed->second.consecutive));
+    }
     my_id = ++next_id_;
     promise.emplace();
     entries_.emplace(key, Entry{promise->get_future().share(), my_id, false});
@@ -56,12 +73,18 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
   IndexTier tier = IndexTier::kBuilt;
   BuildOutcome outcome = util::Status::NotFound("unresolved");
   bool store_hit = false;
+  bool degraded = false;
   if (options_.store != nullptr) {
     auto loaded = options_.store->Load(key);
     if (loaded.ok()) {
       outcome = std::move(loaded);
       tier = IndexTier::kMapped;
       store_hit = true;
+    } else if (util::IsTransient(loaded.status())) {
+      // The store retried and still couldn't map (fd/memory pressure, an
+      // injected fault) — the bytes are presumed fine, the tier is just
+      // unavailable. Serve the lookup anyway with a fresh build.
+      degraded = true;
     }
     // NotFound and quarantined-corruption both fall through to a build;
     // the rebuilt index is persisted below, repopulating the slot.
@@ -69,7 +92,11 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
   bool persisted = false;
   if (!store_hit) {
     util::Result<core::SignatureIndex> built =
-        core::SignatureIndex::Build(r, p, options_.build);
+        [&]() -> util::Result<core::SignatureIndex> {
+      util::Status injected = util::FailpointHit("cache.build");
+      if (!injected.ok()) return injected;
+      return core::SignatureIndex::Build(r, p, options_.build);
+    }();
     if (built.ok()) {
       auto shared = std::make_shared<const core::SignatureIndex>(
           std::move(built).ValueOrDie());
@@ -89,6 +116,19 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
       // falls through to the build path above rather than surfacing.
       ++stats_.builds;
       ++stats_.failures;
+      if (options_.failure_backoff_base.count() > 0 &&
+          util::IsTransient(outcome.status())) {
+        FailureState& state = failures_[key];
+        ++state.consecutive;
+        const uint32_t shift =
+            std::min<uint32_t>(state.consecutive - 1, 16);  // Cap wins anyway.
+        auto window = options_.failure_backoff_base * (1LL << shift);
+        if (window > options_.failure_backoff_max) {
+          window = options_.failure_backoff_max;
+        }
+        state.retry_after = std::chrono::steady_clock::now() + window;
+        ++stats_.backoff_arms;
+      }
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second.id == my_id) entries_.erase(it);
     }
@@ -103,10 +143,12 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
   promise->set_value(outcome);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    failures_.erase(key);  // Success closes any backoff window.
     if (store_hit) {
       ++stats_.mapped_loads;
     } else {
       ++stats_.builds;
+      if (degraded) ++stats_.degraded_builds;
       if (persisted) ++stats_.store_writes;
     }
     auto it = entries_.find(key);

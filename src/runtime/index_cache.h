@@ -27,10 +27,23 @@
 // evicted, so a later request retries instead of caching the error.
 // Eviction is safe at any time: handed-out indexes survive via shared
 // ownership (a mapped index additionally keeps its file mapping alive).
+//
+// Failure domains (DESIGN.md §10): a store load that fails *transiently*
+// (kUnavailable — fd pressure, an injected store.load.mmap fault) degrades
+// to a fresh build instead of failing the lookup (counted in
+// stats.degraded_builds); corrupt files were already quarantined by the
+// store and likewise fall through to a rebuild. A failed build delivers
+// its error to every waiter, and — when the failure was transient — arms a
+// per-fingerprint backoff window (capped exponential) during which further
+// lookups for that fingerprint fail fast with kUnavailable instead of
+// stampeding the builder; the first lookup past the window retries for
+// real. Permanent build errors (bad input) never arm backoff: they are
+// cheap to reproduce and honest to report.
 
 #ifndef JINFER_RUNTIME_INDEX_CACHE_H_
 #define JINFER_RUNTIME_INDEX_CACHE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -85,6 +98,15 @@ struct IndexCacheOptions {
   /// building, and successful builds are persisted back (best-effort: a
   /// store write failure never fails the lookup).
   std::shared_ptr<store::IndexStore> store;
+
+  /// Per-fingerprint backoff after a *transient* resolution failure: the
+  /// k-th consecutive failure opens a window of base * 2^(k-1), capped at
+  /// `failure_backoff_max`, during which lookups for that fingerprint fail
+  /// fast (kUnavailable) instead of re-running the build — a retrying herd
+  /// collapses to one builder per window. Zero disables (every lookup
+  /// retries immediately, the PR 3 behavior).
+  std::chrono::milliseconds failure_backoff_base{100};
+  std::chrono::milliseconds failure_backoff_max{5000};
 };
 
 struct IndexCacheStats {
@@ -99,6 +121,12 @@ struct IndexCacheStats {
   uint64_t evictions = 0;     ///< Residents displaced by a hotter newcomer.
   uint64_t rejected_admissions = 0;  ///< Newcomers denied residency (still
                                      ///< returned to their callers).
+  uint64_t degraded_builds = 0;  ///< Builds run because the store tier
+                                 ///< failed transiently — served, degraded.
+  uint64_t fail_fast = 0;  ///< Lookups rejected inside a failure-backoff
+                           ///< window (no build attempted).
+  uint64_t backoff_arms = 0;  ///< Transient failures that opened or widened
+                              ///< a backoff window.
 
   /// Memory-tier hit rate — the fraction of lookups that needed neither a
   /// build nor a store load.
@@ -176,6 +204,13 @@ class IndexCache {
     return f.hi ^ util::Mix64(f.lo);
   }
 
+  /// Backoff bookkeeping for a fingerprint whose last resolution failed
+  /// transiently. Erased on the next success.
+  struct FailureState {
+    uint32_t consecutive = 0;
+    std::chrono::steady_clock::time_point retry_after;
+  };
+
   /// Enforces the capacity bound after entry `id` for `key` completed:
   /// count-min admission — evict the coldest resident if the newcomer is
   /// hotter, otherwise drop the newcomer. Caller holds mu_.
@@ -184,6 +219,8 @@ class IndexCache {
   IndexCacheOptions options_;
   mutable std::mutex mu_;
   std::unordered_map<InstanceFingerprint, Entry, FingerprintHash> entries_;
+  std::unordered_map<InstanceFingerprint, FailureState, FingerprintHash>
+      failures_;
   util::FrequencySketch sketch_;
   uint64_t next_id_ = 0;
   IndexCacheStats stats_;

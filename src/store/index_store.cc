@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include "store/index_file.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/string_util.h"
 
 namespace jinfer {
@@ -24,13 +26,15 @@ constexpr const char* kFileSuffix = ".jidx";
 constexpr const char* kQuarantineDir = "quarantine";
 
 /// Writes `bytes` to `path` and fsyncs before closing, so the subsequent
-/// rename publishes fully-durable content.
+/// rename publishes fully-durable content. Failure leaves no file behind
+/// (injected fsync faults take the identical cleanup path, so chaos runs
+/// prove the no-partial-file invariant, not a parallel code path).
 util::Status WriteFileDurably(const std::string& path,
                               const std::vector<uint8_t>& bytes) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (fd < 0) {
-    return util::Status::IoError(util::StrFormat(
+    return util::IoStatusFromErrno(errno, util::StrFormat(
         "open(%s) for write: %s", path.c_str(), std::strerror(errno)));
   }
   size_t written = 0;
@@ -38,7 +42,7 @@ util::Status WriteFileDurably(const std::string& path,
     ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      util::Status status = util::Status::IoError(util::StrFormat(
+      util::Status status = util::IoStatusFromErrno(errno, util::StrFormat(
           "write(%s): %s", path.c_str(), std::strerror(errno)));
       ::close(fd);
       ::unlink(path.c_str());
@@ -46,12 +50,15 @@ util::Status WriteFileDurably(const std::string& path,
     }
     written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    util::Status status = util::Status::IoError(util::StrFormat(
+  util::Status fsync_status = util::FailpointHit("store.put.fsync");
+  if (fsync_status.ok() && ::fsync(fd) != 0) {
+    fsync_status = util::IoStatusFromErrno(errno, util::StrFormat(
         "fsync(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  if (!fsync_status.ok()) {
     ::close(fd);
     ::unlink(path.c_str());
-    return status;
+    return fsync_status;
   }
   ::close(fd);
   return util::Status::OK();
@@ -59,7 +66,8 @@ util::Status WriteFileDurably(const std::string& path,
 
 }  // namespace
 
-util::Result<IndexStore> IndexStore::Open(std::string dir) {
+util::Result<IndexStore> IndexStore::Open(std::string dir,
+                                          IndexStoreOptions options) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -79,7 +87,7 @@ util::Result<IndexStore> IndexStore::Open(std::string dir) {
         "store directory %s is not writable: %s", dir.c_str(),
         std::strerror(errno)));
   }
-  return IndexStore(std::move(dir));
+  return IndexStore(std::move(dir), options);
 }
 
 std::string IndexStore::PathFor(const InstanceFingerprint& fingerprint) const {
@@ -107,7 +115,27 @@ util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
         "no stored index for fingerprint %s", fingerprint.ToHex().c_str()));
   }
 
-  util::Result<MappedIndex> mapped = LoadMappedIndex(path);
+  // Transient mapping faults (fd/memory pressure, injected store.load.mmap)
+  // are retried in place; they say nothing about the bytes on disk, so the
+  // file is NOT quarantined when they exhaust the policy — the caller
+  // (IndexCache) degrades to a fresh build and the file stays for the next
+  // load. Only permanent validation failures condemn the file.
+  uint64_t retries = 0;
+  util::Result<MappedIndex> mapped = util::RetryCall(
+      options_.retry,
+      [&]() -> util::Result<MappedIndex> {
+        util::Status injected = util::FailpointHit("store.load.mmap");
+        if (!injected.ok()) return injected;
+        return LoadMappedIndex(path);
+      },
+      &retries);
+  if (retries > 0) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    stats_->load_retries += retries;
+  }
+  if (!mapped.ok() && util::IsTransient(mapped.status())) {
+    return mapped.status();
+  }
   if (mapped.ok() && !(mapped->fingerprint == fingerprint)) {
     mapped = util::Status::ParseError(util::StrFormat(
         "stored index %s carries fingerprint %s — file renamed or header "
@@ -149,6 +177,23 @@ util::Status IndexStore::Put(const core::SignatureIndex& index,
 
   const std::vector<uint8_t> bytes = SerializeIndexFile(index, fingerprint);
 
+  // Transient publish failures retry with backoff; each attempt runs the
+  // full write→fsync→rename→dirsync sequence on a fresh temp name, so a
+  // dirsync that failed after its rename published the file is simply
+  // redone (re-renaming identical bytes is harmless — content-addressed).
+  uint64_t retries = 0;
+  util::Status published =
+      util::RetryCall(options_.retry, [&] { return PublishOnce(bytes, path); },
+                      &retries);
+  std::lock_guard<std::mutex> lock(*mu_);
+  stats_->put_retries += retries;
+  if (!published.ok()) return published;
+  ++stats_->writes;
+  return util::Status::OK();
+}
+
+util::Status IndexStore::PublishOnce(const std::vector<uint8_t>& bytes,
+                                     const std::string& path) const {
   // Unique temp name per (process, attempt): concurrent writers — even
   // across processes — never collide, and the same-directory rename is
   // atomic, so readers only ever see complete files.
@@ -161,27 +206,37 @@ util::Status IndexStore::Put(const core::SignatureIndex& index,
                                 kFileSuffix))
                                .string();
   JINFER_RETURN_NOT_OK(WriteFileDurably(temp, bytes));
-  fs::rename(temp, path, ec);
-  if (ec) {
+  util::Status rename_status = util::FailpointHit("store.put.rename");
+  if (rename_status.ok()) {
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    if (ec) {
+      rename_status = util::Status::IoError(util::StrFormat(
+          "rename(%s -> %s) failed", temp.c_str(), path.c_str()));
+    }
+  }
+  if (!rename_status.ok()) {
+    // An unpublished temp must never outlive its attempt: readers scan the
+    // directory in recovery paths, and leaked temps are the partial-file
+    // class the write-temp→fsync→rename discipline exists to rule out.
+    std::error_code ec;
     fs::remove(temp, ec);
-    return util::Status::IoError(util::StrFormat(
-        "rename(%s -> %s) failed", temp.c_str(), path.c_str()));
+    return rename_status;
   }
   // The rename publishes the name; fsyncing the directory journals it.
   // Without this a power loss can roll back to a state where the fsynced
   // *contents* exist but the directory entry does not — Put would have
   // reported a durable write that evaporates on reboot.
-  int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dfd < 0 || ::fsync(dfd) != 0) {
-    util::Status status = util::Status::IoError(util::StrFormat(
-        "fsync(%s): %s", dir_.c_str(), std::strerror(errno)));
+  util::Status dirsync = util::FailpointHit("store.put.dirsync");
+  if (dirsync.ok()) {
+    int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0 || ::fsync(dfd) != 0) {
+      dirsync = util::IoStatusFromErrno(errno, util::StrFormat(
+          "fsync(%s): %s", dir_.c_str(), std::strerror(errno)));
+    }
     if (dfd >= 0) ::close(dfd);
-    return status;
   }
-  ::close(dfd);
-  std::lock_guard<std::mutex> lock(*mu_);
-  ++stats_->writes;
-  return util::Status::OK();
+  return dirsync;
 }
 
 void IndexStore::Quarantine(const std::string& path) const {

@@ -24,6 +24,15 @@
 //
 // Thread/process safety: Load and Put are safe from concurrent threads and
 // processes (atomic rename, unique temp names, stats under a mutex).
+//
+// Failure domains (DESIGN.md §10): every fallible syscall boundary is
+// classified transient-vs-permanent (util::IoStatusFromErrno) and carries a
+// failpoint for chaos testing — store.put.fsync, store.put.rename,
+// store.put.dirsync, store.load.mmap. Transient failures (kUnavailable)
+// are retried in place with capped exponential backoff
+// (IndexStoreOptions::retry); only *permanent* validation failures
+// quarantine a file — a load that merely ran out of fds must not throw
+// good bytes away.
 
 #ifndef JINFER_STORE_INDEX_STORE_H_
 #define JINFER_STORE_INDEX_STORE_H_
@@ -32,11 +41,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/signature_index.h"
 #include "store/fingerprint.h"
 #include "store/mapped_index.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace jinfer {
@@ -49,13 +60,24 @@ struct IndexStoreStats {
   uint64_t writes = 0;       ///< Puts that wrote a file.
   uint64_t skipped_writes = 0;  ///< Puts that found the file already there.
   uint64_t quarantined = 0;  ///< Corrupt files moved to quarantine/.
+  uint64_t put_retries = 0;   ///< Publish attempts re-run after a transient
+                              ///< fault (real or injected).
+  uint64_t load_retries = 0;  ///< Mmap attempts re-run after a transient
+                              ///< fault.
+};
+
+struct IndexStoreOptions {
+  /// Applied around each Put publication and each Load mapping; only
+  /// kUnavailable outcomes are retried (see util/retry.h).
+  util::RetryPolicy retry;
 };
 
 class IndexStore {
  public:
   /// Opens (creating if needed) the store rooted at `dir`. Fails with
   /// IoError when the directory cannot be created or is not writable.
-  static util::Result<IndexStore> Open(std::string dir);
+  static util::Result<IndexStore> Open(std::string dir,
+                                       IndexStoreOptions options = {});
 
   IndexStore(IndexStore&&) = default;
   IndexStore& operator=(IndexStore&&) = default;
@@ -86,13 +108,21 @@ class IndexStore {
   IndexStoreStats stats() const;
 
  private:
-  explicit IndexStore(std::string dir) : dir_(std::move(dir)) {}
+  IndexStore(std::string dir, IndexStoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// One write-temp → fsync → rename → dirsync publication attempt; the
+  /// unit Put retries on transient failure (always onto a fresh temp name,
+  /// so a half-failed attempt never taints the next).
+  util::Status PublishOnce(const std::vector<uint8_t>& bytes,
+                           const std::string& path) const;
 
   /// Moves `path` into quarantine/ (best-effort; the load error is
   /// reported either way).
   void Quarantine(const std::string& path) const;
 
   std::string dir_;
+  IndexStoreOptions options_;
   // shared_ptr so IndexStore stays movable while stats live behind a
   // stable address for const methods on concurrent threads.
   std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();

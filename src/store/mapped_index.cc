@@ -17,14 +17,18 @@ namespace jinfer {
 namespace store {
 
 util::Result<MappedFile> MappedFile::Open(const std::string& path) {
+  // Errno classification matters here: an exhausted fd table (EMFILE) is a
+  // transient kUnavailable the store retries, while a permanent open error
+  // stays kIoError. Misclassifying transient as permanent would quarantine
+  // healthy files under load (see index_store.h).
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    return util::Status::IoError(util::StrFormat(
+    return util::IoStatusFromErrno(errno, util::StrFormat(
         "open(%s): %s", path.c_str(), std::strerror(errno)));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    util::Status status = util::Status::IoError(util::StrFormat(
+    util::Status status = util::IoStatusFromErrno(errno, util::StrFormat(
         "fstat(%s): %s", path.c_str(), std::strerror(errno)));
     ::close(fd);
     return status;
@@ -42,7 +46,7 @@ util::Result<MappedFile> MappedFile::Open(const std::string& path) {
   void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // The mapping holds its own reference.
   if (data == MAP_FAILED) {
-    return util::Status::IoError(util::StrFormat(
+    return util::IoStatusFromErrno(errno, util::StrFormat(
         "mmap(%s, %zu bytes): %s", path.c_str(), size,
         std::strerror(errno)));
   }

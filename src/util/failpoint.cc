@@ -1,0 +1,249 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace util {
+
+namespace failpoint_internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+enum class Mode { kCount, kEvery, kProb, kSleep };
+
+struct PointState {
+  Mode mode = Mode::kCount;
+  uint64_t n = 0;        // count: remaining trips; every: period; sleep: ms
+  double p = 0;          // prob: trip probability
+  Rng rng{1};            // prob: per-point deterministic stream
+  FailpointStats stats;  // survives re-arming? No — reset on re-arm.
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, PointState> points;
+  // Stats of disarmed points are kept so tests can read trip counts after
+  // an exhausted count-mode point removed itself.
+  std::unordered_map<std::string, FailpointStats> retired;
+  int paused = 0;
+
+  static Registry& Instance() {
+    static Registry* registry = new Registry();  // Leaked: outlives threads.
+    return *registry;
+  }
+};
+
+/// One spec entry ("name=mode"). The mode grammar is documented in the
+/// header; parsing is strict so a typo'd schedule fails loudly instead of
+/// silently injecting nothing.
+Status ParseMode(const std::string& name, std::string_view mode,
+                 PointState* out) {
+  auto fail = [&] {
+    return Status::InvalidArgument(StrFormat(
+        "failpoint %s: bad mode '%.*s' (want count:N, every:N, prob:P[:S], "
+        "or sleep:MS)", name.c_str(), static_cast<int>(mode.size()),
+        mode.data()));
+  };
+  const size_t colon = mode.find(':');
+  if (colon == std::string_view::npos) return fail();
+  const std::string_view kind = mode.substr(0, colon);
+  const std::string arg(mode.substr(colon + 1));
+  char* end = nullptr;
+  if (kind == "count" || kind == "every" || kind == "sleep") {
+    const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0') return fail();
+    if (n == 0 && kind != "sleep") return fail();
+    out->mode = kind == "count" ? Mode::kCount
+                : kind == "every" ? Mode::kEvery
+                                  : Mode::kSleep;
+    out->n = n;
+    return Status::OK();
+  }
+  if (kind == "prob") {
+    const std::string p_str = arg.substr(0, arg.find(':'));
+    const double p = std::strtod(p_str.c_str(), &end);
+    if (end == p_str.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return fail();
+    }
+    uint64_t seed = 1;
+    const size_t seed_colon = arg.find(':');
+    if (seed_colon != std::string_view::npos) {
+      const std::string seed_str = arg.substr(seed_colon + 1);
+      seed = std::strtoull(seed_str.c_str(), &end, 10);
+      if (end == seed_str.c_str() || *end != '\0') return fail();
+    }
+    out->mode = Mode::kProb;
+    out->p = p;
+    out->rng = Rng(seed);
+    return Status::OK();
+  }
+  return fail();
+}
+
+void ArmLocked(Registry& registry, std::string name, PointState state) {
+  auto [it, inserted] = registry.points.emplace(std::move(name), PointState{});
+  it->second = std::move(state);
+  if (inserted) {
+    failpoint_internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Arms from JINFER_FAILPOINTS exactly once, at the first armed-state
+/// transition a process can observe (this object's construction — the
+/// translation unit is linked whenever any instrumented site is).
+const bool g_env_armed = [] {
+  const char* spec = std::getenv("JINFER_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  Status status = Failpoints::ArmFromSpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "JINFER_FAILPOINTS rejected: %s\n",
+                 status.ToString().c_str());
+    std::abort();  // A chaos run with a typo'd schedule must not pass.
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace failpoint_internal {
+
+Status HitSlow(const char* name) {
+  uint64_t sleep_ms = 0;
+  Status result = Status::OK();
+  {
+    Registry& registry = Registry::Instance();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) return Status::OK();
+    PointState& point = it->second;
+    ++point.stats.hits;
+    if (registry.paused > 0) return Status::OK();
+    switch (point.mode) {
+      case Mode::kCount:
+        if (point.n > 0) {
+          --point.n;
+          ++point.stats.trips;
+          result = Status::Unavailable(
+              StrFormat("injected fault at %s", name));
+          if (point.n == 0) {
+            // Exhausted: retire so the fast path goes quiet again.
+            registry.retired[it->first] = point.stats;
+            registry.points.erase(it);
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      case Mode::kEvery:
+        if (point.stats.hits % point.n == 0) {
+          ++point.stats.trips;
+          result = Status::Unavailable(
+              StrFormat("injected fault at %s", name));
+        }
+        break;
+      case Mode::kProb:
+        if (point.rng.NextBool(point.p)) {
+          ++point.stats.trips;
+          result = Status::Unavailable(
+              StrFormat("injected fault at %s", name));
+        }
+        break;
+      case Mode::kSleep:
+        ++point.stats.trips;
+        sleep_ms = point.n;
+        break;
+    }
+  }
+  // Sleep outside the registry lock: a slow point must not serialize
+  // unrelated points (or block Disarm) while it dawdles.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return result;
+}
+
+}  // namespace failpoint_internal
+
+Status Failpoints::ArmFromSpec(std::string_view spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(StrFormat(
+          "failpoint spec entry '%.*s' is not name=mode",
+          static_cast<int>(entry.size()), entry.data()));
+    }
+    JINFER_RETURN_NOT_OK(Arm(std::string(entry.substr(0, eq)),
+                             std::string(entry.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+Status Failpoints::Arm(const std::string& name, const std::string& mode) {
+  PointState state;
+  JINFER_RETURN_NOT_OK(ParseMode(name, mode, &state));
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.retired.erase(name);
+  ArmLocked(registry, name, std::move(state));
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  registry.retired[name] = it->second.stats;
+  registry.points.erase(it);
+  failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::Reset() {
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, point] : registry.points) {
+    registry.retired[name] = point.stats;
+    failpoint_internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.points.clear();
+}
+
+FailpointStats Failpoints::Stats(const std::string& name) {
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it != registry.points.end()) return it->second.stats;
+  auto retired = registry.retired.find(name);
+  if (retired != registry.retired.end()) return retired->second;
+  return FailpointStats{};
+}
+
+Failpoints::PauseScope::PauseScope() {
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ++registry.paused;
+}
+
+Failpoints::PauseScope::~PauseScope() {
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  --registry.paused;
+}
+
+}  // namespace util
+}  // namespace jinfer

@@ -1,5 +1,7 @@
 #include "util/status.h"
 
+#include <cerrno>
+
 namespace jinfer {
 namespace util {
 
@@ -25,6 +27,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -39,6 +47,25 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+Status IoStatusFromErrno(int err, std::string msg) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+    case EBUSY:
+    case ENOMEM:
+    case EMFILE:
+    case ENFILE:
+      return Status::Unavailable(std::move(msg));
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::ResourceExhausted(std::move(msg));
+    default:
+      return Status::IoError(std::move(msg));
+  }
 }
 
 }  // namespace util

@@ -28,6 +28,9 @@ enum class StatusCode {
   kIoError = 7,
   kParseError = 8,
   kUnimplemented = 9,
+  kUnavailable = 10,        ///< Transient fault — safe to retry with backoff.
+  kDeadlineExceeded = 11,   ///< The caller's deadline expired mid-operation.
+  kResourceExhausted = 12,  ///< Shed under saturation — admit later, not now.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -67,6 +70,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +101,13 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -109,6 +128,13 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Maps a failed syscall's errno into the taxonomy: recoverable resource
+/// pressure (EINTR, EAGAIN, EBUSY, ENOMEM, EMFILE, ENFILE) is kUnavailable
+/// — the transient, retry-with-backoff class — ENOSPC/EDQUOT is
+/// kResourceExhausted, and everything else (bad fd, EIO, permissions) is a
+/// permanent kIoError. `msg` should already name the operation and path.
+Status IoStatusFromErrno(int err, std::string msg);
 
 }  // namespace util
 }  // namespace jinfer

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -12,6 +14,7 @@
 
 #include "store/index_store.h"
 #include "testing/paper_fixtures.h"
+#include "util/failpoint.h"
 
 namespace jinfer {
 namespace runtime {
@@ -261,6 +264,161 @@ TEST(IndexCacheTest, StoreTierServesMappedAcrossCaches) {
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+// --- Failure-domain hardening (DESIGN.md §10) -------------------------
+
+/// Tests that arm failpoints must disarm them even on assertion failure.
+class IndexCacheChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::Failpoints::Reset(); }
+  void TearDown() override { util::Failpoints::Reset(); }
+};
+
+TEST_F(IndexCacheChaosTest, TransientBuildFailureArmsBackoffThenRecovers) {
+  IndexCacheOptions options;
+  options.failure_backoff_base = std::chrono::milliseconds(30);
+  IndexCache cache(options);
+  ASSERT_TRUE(util::Failpoints::Arm("cache.build", "count:1").ok());
+
+  // First lookup: the injected fault fails the build transiently.
+  auto first = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsUnavailable());
+
+  // Inside the backoff window: fail fast, no second build.
+  auto second = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsUnavailable());
+  IndexCacheStats mid = cache.stats();
+  EXPECT_EQ(mid.builds, 1u);
+  EXPECT_EQ(mid.failures, 1u);
+  EXPECT_EQ(mid.backoff_arms, 1u);
+  EXPECT_EQ(mid.fail_fast, 1u);
+
+  // Past the window (the failpoint exhausted itself): a real, successful
+  // retry — and the backoff state is wiped by the success.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  auto third = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache.stats().builds, 2u);
+  auto fourth = cache.GetOrBuild(testing::Example21R(), testing::Example21P());
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(cache.stats().fail_fast, 1u);  // No new fail-fasts.
+}
+
+TEST_F(IndexCacheChaosTest, PermanentBuildFailureNeverArmsBackoff) {
+  IndexCache cache;
+  auto empty = rel::Relation::Make("E", {"A"}, {});
+  ASSERT_TRUE(empty.ok());
+  // Two immediate failures, both run for real: InvalidArgument is cheap to
+  // reproduce and honest to report — backing off would only delay it.
+  EXPECT_FALSE(cache.GetOrBuild(*empty, testing::Example21P()).ok());
+  EXPECT_FALSE(cache.GetOrBuild(*empty, testing::Example21P()).ok());
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.backoff_arms, 0u);
+  EXPECT_EQ(stats.fail_fast, 0u);
+}
+
+TEST_F(IndexCacheChaosTest, ZeroBackoffBaseDisablesFailFast) {
+  IndexCacheOptions options;
+  options.failure_backoff_base = std::chrono::milliseconds(0);
+  IndexCache cache(options);
+  ASSERT_TRUE(util::Failpoints::Arm("cache.build", "count:2").ok());
+  EXPECT_FALSE(
+      cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+  EXPECT_FALSE(
+      cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);  // Every lookup retried for real.
+  EXPECT_EQ(stats.fail_fast, 0u);
+  EXPECT_EQ(stats.backoff_arms, 0u);
+}
+
+TEST_F(IndexCacheChaosTest, TransientStoreLoadDegradesToABuild) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("jinfer_cache_degraded_test_" + std::to_string(::getpid())))
+          .string();
+  auto opened = store::IndexStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  auto shared_store =
+      std::make_shared<store::IndexStore>(std::move(opened).ValueOrDie());
+
+  {
+    // Persist the index so the next cache would normally mmap it.
+    IndexCache cache(IndexCacheOptions{{}, kDefaultIndexCacheCapacity,
+                                       shared_store});
+    ASSERT_TRUE(
+        cache.GetOrBuild(testing::Example21R(), testing::Example21P()).ok());
+    ASSERT_EQ(cache.stats().store_writes, 1u);
+  }
+
+  // Exhaust the store's whole mmap retry budget (default 3 attempts):
+  // the load comes back kUnavailable, and the cache serves a fresh build
+  // instead of failing the lookup.
+  ASSERT_TRUE(util::Failpoints::Arm("store.load.mmap", "count:3").ok());
+  IndexCache cache(IndexCacheOptions{{}, kDefaultIndexCacheCapacity,
+                                     shared_store});
+  auto got = cache.GetOrBuildTiered(testing::Example21R(),
+                                    testing::Example21P());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->tier, IndexTier::kBuilt);
+  IndexCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.degraded_builds, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.mapped_loads, 0u);
+  // The stored file was NOT quarantined — nothing was wrong with it.
+  EXPECT_TRUE(shared_store->Contains(
+      FingerprintInstance(testing::Example21R(), testing::Example21P(),
+                          cache.options().build.compress)));
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST_F(IndexCacheChaosTest, ClearRacingInFlightResolutionsNeverWedges) {
+  // Builds are slowed (sleep mode trips never fail) so Clear() reliably
+  // lands while resolutions are in flight. Every lookup must still get a
+  // usable index or a clean error — never a hang or a poisoned entry.
+  ASSERT_TRUE(util::Failpoints::Arm("cache.build", "sleep:2").ok());
+  IndexCache cache;
+  const rel::Relation r = testing::Example21R();
+  const rel::Relation p = testing::Example21P();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> successes{0};
+  std::vector<std::thread> lookups;
+  for (int t = 0; t < 4; ++t) {
+    lookups.emplace_back([&] {
+      while (!stop.load()) {
+        auto got = cache.GetOrBuild(r, p);
+        if (!got.ok() || got->get() == nullptr) {
+          ADD_FAILURE() << "lookup wedged or failed: "
+                        << got.status().ToString();
+          stop.store(true);
+          return;
+        }
+        ++successes;
+      }
+    });
+  }
+  std::thread clearer([&] {
+    for (int i = 0; i < 50; ++i) {
+      cache.Clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true);
+  });
+  clearer.join();
+  for (auto& t : lookups) t.join();
+
+  EXPECT_GT(successes.load(), 0u);
+  // After the dust settles, the cache still works normally.
+  util::Failpoints::Reset();
+  auto after = cache.GetOrBuild(r, p);
+  ASSERT_TRUE(after.ok());
 }
 
 TEST(IndexCacheTest, ClearDropsEntriesButHandoutsSurvive) {

@@ -1,6 +1,10 @@
 #include "runtime/session_manager.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -234,6 +238,231 @@ TEST(SessionManagerTest, ManagerOwnedCacheHonorsTheCapacityBound) {
   // never-evicts bug this option fixes would show zeros here.
   EXPECT_GE(stats.evictions + stats.rejected_admissions, 1u);
   EXPECT_LE(manager.cache().size(), 1u);
+}
+
+// --- Failure-domain hardening (DESIGN.md §10) -------------------------
+
+/// A GoalOracle that dawdles on every label — makes per-step wall time
+/// controllable so deadline tests don't depend on machine speed.
+class SlowOracle : public core::Oracle {
+ public:
+  SlowOracle(core::JoinPredicate goal, std::chrono::milliseconds delay)
+      : inner_(goal), delay_(delay) {}
+
+  core::Label LabelClass(const core::SignatureIndex& index,
+                         core::ClassId cls) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.LabelClass(index, cls);
+  }
+
+ private:
+  core::GoalOracle inner_;
+  std::chrono::milliseconds delay_;
+};
+
+TEST(SessionManagerTest, AdmissionControlShedsTheExcessAndRunsTheRest) {
+  core::SignatureIndex index = testing::Example21Index();
+  std::vector<Spec> specs;
+  for (uint64_t i = 0; i < 16; ++i) {
+    specs.push_back(Spec{core::StrategyKind::kTopDown, i,
+                         testing::Pred(index.omega(), {{0, 0}, {1, 1}})});
+  }
+
+  SessionManager::Options options;
+  options.threads = 2;
+  options.max_queue = 4;
+  SessionManager manager(options);
+  auto results = manager.RunAll(MakeJobs(index, specs));
+  ASSERT_EQ(results.size(), 16u);
+  // Deterministic split: the first max_queue jobs run, the tail is shed.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(results[i].ok()) << "admitted job " << i;
+  }
+  for (size_t i = 4; i < 16; ++i) {
+    ASSERT_FALSE(results[i].ok()) << "job " << i << " should be shed";
+    EXPECT_TRUE(results[i].status().IsResourceExhausted());
+  }
+  SessionManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.shed, 12u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(SessionManagerTest, JobDeadlineCancelsOnlyTheSlowJob) {
+  auto inst = workload::GenerateSynthetic({3, 3, 30, 6}, 777);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+
+  // Pick a spec that provably needs several interactions: the slow job
+  // must survive its first one-step slice to be cancelled at the second.
+  // Time the fault-free solo run while we are at it — the deadline below
+  // is calibrated from it so the fast twin keeps a wide margin even under
+  // sanitizer or CI slowdown.
+  const std::vector<Spec> specs = MakeSpecs(*index);
+  const Spec* multi_step = nullptr;
+  std::chrono::steady_clock::duration fast_baseline{};
+  for (const Spec& spec : specs) {
+    const auto start = std::chrono::steady_clock::now();
+    Session session(*index, core::MakeStrategy(spec.kind, spec.seed));
+    core::GoalOracle oracle(spec.goal);
+    size_t interactions = 0;
+    while (std::optional<core::ClassId> question = session.NextQuestion()) {
+      ASSERT_TRUE(session.Answer(oracle.LabelClass(*index, *question)).ok());
+      ++interactions;
+    }
+    if (interactions >= 3) {
+      multi_step = &spec;
+      fast_baseline = std::chrono::steady_clock::now() - start;
+      break;
+    }
+  }
+  ASSERT_NE(multi_step, nullptr);
+
+  // 10x the measured fast run (floor 100ms) — roomy for the fast job; the
+  // slow job's oracle sleeps 1.5x the whole deadline per interaction, so
+  // its second slice-boundary check is guaranteed to find the deadline
+  // gone.
+  const auto deadline = std::max(
+      std::chrono::milliseconds(100),
+      std::chrono::duration_cast<std::chrono::milliseconds>(10 *
+                                                            fast_baseline));
+  const auto slow_delay = 3 * deadline / 2;
+
+  std::vector<SessionJob> jobs;
+  SessionJob slow;
+  slow.make = [&index, multi_step] {
+    return util::Result<Session>(Session(
+        *index, core::MakeStrategy(multi_step->kind, multi_step->seed)));
+  };
+  slow.oracle = std::make_unique<SlowOracle>(multi_step->goal, slow_delay);
+  jobs.push_back(std::move(slow));
+
+  SessionJob fast;
+  fast.make = [&index, multi_step] {
+    return util::Result<Session>(Session(
+        *index, core::MakeStrategy(multi_step->kind, multi_step->seed)));
+  };
+  fast.oracle = std::make_unique<core::GoalOracle>(multi_step->goal);
+  jobs.push_back(std::move(fast));
+
+  SessionManager::Options options;
+  options.threads = 2;
+  options.steps_per_slice = 1;  // Deadline checked before every step.
+  options.job_deadline = deadline;
+  SessionManager manager(options);
+  auto results = manager.RunAll(std::move(jobs));
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_TRUE(results[0].status().IsDeadlineExceeded());
+  EXPECT_TRUE(results[1].ok());  // The fast neighbor is untouched.
+  EXPECT_EQ(manager.stats().deadline_exceeded, 1u);
+}
+
+TEST(SessionManagerTest, RunDeadlineCancelsEveryUnfinishedJob) {
+  core::SignatureIndex index = testing::Example21Index();
+  const core::JoinPredicate goal =
+      testing::Pred(index.omega(), {{0, 0}, {1, 1}});
+
+  std::vector<SessionJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    SessionJob job;
+    job.make = [&index] {
+      return util::Result<Session>(
+          Session(index, core::MakeStrategy(core::StrategyKind::kTopDown)));
+    };
+    job.oracle =
+        std::make_unique<SlowOracle>(goal, std::chrono::milliseconds(100));
+    jobs.push_back(std::move(job));
+  }
+
+  SessionManager::Options options;
+  options.threads = 1;
+  options.steps_per_slice = 1;
+  options.run_deadline = std::chrono::milliseconds(50);
+  SessionManager manager(options);
+  const auto start = std::chrono::steady_clock::now();
+  auto results = manager.RunAll(std::move(jobs));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_EQ(results.size(), 4u);
+  size_t cancelled = 0;
+  for (const auto& result : results) {
+    if (!result.ok() && result.status().IsDeadlineExceeded()) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 3u);  // 4 × 100ms of labels cannot fit in 50ms.
+  // Cancellation is cooperative but prompt: bounded by deadline + one
+  // in-flight slice per job, far under running everything to completion.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+}
+
+TEST(SessionManagerTest, TransientFactoryFailureIsRetriedToSuccess) {
+  core::SignatureIndex index = testing::Example21Index();
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+
+  std::vector<SessionJob> jobs;
+  SessionJob flaky;
+  flaky.make = [&index, attempts]() -> util::Result<Session> {
+    if (attempts->fetch_add(1) < 2) {
+      return util::Status::Unavailable("cache backing off");
+    }
+    return Session(index, core::MakeStrategy(core::StrategyKind::kTopDown));
+  };
+  flaky.oracle = std::make_unique<core::GoalOracle>(
+      testing::Pred(index.omega(), {{0, 0}, {1, 1}}));
+  jobs.push_back(std::move(flaky));
+
+  SessionManager::Options options;
+  options.factory_retry.max_attempts = 5;
+  options.factory_retry.base_backoff = std::chrono::microseconds(100);
+  SessionManager manager(options);
+  auto results = manager.RunAll(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(attempts->load(), 3);
+  EXPECT_EQ(manager.stats().factory_retries, 2u);
+  EXPECT_EQ(manager.stats().completed, 1u);
+}
+
+TEST(SessionManagerTest, TransientFactoryFailureExhaustsAttemptsThenFails) {
+  core::SignatureIndex index = testing::Example21Index();
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+
+  std::vector<SessionJob> jobs;
+  SessionJob down;
+  down.make = [attempts]() -> util::Result<Session> {
+    attempts->fetch_add(1);
+    return util::Status::Unavailable("store is down");
+  };
+  down.oracle = std::make_unique<core::GoalOracle>(core::JoinPredicate());
+  jobs.push_back(std::move(down));
+
+  SessionManager::Options options;
+  options.factory_retry.max_attempts = 3;
+  options.factory_retry.base_backoff = std::chrono::microseconds(100);
+  SessionManager manager(options);
+  auto results = manager.RunAll(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_TRUE(results[0].status().IsUnavailable());
+  EXPECT_EQ(attempts->load(), 3);  // max_attempts counts total tries.
+}
+
+TEST(SessionManagerTest, PermanentFactoryFailureIsNeverRetried) {
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  std::vector<SessionJob> jobs;
+  SessionJob bad;
+  bad.make = [attempts]() -> util::Result<Session> {
+    attempts->fetch_add(1);
+    return util::Status::InvalidArgument("no such instance");
+  };
+  bad.oracle = std::make_unique<core::GoalOracle>(core::JoinPredicate());
+  jobs.push_back(std::move(bad));
+
+  SessionManager::Options options;
+  options.factory_retry.max_attempts = 5;
+  auto results = SessionManager(options).RunAll(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(attempts->load(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace jinfer {
+namespace util {
+namespace {
+
+/// Every test leaves the registry disarmed — the suites share one process.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Reset(); }
+  void TearDown() override { Failpoints::Reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedHitIsOkAndCostsNothing) {
+  EXPECT_FALSE(FailpointsArmed());
+  EXPECT_TRUE(FailpointHit("store.put.fsync").ok());
+  // A disarmed hit must not even touch the registry: no stats recorded.
+  EXPECT_EQ(Failpoints::Stats("store.put.fsync").hits, 0u);
+}
+
+TEST_F(FailpointTest, CountModeFailsExactlyNThenSelfRetires) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "count:2").ok());
+  EXPECT_TRUE(FailpointsArmed());
+  EXPECT_TRUE(FailpointHit("test.point").IsUnavailable());
+  EXPECT_TRUE(FailpointHit("test.point").IsUnavailable());
+  // Exhausted: the point disarmed itself, restoring the fast path.
+  EXPECT_TRUE(FailpointHit("test.point").ok());
+  EXPECT_FALSE(FailpointsArmed());
+  FailpointStats stats = Failpoints::Stats("test.point");
+  EXPECT_EQ(stats.trips, 2u);
+  EXPECT_EQ(stats.hits, 2u);  // The third hit took the disarmed fast path.
+}
+
+TEST_F(FailpointTest, EveryModeFailsPeriodically) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "every:3").ok());
+  std::vector<bool> tripped;
+  for (int i = 0; i < 9; ++i) {
+    tripped.push_back(!FailpointHit("test.point").ok());
+  }
+  EXPECT_EQ(tripped, (std::vector<bool>{false, false, true, false, false,
+                                        true, false, false, true}));
+}
+
+TEST_F(FailpointTest, ProbModeIsSeededAndReproducible) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "prob:0.5:42").ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) first.push_back(!FailpointHit("test.point").ok());
+  // Re-arming with the same seed replays the identical schedule.
+  ASSERT_TRUE(Failpoints::Arm("test.point", "prob:0.5:42").ok());
+  std::vector<bool> second;
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(!FailpointHit("test.point").ok());
+  }
+  EXPECT_EQ(first, second);
+  // And a 0.5 stream of length 64 is astronomically unlikely to be constant.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ProbZeroNeverTripsProbOneAlwaysTrips) {
+  ASSERT_TRUE(Failpoints::Arm("never", "prob:0").ok());
+  ASSERT_TRUE(Failpoints::Arm("always", "prob:1").ok());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(FailpointHit("never").ok());
+    EXPECT_TRUE(FailpointHit("always").IsUnavailable());
+  }
+}
+
+TEST_F(FailpointTest, SleepModeDelaysButSucceeds) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "sleep:20").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FailpointHit("test.point").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(20));
+  EXPECT_EQ(Failpoints::Stats("test.point").trips, 1u);
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsMultiplePoints) {
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec("a=count:1;b=every:2,c=prob:0.0").ok());
+  EXPECT_TRUE(FailpointHit("a").IsUnavailable());
+  EXPECT_TRUE(FailpointHit("b").ok());
+  EXPECT_TRUE(FailpointHit("b").IsUnavailable());
+  EXPECT_TRUE(FailpointHit("c").ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecIsRejected) {
+  EXPECT_TRUE(Failpoints::ArmFromSpec("a=count:x").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::ArmFromSpec("noequals").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::ArmFromSpec("a=unknown:1").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::ArmFromSpec("a=prob:1.5").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::ArmFromSpec("=count:1").IsInvalidArgument());
+}
+
+TEST_F(FailpointTest, DisarmStopsTripsAndKeepsStats) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "every:1").ok());
+  EXPECT_TRUE(FailpointHit("test.point").IsUnavailable());
+  Failpoints::Disarm("test.point");
+  EXPECT_TRUE(FailpointHit("test.point").ok());
+  EXPECT_EQ(Failpoints::Stats("test.point").trips, 1u);
+}
+
+TEST_F(FailpointTest, PauseScopeSuspendsTrips) {
+  ASSERT_TRUE(Failpoints::Arm("test.point", "every:1").ok());
+  {
+    Failpoints::PauseScope pause;
+    // Armed but paused: every hit succeeds (the fault-free baseline a
+    // chaos test runs inside a process whose env schedule stays armed).
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(FailpointHit("test.point").ok());
+  }
+  EXPECT_TRUE(FailpointHit("test.point").IsUnavailable());
+}
+
+TEST_F(FailpointTest, InjectedStatusNamesThePoint) {
+  ASSERT_TRUE(Failpoints::Arm("store.put.fsync", "count:1").ok());
+  Status s = FailpointHit("store.put.fsync");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_NE(s.message().find("store.put.fsync"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ConcurrentHitsNeverOverOrUnderTrip) {
+  // count:N under T threads must trip exactly N times in total — the
+  // registry mutex makes the trigger decision atomic per hit.
+  ASSERT_TRUE(Failpoints::Arm("test.point", "count:100").ok());
+  std::atomic<int> trips{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (!FailpointHit("test.point").ok()) ++trips;
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(trips.load(), 100);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace jinfer

@@ -45,6 +45,29 @@ TEST(FrequencySketchTest, AgingHalvesEstimates) {
   EXPECT_GT(sketch.Estimate(Mix64(4242)), sketch.Estimate(key));
 }
 
+TEST(FrequencySketchTest, SaturatedCounterStaysOrderedAndStillAges) {
+  FrequencySketch sketch(64);  // Window = 8 * 64 = 512 increments.
+  const uint64_t hot = Mix64(3);
+  const uint64_t warm = Mix64(5);
+  // Saturate `hot` far past the 8-bit cap; give `warm` a modest count.
+  for (int i = 0; i < 400; ++i) sketch.Increment(hot);
+  for (int i = 0; i < 50; ++i) sketch.Increment(warm);
+  const uint32_t hot_before = sketch.Estimate(hot);
+  EXPECT_LE(hot_before, 255u);
+  // Saturation must not invert the ordering admission decisions rely on.
+  EXPECT_GT(hot_before, sketch.Estimate(warm));
+  // Continue incrementing past saturation: estimate never wraps to small.
+  for (int i = 0; i < 300; ++i) sketch.Increment(hot);
+  EXPECT_LE(sketch.Estimate(hot), 255u);
+  EXPECT_GE(sketch.Estimate(hot), sketch.Estimate(warm));
+  // And a saturated counter still decays when the aging pass fires, so a
+  // once-hot key cannot hold its slot forever.
+  const uint64_t agings_before = sketch.agings();
+  uint64_t filler = 9000;
+  while (sketch.agings() == agings_before) sketch.Increment(Mix64(++filler));
+  EXPECT_LE(sketch.Estimate(hot), 128u);
+}
+
 TEST(FrequencySketchTest, DeterministicForAGivenSequence) {
   FrequencySketch a(64), b(64);
   for (uint64_t i = 0; i < 500; ++i) {

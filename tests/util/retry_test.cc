@@ -1,0 +1,177 @@
+#include "util/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/deadline.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace util {
+namespace {
+
+/// Records requested sleeps instead of performing them.
+struct RecordingSleeper {
+  std::vector<std::chrono::microseconds>* slept;
+  void operator()(std::chrono::microseconds d) const { slept->push_back(d); }
+};
+
+TEST(TransiencyTest, OnlyUnavailableIsTransient) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("x")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::IoError("x")));
+  EXPECT_FALSE(IsTransient(Status::ParseError("x")));
+  EXPECT_FALSE(IsTransient(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransient(Status::DeadlineExceeded("x")));
+}
+
+TEST(BackoffTest, DoublesUpToCapWithJitterInRange) {
+  RetryPolicy policy;
+  policy.base_backoff = std::chrono::microseconds(100);
+  policy.max_backoff = std::chrono::microseconds(1000);
+  Backoff backoff(policy);
+  std::vector<int64_t> raw = {100, 200, 400, 800, 1000, 1000};
+  for (int64_t expected : raw) {
+    const auto delay = backoff.Next().count();
+    EXPECT_GE(delay, expected / 2);
+    EXPECT_LT(delay, expected);
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  Backoff a(policy), b(policy);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(BackoffTest, DifferentSeedsDecorrelate) {
+  RetryPolicy a_policy, b_policy;
+  b_policy.jitter_seed = a_policy.jitter_seed + 1;
+  Backoff a(a_policy), b(b_policy);
+  bool any_differ = false;
+  for (int i = 0; i < 8; ++i) any_differ |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(RetryCallTest, SucceedsFirstTryNoSleep) {
+  std::vector<std::chrono::microseconds> slept;
+  int calls = 0;
+  Status s = RetryCall(
+      RetryPolicy{}, [&] { ++calls; return Status::OK(); }, nullptr,
+      RecordingSleeper{&slept});
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryCallTest, RetriesTransientUntilSuccess) {
+  std::vector<std::chrono::microseconds> slept;
+  uint64_t retries = 0;
+  int calls = 0;
+  Status s = RetryCall(
+      RetryPolicy{},
+      [&] {
+        return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      &retries, RecordingSleeper{&slept});
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(RetryCallTest, PermanentFailureIsNotRetried) {
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  Status s = RetryCall(
+      RetryPolicy{}, [&] { ++calls; return Status::ParseError("corrupt"); },
+      nullptr, RecordingSleeper{&slept});
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryCallTest, AttemptsExhaustReturnLastTransientError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  Status s = RetryCall(
+      policy, [&] { ++calls; return Status::Unavailable("still down"); },
+      nullptr, RecordingSleeper{&slept});
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 3);      // max_attempts counts total tries.
+  EXPECT_EQ(slept.size(), 2u);  // One sleep between consecutive tries.
+}
+
+TEST(RetryCallTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  Status s = RetryCall(
+      policy, [&] { ++calls; return Status::Unavailable("down"); }, nullptr,
+      RecordingSleeper{&slept});
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryCallTest, WorksWithResultReturningFunctions) {
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  Result<int> r = RetryCall(
+      RetryPolicy{},
+      [&]() -> Result<int> {
+        return ++calls < 2 ? Result<int>(Status::Unavailable("flaky"))
+                           : Result<int>(7);
+      },
+      nullptr, RecordingSleeper{&slept});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryCallTest, UnlimitedPolicyRunsUntilOutcomeChanges) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;  // Unlimited: bounded here by the fn itself.
+  int calls = 0;
+  std::vector<std::chrono::microseconds> slept;
+  Status s = RetryCall(
+      policy,
+      [&] { return ++calls < 20 ? Status::Unavailable("x") : Status::OK(); },
+      nullptr, RecordingSleeper{&slept});
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 20);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(DeadlineTest, ZeroBudgetMeansNoDeadline) {
+  EXPECT_TRUE(Deadline::After(std::chrono::nanoseconds::zero()).infinite());
+  EXPECT_TRUE(Deadline::After(std::chrono::milliseconds(-5)).infinite());
+}
+
+TEST(DeadlineTest, PositiveBudgetExpires) {
+  Deadline d = Deadline::After(std::chrono::nanoseconds(1));
+  // A 1ns deadline is expired by the time we can observe it.
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(DeadlineTest, GenerousBudgetNotYetExpired) {
+  Deadline d = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), std::chrono::minutes(59));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace jinfer

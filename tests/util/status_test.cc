@@ -1,5 +1,6 @@
 #include "util/status.h"
 
+#include <cerrno>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -33,6 +34,41 @@ TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::ParseError("x").IsParseError());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusCodeTest, FailureTaxonomyNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(IoStatusFromErrnoTest, TransientErrnosAreUnavailable) {
+  EXPECT_TRUE(IoStatusFromErrno(EINTR, "x").IsUnavailable());
+  EXPECT_TRUE(IoStatusFromErrno(EAGAIN, "x").IsUnavailable());
+  EXPECT_TRUE(IoStatusFromErrno(EBUSY, "x").IsUnavailable());
+  EXPECT_TRUE(IoStatusFromErrno(ENOMEM, "x").IsUnavailable());
+  EXPECT_TRUE(IoStatusFromErrno(EMFILE, "x").IsUnavailable());
+  EXPECT_TRUE(IoStatusFromErrno(ENFILE, "x").IsUnavailable());
+}
+
+TEST(IoStatusFromErrnoTest, ExhaustionErrnosAreResourceExhausted) {
+  EXPECT_TRUE(IoStatusFromErrno(ENOSPC, "x").IsResourceExhausted());
+  EXPECT_TRUE(IoStatusFromErrno(EDQUOT, "x").IsResourceExhausted());
+}
+
+TEST(IoStatusFromErrnoTest, PermanentErrnosStayIoError) {
+  EXPECT_TRUE(IoStatusFromErrno(ENOENT, "x").IsIoError());
+  EXPECT_TRUE(IoStatusFromErrno(EACCES, "x").IsIoError());
+  EXPECT_TRUE(IoStatusFromErrno(EIO, "x").IsIoError());
+}
+
+TEST(IoStatusFromErrnoTest, MessageIsPreserved) {
+  EXPECT_EQ(IoStatusFromErrno(EINTR, "open(/x)").message(), "open(/x)");
 }
 
 TEST(StatusTest, PredicatesAreExclusive) {
