@@ -28,17 +28,23 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/oracle.h"
 #include "core/strategy.h"
+#include "relational/csv.h"
 #include "runtime/index_cache.h"
 #include "runtime/session.h"
 #include "runtime/session_manager.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "store/fingerprint.h"
 #include "store/index_store.h"
 #include "util/check.h"
@@ -310,6 +316,116 @@ void BM_ThroughputSessionsDegraded(benchmark::State& state) {
 BENCHMARK(BM_ThroughputSessionsDegraded)
     ->Arg(1)
     ->Arg(4)
+    ->UseRealTime();
+
+// --- Serving front end (DESIGN.md §11) ---------------------------------
+
+// End-to-end sessions/sec through the network server as the concurrent
+// connection count grows (Arg): real sockets on loopback, the full frame
+// protocol, the event loop + worker handoff, and the shared tiered cache
+// underneath. Each connection runs complete sessions back to back (open,
+// question/answer loop, close); per-session wall latency is collected and
+// reported as latency_p50_ms / latency_p99_ms next to items_per_second —
+// the number the overload/drain design is accountable to (§11.3).
+void BM_ServerThroughput(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  constexpr size_t kSessionsPerConn = 8;
+
+  // Precompute what the clients need: CSV uploads, local twin indexes for
+  // the oracle, one goal per instance.
+  struct Upload {
+    server::OpenSessionBody body;
+    std::shared_ptr<const core::SignatureIndex> index;
+    core::JoinPredicate goal;
+  };
+  static const std::vector<Upload>* uploads = [] {
+    auto* v = new std::vector<Upload>;
+    for (const workload::SyntheticInstance& inst : Instances()) {
+      Upload up;
+      up.body.strategy = "TD";
+      up.body.compress = 1;
+      up.body.r_name = inst.r.schema().relation_name();
+      up.body.p_name = inst.p.schema().relation_name();
+      up.body.r_csv = rel::WriteRelationCsv(inst.r);
+      up.body.p_csv = rel::WriteRelationCsv(inst.p);
+      auto index = core::SignatureIndex::Build(inst.r, inst.p);
+      JINFER_CHECK(index.ok(), "twin index");
+      up.index = std::make_shared<const core::SignatureIndex>(
+          std::move(index).ValueOrDie());
+      up.goal = core::JoinPredicate::Singleton(v->size() % 2);
+      v->push_back(std::move(up));
+    }
+    return v;
+  }();
+
+  server::ServerOptions options;
+  options.workers = 4;
+  options.max_connections = 64;
+  server::Server srv(options);
+  JINFER_CHECK(srv.Start().ok(), "server start");
+
+  std::vector<double> latencies_ms;
+  std::mutex latencies_mu;
+
+  for (auto _ : state) {
+    std::vector<std::thread> tenants;
+    tenants.reserve(connections);
+    for (int c = 0; c < connections; ++c) {
+      tenants.emplace_back([&, c] {
+        auto client = server::Client::Connect("127.0.0.1", srv.port());
+        JINFER_CHECK(client.ok(), "connect");
+        std::vector<double> local;
+        local.reserve(kSessionsPerConn);
+        for (size_t s = 0; s < kSessionsPerConn; ++s) {
+          const Upload& up =
+              (*uploads)[(static_cast<size_t>(c) + s) % uploads->size()];
+          core::GoalOracle oracle(up.goal);
+          const auto begin = std::chrono::steady_clock::now();
+          JINFER_CHECK(client->OpenSession(up.body).ok(), "open");
+          while (true) {
+            auto question = client->NextQuestion();
+            JINFER_CHECK(question.ok(), "question");
+            if (question->finished) break;
+            const core::Label label =
+                oracle.LabelClass(*up.index, question->class_id);
+            JINFER_CHECK(
+                client->Answer(label == core::Label::kPositive).ok(),
+                "answer");
+          }
+          JINFER_CHECK(client->CloseSession().ok(), "close");
+          local.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count());
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : tenants) t.join();
+  }
+
+  srv.RequestDrain();
+  JINFER_CHECK(srv.Wait().ok(), "drain");
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(connections) *
+                          static_cast<int64_t>(kSessionsPerConn));
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    state.counters["latency_p50_ms"] =
+        latencies_ms[latencies_ms.size() / 2];
+    state.counters["latency_p99_ms"] =
+        latencies_ms[latencies_ms.size() * 99 / 100];
+  }
+  server::StatsOkBody stats = srv.Stats();
+  state.counters["frames_read"] = static_cast<double>(stats.frames_read);
+  state.counters["cache_builds"] = static_cast<double>(stats.cache_builds);
+}
+BENCHMARK(BM_ServerThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->UseRealTime();
 
 // Cost of the cache hot path alone: fingerprint two relations and return

@@ -5,6 +5,16 @@
 //   ./build/examples/interactive_cli [--store-dir=DIR] [--deadline-ms=N]
 //                                    R.csv P.csv [strategy]
 //   ./build/examples/interactive_cli [--store-dir=DIR]   (built-in demo)
+//   ./build/examples/interactive_cli --serve=HOST:PORT [--store-dir=DIR]
+//   ./build/examples/interactive_cli --connect=HOST:PORT [R.csv P.csv
+//                                    [strategy]]
+//
+// One binary demos both ends of the wire (DESIGN.md §11): --serve runs the
+// fault-tolerant serving front end (SIGTERM or Ctrl-C drains gracefully —
+// in-flight sessions finish, then the process exits 0), --connect runs the
+// same question loop as local mode but over the binary session protocol,
+// uploading the instance as CSV text and answering over the socket. Port 0
+// binds an ephemeral port and prints it.
 //
 // strategy ∈ {BU, TD, L1S, L2S, RND, EG}; default TD. Answer each prompt
 // with y/n (or q to stop early and accept the current hypothesis).
@@ -46,8 +56,11 @@
 #include "relational/relation.h"
 #include "runtime/index_cache.h"
 #include "runtime/session.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "store/index_store.h"
 #include "util/deadline.h"
+#include "util/socket.h"
 
 using namespace jinfer;
 
@@ -97,16 +110,169 @@ volatile std::sig_atomic_t g_interrupted = 0;
 
 void HandleSigint(int) { g_interrupted = 1; }
 
+/// --serve: the signal handler drains the server directly — RequestDrain
+/// is an atomic store plus one write() on the wake pipe, both
+/// async-signal-safe.
+server::Server* g_server = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+int RunServe(const std::string& spec, const std::string& store_dir) {
+  auto endpoint = util::ParseEndpoint(spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "bad --serve endpoint: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 1;
+  }
+  server::ServerOptions options;
+  options.host = endpoint->host;
+  options.port = endpoint->port;
+  options.workers = 2;
+  options.runtime.cache_options.build = kIndexOptions;
+  if (!store_dir.empty()) {
+    auto store = store::IndexStore::Open(store_dir);
+    if (!store.ok()) {
+      std::fprintf(stderr, "cannot open store: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    options.runtime.cache_options.store =
+        std::make_shared<store::IndexStore>(std::move(store).ValueOrDie());
+  }
+  static server::Server server(options);
+  g_server = &server;
+  util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = HandleDrainSignal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  std::printf("serving on %s:%u (SIGTERM or Ctrl-C drains gracefully)\n",
+              endpoint->host.c_str(), server.port());
+  std::fflush(stdout);
+  util::Status st = server.Wait();
+  server::StatsOkBody stats = server.Stats();
+  std::printf("drained: %llu connection(s) served, %llu session(s) "
+              "completed, %llu aborted, %llu frames read\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.sessions_completed),
+              static_cast<unsigned long long>(stats.sessions_aborted),
+              static_cast<unsigned long long>(stats.frames_read));
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunConnect(const std::string& spec, const rel::Relation& r,
+               const rel::Relation& p, const std::string& strategy_name) {
+  auto endpoint = util::ParseEndpoint(spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "bad --connect endpoint: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 1;
+  }
+  auto client = server::Client::Connect(endpoint->host, endpoint->port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  server::OpenSessionBody open;
+  open.strategy = strategy_name;
+  open.seed = std::random_device{}();
+  open.compress = 1;
+  open.r_name = r.schema().relation_name();
+  open.p_name = p.schema().relation_name();
+  open.r_csv = rel::WriteRelationCsv(r);
+  open.p_csv = rel::WriteRelationCsv(p);
+
+  auto opened = client->OpenSession(open);
+  if (!opened.ok() && server::RetryLater(opened.status())) {
+    std::fprintf(stderr, "server busy (%s); retrying once...\n",
+                 opened.status().ToString().c_str());
+    opened = client->OpenSession(open);
+  }
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu x %zu rows -> %llu candidate tuples (%llu classes), "
+              "strategy %s, index: %s (remote session %llu)\n",
+              r.num_rows(), p.num_rows(),
+              static_cast<unsigned long long>(opened->num_tuples),
+              static_cast<unsigned long long>(opened->num_classes),
+              strategy_name.c_str(),
+              runtime::IndexTierName(
+                  static_cast<runtime::IndexTier>(opened->index_tier)),
+              static_cast<unsigned long long>(opened->session_id));
+  std::printf("Label each proposed pairing: y = belongs to your join, "
+              "n = does not, q = stop.\n");
+
+  while (true) {
+    auto q = client->NextQuestion();
+    if (!q.ok()) {
+      std::fprintf(stderr, "question failed: %s\n",
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    if (q->finished != 0) {
+      std::printf("\nNo informative tuples left — the query is determined "
+                  "on this data.\n");
+      break;
+    }
+    std::printf("\nQuestion %llu:\n  %s\n  %s\nIn your join? [y/n/q] ",
+                static_cast<unsigned long long>(q->question_index + 1),
+                q->r_text.c_str(), q->p_text.c_str());
+    std::fflush(stdout);
+    std::string answer;
+    if (!std::getline(std::cin, answer)) break;
+    if (answer == "q" || answer == "Q") break;
+    const bool positive =
+        answer == "y" || answer == "Y" || answer == "yes";
+    auto applied = client->Answer(positive);
+    if (!applied.ok()) {
+      std::printf("That answer contradicts your earlier ones: %s\n",
+                  applied.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  current hypothesis: %s\n",
+                applied->predicate_text.c_str());
+  }
+
+  auto closed = client->CloseSession();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close failed: %s\n",
+                 closed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nInferred join predicate: %s (%llu interaction(s))\n",
+              closed->predicate_text.c_str(),
+              static_cast<unsigned long long>(closed->num_interactions));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   rel::Relation r, p;
   std::string strategy_name = "TD";
   std::string store_dir;
+  std::string serve_spec, connect_spec;
   long deadline_ms = 0;
 
-  // Split --store-dir[=DIR] and --deadline-ms=N off before the positional
-  // arguments.
+  // Split --store-dir[=DIR], --serve[=H:P], --connect[=H:P] and
+  // --deadline-ms=N off before the positional arguments.
   std::vector<std::string> args;
   for (int a = 1; a < argc; ++a) {
     std::string arg = argv[a];
@@ -114,6 +280,14 @@ int main(int argc, char** argv) {
       store_dir = arg.substr(std::strlen("--store-dir="));
     } else if (arg == "--store-dir" && a + 1 < argc) {
       store_dir = argv[++a];
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve_spec = arg.substr(std::strlen("--serve="));
+    } else if (arg == "--serve" && a + 1 < argc) {
+      serve_spec = argv[++a];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(std::strlen("--connect="));
+    } else if (arg == "--connect" && a + 1 < argc) {
+      connect_spec = argv[++a];
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       char* end = nullptr;
       deadline_ms = std::strtol(arg.c_str() + std::strlen("--deadline-ms="),
@@ -127,6 +301,8 @@ int main(int argc, char** argv) {
       args.push_back(std::move(arg));
     }
   }
+
+  if (!serve_spec.empty()) return RunServe(serve_spec, store_dir);
 
   // Graceful Ctrl-C: no SA_RESTART, so a blocked getline returns EINTR and
   // the loop exits at the question boundary with the session state intact.
@@ -160,6 +336,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown strategy %s (try BU/TD/L1S/L2S/RND/EG)\n",
                  strategy_name.c_str());
     return 1;
+  }
+
+  if (!connect_spec.empty()) {
+    return RunConnect(connect_spec, r, p, strategy_name);
   }
 
   runtime::IndexCacheOptions cache_options;

@@ -9,10 +9,12 @@ Two classes of reference are checked over every git-tracked text file:
      or — for bare file names like README.md — anywhere in the tree.
   2. Relative link targets inside Markdown files ("[text](src/runtime/)"),
      excluding external URLs and pure #fragment links.
-  3. Section references of the form "DESIGN.md §N": the cited section must
-     exist as a "## §N" heading in DESIGN.md (section numbers are stable
-     there precisely so code comments can cite them — a citation of a
-     never-written section is the same rot as a dangling file name).
+  3. Section references of the form "DESIGN.md §N" or "DESIGN.md §N.M":
+     the cited section must exist as a "## §N" heading (or, for N.M
+     subsection references, a "### §N.M" heading) in DESIGN.md (section
+     numbers are stable there precisely so code comments can cite them —
+     a citation of a never-written section is the same rot as a dangling
+     file name).
 
 Run from anywhere: paths resolve against the repo root. Exit code 1 lists
 every dangling reference with file:line so the CI docs job points straight
@@ -36,17 +38,22 @@ TEXT_SUFFIXES = {".md", ".h", ".cc", ".cpp", ".txt", ".yml", ".yaml", ".py",
 
 MD_MENTION = re.compile(r"[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]\.md\b")
 MD_LINK = re.compile(r"\]\(([^)\s]+)\)")
-SECTION_REF = re.compile(r"DESIGN\.md\s*§(\d+)")
+SECTION_REF = re.compile(r"DESIGN\.md\s*§(\d+(?:\.\d+)?)")
 SECTION_HEADING = re.compile(r"^##\s*§(\d+)\b")
+SUBSECTION_HEADING = re.compile(r"^###\s*§(\d+\.\d+)\b")
 
 
 def design_sections():
     design = ROOT / "DESIGN.md"
     if not design.exists():
         return set()
-    return {m.group(1)
-            for line in design.read_text(encoding="utf-8").splitlines()
-            if (m := SECTION_HEADING.match(line))}
+    sections = set()
+    for line in design.read_text(encoding="utf-8").splitlines():
+        if m := SECTION_HEADING.match(line):
+            sections.add(m.group(1))
+        elif m := SUBSECTION_HEADING.match(line):
+            sections.add(m.group(1))
+    return sections
 
 
 def tracked_files():

@@ -244,6 +244,134 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
   return results;
 }
 
+util::Result<uint64_t> SessionManager::OpenHosted(
+    const std::function<util::Result<Session>()>& make) {
+  JINFER_CHECK(make != nullptr, "OpenHosted needs a session factory");
+  {
+    std::lock_guard<std::mutex> lock(hosted_mu_);
+    if (options_.max_sessions > 0 &&
+        hosted_.size() + hosted_opening_ >= options_.max_sessions) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.hosted_shed;
+      return util::Status::ResourceExhausted(util::StrFormat(
+          "session shed: %zu hosted sessions open, bounded at %zu",
+          hosted_.size() + hosted_opening_, options_.max_sessions));
+    }
+    ++hosted_opening_;  // Reserve the slot while the factory runs unlocked.
+  }
+
+  util::Result<Session> made = make();
+
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  --hosted_opening_;
+  if (!made.ok()) return made.status();
+  const uint64_t id = next_hosted_id_++;
+  auto [it, inserted] =
+      hosted_.try_emplace(id, std::move(made).ValueOrDie());
+  JINFER_CHECK(inserted, "hosted id %llu reused",
+               static_cast<unsigned long long>(id));
+  it->second.last_touch = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.hosted_opened;
+  }
+  return id;
+}
+
+util::Result<Session*> SessionManager::AcquireHosted(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  auto it = hosted_.find(id);
+  if (it == hosted_.end()) {
+    return util::Status::NotFound(util::StrFormat(
+        "no hosted session %llu", static_cast<unsigned long long>(id)));
+  }
+  if (it->second.busy) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "hosted session %llu already leased",
+        static_cast<unsigned long long>(id)));
+  }
+  it->second.busy = true;
+  return &it->second.session;
+}
+
+void SessionManager::ReleaseHosted(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  auto it = hosted_.find(id);
+  if (it == hosted_.end()) return;
+  JINFER_CHECK(it->second.busy, "release of an unleased hosted session");
+  it->second.busy = false;
+  it->second.last_touch = std::chrono::steady_clock::now();
+  if (it->second.aborted) {
+    hosted_.erase(it);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.hosted_aborted;
+  }
+}
+
+util::Result<core::InferenceResult> SessionManager::CloseHosted(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  auto it = hosted_.find(id);
+  if (it == hosted_.end()) {
+    return util::Status::NotFound(util::StrFormat(
+        "no hosted session %llu", static_cast<unsigned long long>(id)));
+  }
+  if (it->second.busy) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "hosted session %llu is leased", static_cast<unsigned long long>(id)));
+  }
+  core::InferenceResult result = it->second.session.Result();
+  hosted_.erase(it);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.hosted_closed;
+  }
+  return result;
+}
+
+util::Status SessionManager::AbortHosted(uint64_t id) {
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  auto it = hosted_.find(id);
+  if (it == hosted_.end()) {
+    return util::Status::NotFound(util::StrFormat(
+        "no hosted session %llu", static_cast<unsigned long long>(id)));
+  }
+  if (it->second.busy) {
+    // A worker holds the lease: mark and let ReleaseHosted finish the job.
+    it->second.aborted = true;
+    return util::Status::OK();
+  }
+  hosted_.erase(it);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.hosted_aborted;
+  }
+  return util::Status::OK();
+}
+
+size_t SessionManager::ReapIdleHosted(std::chrono::nanoseconds max_idle) {
+  const auto now = std::chrono::steady_clock::now();
+  size_t reaped = 0;
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  for (auto it = hosted_.begin(); it != hosted_.end();) {
+    if (!it->second.busy && now - it->second.last_touch > max_idle) {
+      it = hosted_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  if (reaped > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.hosted_reaped += reaped;
+  }
+  return reaped;
+}
+
+size_t SessionManager::hosted_open() const {
+  std::lock_guard<std::mutex> lock(hosted_mu_);
+  return hosted_.size();
+}
+
 SessionManager::Stats SessionManager::stats() const {
   Stats out;
   {

@@ -43,6 +43,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/inference.h"
@@ -107,6 +108,12 @@ class SessionManager {
     /// retries until the job deadline says otherwise — the right setting
     /// under chaos schedules where every fault is transient by contract.
     util::RetryPolicy factory_retry;
+
+    /// Bound on concurrently open *hosted* sessions (OpenHosted); 0 =
+    /// unbounded. An open past the bound is shed with kResourceExhausted —
+    /// the serving front end maps this to a RETRY_LATER frame, so overload
+    /// refuses new tenants instead of queueing them.
+    size_t max_sessions = 0;
   };
 
   /// Counters accumulated across RunAll calls; see stats().
@@ -120,6 +127,12 @@ class SessionManager {
     uint64_t degraded_serves = 0;  ///< Cache builds run because the store
                                    ///< tier failed transiently (snapshot of
                                    ///< cache().stats().degraded_builds).
+    uint64_t hosted_opened = 0;   ///< Hosted sessions opened.
+    uint64_t hosted_closed = 0;   ///< Hosted sessions closed normally.
+    uint64_t hosted_aborted = 0;  ///< Hosted sessions dropped via the
+                                  ///< detach/abort path (client vanished).
+    uint64_t hosted_reaped = 0;   ///< Hosted sessions evicted by ReapIdle.
+    uint64_t hosted_shed = 0;     ///< Hosted opens refused by max_sessions.
   };
 
   SessionManager() : SessionManager(Options{}) {}
@@ -141,11 +154,79 @@ class SessionManager {
   /// while RunAll is in flight from another thread).
   Stats stats() const;
 
+  // -------------------------------------------------------------------------
+  // Hosted sessions (the serving front end's handle model, DESIGN.md §11.2)
+  //
+  // RunAll drives batch jobs whose oracle is in-process; a *hosted* session
+  // is the interactive counterpart: the answers arrive from a remote user
+  // on their own schedule, so the manager owns the parked Session and hands
+  // out an opaque id. The lifecycle is
+  //
+  //   OpenHosted(make)      admission-checked (Options::max_sessions →
+  //                         kResourceExhausted), runs the factory on the
+  //                         calling thread (IndexCache single-flight applies)
+  //   AcquireHosted(id)     exclusive lease for one step; a second acquire
+  //                         of a busy id is FailedPrecondition — the serving
+  //                         layer serializes frames per session, so overlap
+  //                         is a protocol violation, not a wait
+  //   ReleaseHosted(id)     ends the lease, refreshes the idle clock
+  //   CloseHosted(id)       final result + erase (normal end of life)
+  //   AbortHosted(id)       detach/abort: drop the session and release its
+  //                         IndexCache pin — the path a vanished client
+  //                         takes. Safe against a concurrent lease: a busy
+  //                         session is erased when its lease releases.
+  //   ReapIdleHosted(idle)  evicts every non-busy session idle longer than
+  //                         `idle` — the abandoned-session leak fix.
+  // -------------------------------------------------------------------------
+
+  /// Opens a hosted session; `make` runs on this thread. Fails with
+  /// kResourceExhausted when max_sessions are already open.
+  util::Result<uint64_t> OpenHosted(
+      const std::function<util::Result<Session>()>& make);
+
+  /// Exclusive lease on a hosted session. NotFound for unknown/closed ids,
+  /// FailedPrecondition when already leased. Pair with ReleaseHosted.
+  util::Result<Session*> AcquireHosted(uint64_t id);
+
+  /// Ends a lease. If an abort arrived while leased, the session is erased
+  /// here. Unknown ids are ignored (the abort may have won).
+  void ReleaseHosted(uint64_t id);
+
+  /// Finishes a hosted session normally: returns Result() and erases it.
+  /// FailedPrecondition while leased; NotFound for unknown ids.
+  util::Result<core::InferenceResult> CloseHosted(uint64_t id);
+
+  /// Drops a hosted session (no result). Deferred while leased. NotFound
+  /// for unknown ids.
+  util::Status AbortHosted(uint64_t id);
+
+  /// Evicts non-busy hosted sessions idle for longer than `max_idle`;
+  /// returns how many were reaped.
+  size_t ReapIdleHosted(std::chrono::nanoseconds max_idle);
+
+  /// Open hosted sessions (busy ones included).
+  size_t hosted_open() const;
+
  private:
+  /// One parked interactive session. `busy` marks an outstanding lease;
+  /// `aborted` defers an AbortHosted that raced a lease.
+  struct Hosted {
+    Session session;
+    bool busy = false;
+    bool aborted = false;
+    std::chrono::steady_clock::time_point last_touch;
+
+    explicit Hosted(Session s) : session(std::move(s)) {}
+  };
+
   Options options_;
   IndexCache cache_;
   mutable std::mutex stats_mu_;
   Stats stats_;
+  mutable std::mutex hosted_mu_;
+  std::unordered_map<uint64_t, Hosted> hosted_;
+  uint64_t next_hosted_id_ = 1;
+  size_t hosted_opening_ = 0;  ///< Factories in flight (reserve the bound).
 };
 
 }  // namespace runtime

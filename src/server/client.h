@@ -1,0 +1,95 @@
+// Client: the thin blocking counterpart of the serving front end — one
+// socket, one session, synchronous request/response frames (DESIGN.md
+// §11.1). This is what `interactive_cli --connect host:port` runs, what
+// the integration / chaos tests drive real round trips with, and the
+// reference implementation for anyone speaking the protocol from another
+// language.
+//
+// Error frames decode back into the library's own Status taxonomy: the
+// code travels numerically, so a server-side kResourceExhausted refusal
+// IS kResourceExhausted here, and util::RetryCall composes with it the
+// same way it composes with a local cache fault. RetryLater(status) tells
+// a caller whether the server said "again later" (the RETRY_LATER flag)
+// as opposed to "you did something wrong".
+
+#ifndef JINFER_SERVER_CLIENT_H_
+#define JINFER_SERVER_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "server/frame.h"
+#include "server/protocol.h"
+#include "util/result.h"
+#include "util/socket.h"
+
+namespace jinfer {
+namespace server {
+
+/// True when `status` came off the wire carrying kErrorFlagRetryLater —
+/// the server shed load or hit a transient fault; retry with backoff.
+bool RetryLater(const util::Status& status);
+
+class Client {
+ public:
+  struct Options {
+    /// Whole-call budget for each blocking read/write on the socket; an
+    /// expiry surfaces as kUnavailable (transient, like the server's own
+    /// taxonomy). Zero = block forever.
+    std::chrono::milliseconds io_timeout{10000};
+
+    /// Response frames larger than this are a protocol error client-side
+    /// (same pre-allocation rejection the server applies to requests).
+    uint32_t max_frame_payload = kMaxFramePayload;
+  };
+
+  /// Connects (blocking) to host:port.
+  static util::Result<Client> Connect(const std::string& host, uint16_t port,
+                                      Options options);
+  static util::Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Opens a session; remembers its id for the calls below.
+  util::Result<OpenOkBody> OpenSession(const OpenSessionBody& body);
+
+  /// Asks for the next question. finished=1 means the inference is done —
+  /// follow with CloseSession for the final predicate.
+  util::Result<QuestionBody> NextQuestion();
+
+  /// Labels the pending question. kInconsistentSample leaves it pending.
+  util::Result<AnswerOkBody> Answer(bool positive);
+
+  /// Closes the session and returns the final predicate + interaction
+  /// count. Clears the remembered session id.
+  util::Result<CloseOkBody> CloseSession();
+
+  /// The server's counters (no session required).
+  util::Result<StatsOkBody> ServerStats();
+
+  uint64_t session_id() const { return session_id_; }
+  const util::Socket& sock() const { return sock_; }
+
+  /// The raw exchange: send one request frame, read one response frame.
+  /// An kError response decodes into its carried Status. Exposed for the
+  /// protocol tests (malformed-frame corpus, half-written frames).
+  util::Result<Frame> RoundTrip(FrameType type,
+                                std::span<const uint8_t> payload);
+
+ private:
+  Client(util::Socket sock, Options options)
+      : sock_(std::move(sock)), options_(options) {}
+
+  util::Result<Frame> ReadResponse();
+
+  util::Socket sock_;
+  Options options_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace server
+}  // namespace jinfer
+
+#endif  // JINFER_SERVER_CLIENT_H_

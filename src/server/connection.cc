@@ -1,0 +1,148 @@
+#include "server/connection.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace jinfer {
+namespace server {
+
+namespace {
+
+// Read chunk: large enough that one OpenSession (CSV upload) needs few
+// syscalls, small enough that a stack of idle connections stays cheap.
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+util::Result<Connection::ReadEvent> Connection::OnReadable() {
+  JINFER_RETURN_NOT_OK(util::FailpointHit("server.conn.read"));
+  while (true) {
+    // Assemble from what is already buffered before reading more.
+    if (!pending_header_.has_value() && in_.size() >= kFrameHeaderBytes) {
+      JINFER_ASSIGN_OR_RETURN(
+          pending_header_,
+          DecodeFrameHeader(std::span<const uint8_t>(in_.data(),
+                                                     kFrameHeaderBytes),
+                            limits_.max_frame_payload));
+    }
+    if (pending_header_.has_value()) {
+      const size_t need = kFrameHeaderBytes + pending_header_->payload_bytes;
+      if (in_.size() >= need) {
+        JINFER_RETURN_NOT_OK(util::FailpointHit("server.frame.decode"));
+        JINFER_ASSIGN_OR_RETURN(
+            Frame frame,
+            DecodeFramePayload(
+                *pending_header_,
+                std::span<const uint8_t>(in_.data() + kFrameHeaderBytes,
+                                         pending_header_->payload_bytes)));
+        in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(need));
+        pending_header_.reset();
+        // The read deadline restarts per frame: cleared at a boundary,
+        // re-armed when pipelined bytes of the next frame already sit here.
+        frame_start_ =
+            in_.empty() ? Clock::time_point{} : Clock::now();
+        last_activity_ = Clock::now();
+        ReadEvent ev;
+        ev.kind = ReadEvent::kFrame;
+        ev.frame = std::move(frame);
+        return ev;
+      }
+    }
+
+    // Need more bytes. Read one chunk; EAGAIN means report no progress.
+    const size_t old = in_.size();
+    in_.resize(old + kReadChunk);
+    auto n = util::ReadSome(
+        sock_, std::span<uint8_t>(in_.data() + old, kReadChunk));
+    if (!n.ok()) {
+      in_.resize(old);
+      if (n.status().code() == util::StatusCode::kUnavailable) {
+        return ReadEvent{};  // Would block — poll will call us back.
+      }
+      return n.status();  // kIoError: broken socket.
+    }
+    in_.resize(old + *n);
+    if (*n == 0) {
+      // EOF. At a frame boundary it is an orderly close; inside a frame it
+      // is a truncation the peer must hear about (the malformed-frame
+      // corpus's mid-frame-EOF case).
+      if (in_.empty()) {
+        ReadEvent ev;
+        ev.kind = ReadEvent::kPeerClosed;
+        return ev;
+      }
+      return util::Status::ParseError("connection closed mid-frame");
+    }
+    if (frame_start_ == Clock::time_point{}) frame_start_ = Clock::now();
+  }
+}
+
+bool Connection::Enqueue(std::span<const uint8_t> bytes) {
+  const size_t pending = out_.size() - out_pos_;
+  if (pending + bytes.size() > limits_.write_buffer_cap) return false;
+  if (pending == 0) {
+    out_.clear();
+    out_pos_ = 0;
+    write_start_ = Clock::now();
+  }
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+  return true;
+}
+
+util::Result<bool> Connection::OnWritable() {
+  JINFER_RETURN_NOT_OK(util::FailpointHit("server.conn.write"));
+  while (out_pos_ < out_.size()) {
+    auto n = util::WriteSome(
+        sock_, std::span<const uint8_t>(out_.data() + out_pos_,
+                                        out_.size() - out_pos_));
+    if (!n.ok()) {
+      if (n.status().code() == util::StatusCode::kUnavailable) return false;
+      return n.status();
+    }
+    out_pos_ += *n;
+  }
+  out_.clear();
+  out_pos_ = 0;
+  write_start_ = Clock::time_point{};
+  last_activity_ = Clock::now();
+  return true;
+}
+
+Connection::Clock::time_point Connection::NextDeadline() const {
+  auto earliest = Clock::time_point::max();
+  if (frame_start_ != Clock::time_point{} &&
+      limits_.read_deadline.count() > 0) {
+    earliest = std::min(earliest, frame_start_ + limits_.read_deadline);
+  }
+  if (wants_write() && limits_.write_deadline.count() > 0) {
+    earliest = std::min(earliest, write_start_ + limits_.write_deadline);
+  }
+  if (!busy_ && limits_.idle_timeout.count() > 0) {
+    earliest = std::min(earliest, last_activity_ + limits_.idle_timeout);
+  }
+  return earliest;
+}
+
+const char* Connection::ExpiredReason() const {
+  const auto now = Clock::now();
+  if (frame_start_ != Clock::time_point{} &&
+      limits_.read_deadline.count() > 0 &&
+      now >= frame_start_ + limits_.read_deadline) {
+    return "read deadline exceeded";
+  }
+  if (wants_write() && limits_.write_deadline.count() > 0 &&
+      now >= write_start_ + limits_.write_deadline) {
+    return "write deadline exceeded";
+  }
+  if (!busy_ && limits_.idle_timeout.count() > 0 &&
+      now >= last_activity_ + limits_.idle_timeout) {
+    return "idle timeout exceeded";
+  }
+  return nullptr;
+}
+
+}  // namespace server
+}  // namespace jinfer

@@ -1,0 +1,147 @@
+// Connection: the per-socket state machine of the serving front end
+// (DESIGN.md §11.2).
+//
+// A connection assembles frames from a nonblocking socket, hands exactly
+// one frame at a time to the processing pool, and drains response bytes
+// back out — all driven by the server's poll loop (server.cc), which is the
+// only thread that touches this object. The lifecycle hardening lives
+// here:
+//
+//   read deadline   armed while a frame is partially received — a client
+//                   that trickles a header one byte per minute is closed
+//                   with kDeadlineExceeded, not allowed to hold a slot;
+//   write deadline  armed while response bytes are pending — a client that
+//                   stops reading is closed, not allowed to wedge a worker
+//                   or grow the buffer;
+//   idle timeout    armed between frames — an abandoned connection (client
+//                   vanished mid-question) is closed and its hosted
+//                   session aborted, releasing the IndexCache pin;
+//   write cap       Enqueue refuses to buffer past write_buffer_cap, the
+//                   slow-client bound (kResourceExhausted close);
+//   framing errors  every malformed shape surfaces as ParseError from
+//                   OnReadable — the server answers with a typed error
+//                   frame and closes; oversized length prefixes are
+//                   rejected before any payload allocation (frame.h).
+//
+// The failpoints server.conn.read / server.conn.write / server.frame.decode
+// fire at the exact syscall / decode edges and are treated as the injected
+// equivalent of a broken socket — the connection dies, nothing else does
+// (tests/chaos/server_chaos_test.cc).
+
+#ifndef JINFER_SERVER_CONNECTION_H_
+#define JINFER_SERVER_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "server/frame.h"
+#include "util/result.h"
+#include "util/socket.h"
+
+namespace jinfer {
+namespace server {
+
+/// The caps and budgets a connection enforces (set from ServerOptions).
+struct ConnectionLimits {
+  uint32_t max_frame_payload = kMaxFramePayload;
+  size_t write_buffer_cap = 4u << 20;
+  std::chrono::milliseconds read_deadline{5000};
+  std::chrono::milliseconds write_deadline{5000};
+  std::chrono::milliseconds idle_timeout{60000};
+};
+
+class Connection {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Connection(util::Socket sock, uint64_t generation, ConnectionLimits limits)
+      : sock_(std::move(sock)),
+        generation_(generation),
+        limits_(limits),
+        last_activity_(Clock::now()) {}
+
+  struct ReadEvent {
+    enum Kind {
+      kNoProgress,  ///< Nothing complete yet (would block, or mid-frame).
+      kFrame,       ///< One complete, checksum-valid frame.
+      kPeerClosed,  ///< Orderly EOF at a frame boundary.
+    };
+    Kind kind = kNoProgress;
+    Frame frame;
+  };
+
+  /// Pulls bytes off the socket and assembles at most one frame. Errors:
+  /// ParseError for any malformed framing (including EOF mid-frame) —
+  /// answer with a typed error and close; kIoError for a broken socket or
+  /// a tripped read/decode failpoint — close silently.
+  util::Result<ReadEvent> OnReadable();
+
+  /// Buffers an encoded frame for writing. False when the write-buffer cap
+  /// would be exceeded (slow client) — the caller closes the connection.
+  bool Enqueue(std::span<const uint8_t> bytes);
+
+  /// Writes as much pending output as the socket accepts. Returns true
+  /// when the buffer fully drained. kIoError on breakage or a tripped
+  /// write failpoint.
+  util::Result<bool> OnWritable();
+
+  /// Poll interest.
+  bool wants_read() const { return !busy_ && !close_after_flush_; }
+  bool wants_write() const { return out_pos_ < out_.size(); }
+
+  /// The earliest enforcement point among the armed deadlines, or
+  /// time_point::max() when nothing is armed. `ExpiredReason` names the
+  /// deadline that has passed (nullptr when none has).
+  Clock::time_point NextDeadline() const;
+  const char* ExpiredReason() const;
+
+  /// Marks a dispatched frame: reading pauses until OnWorkDone.
+  void BeginWork() { busy_ = true; }
+  /// Completion arrived (response already Enqueued by the caller).
+  void OnWorkDone() {
+    busy_ = false;
+    last_activity_ = Clock::now();
+  }
+  bool busy() const { return busy_; }
+
+  /// After this, the connection flushes its buffer and is then closed by
+  /// the server (no further reads are processed).
+  void CloseAfterFlush() { close_after_flush_ = true; }
+  bool close_after_flush() const { return close_after_flush_; }
+
+  const util::Socket& sock() const { return sock_; }
+  uint64_t generation() const { return generation_; }
+
+  /// The hosted session bound to this connection (0 = none).
+  uint64_t session_id() const { return session_id_; }
+  void BindSession(uint64_t id) { session_id_ = id; }
+  void UnbindSession() { session_id_ = 0; }
+
+ private:
+  util::Socket sock_;
+  uint64_t generation_;
+  ConnectionLimits limits_;
+
+  // Inbound: header bytes, then payload bytes, then a decoded frame.
+  std::vector<uint8_t> in_;
+  std::optional<FrameHeader> pending_header_;
+  Clock::time_point frame_start_{};  ///< Set while a frame is partial.
+
+  // Outbound: one flat buffer with a drain cursor; compacted when empty.
+  std::vector<uint8_t> out_;
+  size_t out_pos_ = 0;
+  Clock::time_point write_start_{};  ///< Set while output is pending.
+
+  Clock::time_point last_activity_;
+  bool busy_ = false;
+  bool close_after_flush_ = false;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace server
+}  // namespace jinfer
+
+#endif  // JINFER_SERVER_CONNECTION_H_

@@ -1,0 +1,21 @@
+#include "server/listener.h"
+
+#include "util/failpoint.h"
+
+namespace jinfer {
+namespace server {
+
+util::Result<Listener> Listener::Open(const std::string& host,
+                                      uint16_t port) {
+  JINFER_ASSIGN_OR_RETURN(util::Socket sock, util::ListenTcp(host, port));
+  JINFER_ASSIGN_OR_RETURN(uint16_t bound, util::BoundPort(sock));
+  return Listener(std::move(sock), bound);
+}
+
+util::Result<util::Socket> Listener::Accept() {
+  JINFER_RETURN_NOT_OK(util::FailpointHit("server.accept"));
+  return util::AcceptTcp(sock_);
+}
+
+}  // namespace server
+}  // namespace jinfer

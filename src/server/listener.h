@@ -1,0 +1,50 @@
+// Listener: the accepting end of the serving front end. A thin wrapper
+// over util::ListenTcp/AcceptTcp that adds the server.accept failpoint —
+// the injection site for "accept() failed under fd pressure" chaos
+// schedules — and remembers the bound port (the tests bind port 0).
+//
+// Closing the listener is the first step of a graceful drain: the socket
+// goes away, new connections are refused by the kernel, and every
+// already-accepted connection keeps being served (server.cc).
+
+#ifndef JINFER_SERVER_LISTENER_H_
+#define JINFER_SERVER_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/socket.h"
+
+namespace jinfer {
+namespace server {
+
+class Listener {
+ public:
+  /// Binds and listens on host:port (port 0 = ephemeral, read via port()).
+  static util::Result<Listener> Open(const std::string& host, uint16_t port);
+
+  /// Accepts one pending connection. kUnavailable when none is pending or
+  /// the server.accept failpoint injected a transient accept failure —
+  /// either way, poll again; the pending connection is not lost.
+  util::Result<util::Socket> Accept();
+
+  int fd() const { return sock_.fd(); }
+  uint16_t port() const { return port_; }
+  bool open() const { return sock_.valid(); }
+
+  /// Stops accepting (drain step 1). Idempotent.
+  void Close() { sock_.Close(); }
+
+ private:
+  Listener(util::Socket sock, uint16_t port)
+      : sock_(std::move(sock)), port_(port) {}
+
+  util::Socket sock_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace server
+}  // namespace jinfer
+
+#endif  // JINFER_SERVER_LISTENER_H_

@@ -1,0 +1,159 @@
+// Message bodies of the binary session protocol (DESIGN.md §11.1): the
+// typed payloads that travel inside frames (frame.h), one struct + encode /
+// decode pair per frame type.
+//
+// The session vocabulary is exactly the step API's: OpenSession names the
+// instance (the client uploads both relations as CSV text — the server
+// fingerprints them, so repeated opens of the same data share one index
+// through the tiered IndexCache), NextQuestion returns the strategy's pick
+// as a class id plus the representative tuple pair rendered server-side,
+// Answer applies one label, CloseSession returns the final predicate.
+// Session ids are opaque u64 handles drawn from the hosting runtime and
+// validated per connection: a frame naming a session the connection does
+// not own is a protocol error, so one tenant can never touch another's
+// transcript.
+//
+// ErrorBody carries the library's StatusCode taxonomy onto the wire plus
+// two flags: kErrorFlagRetryLater marks load shedding (kResourceExhausted
+// — the server is refusing, not failing; try again later) and
+// kErrorFlagWillClose warns that the server closes the connection after
+// this frame (malformed input, deadline expiry).
+//
+// Decoders consume their payload exactly (WireReader::Finish), so every
+// trailing-garbage or truncated-field shape is a ParseError — fed by the
+// malformed-frame corpus in tests/server/frame_codec_test.cc.
+
+#ifndef JINFER_SERVER_PROTOCOL_H_
+#define JINFER_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "server/frame.h"
+#include "util/result.h"
+
+namespace jinfer {
+namespace server {
+
+struct OpenSessionBody {
+  std::string strategy;  ///< Paper abbreviation: BU, TD, L1S, L2S, RND, EG.
+  uint64_t seed = 0;     ///< RNG seed (only the RND strategy consumes it).
+  uint8_t compress = 1;  ///< Build the index with signature compression.
+  std::string r_name, p_name;  ///< Relation names for rendering.
+  std::string r_csv, p_csv;    ///< The instance, as CSV text.
+};
+
+struct OpenOkBody {
+  uint64_t session_id = 0;
+  uint64_t num_classes = 0;
+  uint64_t num_tuples = 0;
+  uint8_t index_tier = 0;  ///< runtime::IndexTier of the serving index.
+};
+
+struct NextQuestionBody {
+  uint64_t session_id = 0;
+};
+
+struct QuestionBody {
+  uint64_t session_id = 0;
+  uint8_t finished = 0;  ///< 1: no question follows, the session is done.
+  uint64_t question_index = 0;  ///< 0-based interaction number.
+  uint32_t class_id = 0;
+  std::string r_text, p_text;  ///< Representative tuple pair, rendered.
+  /// Current hypothesis T(S+): the Ω-formatted string plus the raw
+  /// predicate words (for bit-exact transcript comparison client-side).
+  std::string predicate_text;
+  uint64_t predicate_words[4] = {0, 0, 0, 0};
+};
+
+struct AnswerBody {
+  uint64_t session_id = 0;
+  uint8_t label = 0;  ///< 1 = positive, 0 = negative.
+};
+
+struct AnswerOkBody {
+  uint64_t session_id = 0;
+  std::string predicate_text;
+  uint64_t predicate_words[4] = {0, 0, 0, 0};
+};
+
+struct CloseSessionBody {
+  uint64_t session_id = 0;
+};
+
+struct CloseOkBody {
+  uint64_t session_id = 0;
+  uint64_t num_interactions = 0;
+  std::string predicate_text;
+  uint64_t predicate_words[4] = {0, 0, 0, 0};
+};
+
+struct StatsBody {};  ///< Stats request carries no fields.
+
+/// Server-wide observability snapshot, the operator's curl-able counters.
+struct StatsOkBody {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_open = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_aborted = 0;   ///< Dropped with their connection.
+  uint64_t sessions_reaped = 0;    ///< Idle-timeout evictions.
+  uint64_t sessions_shed = 0;      ///< Refused by admission control.
+  uint64_t frames_read = 0;
+  uint64_t frames_written = 0;
+  uint64_t protocol_errors = 0;    ///< Malformed frames answered + closed.
+  uint64_t deadline_closes = 0;    ///< Connections closed by a deadline.
+  uint64_t cache_hits = 0;         ///< IndexCache memory-tier hits.
+  uint64_t cache_builds = 0;       ///< Full index builds run.
+};
+
+inline constexpr uint8_t kErrorFlagRetryLater = 1u << 0;
+inline constexpr uint8_t kErrorFlagWillClose = 1u << 1;
+
+struct ErrorBody {
+  uint32_t code = 0;  ///< util::StatusCode, numerically.
+  uint8_t flags = 0;  ///< kErrorFlag* bits.
+  std::string message;
+};
+
+// Encoders return the payload bytes (frame framing is EncodeFrame's job);
+// decoders parse a payload span exactly or fail with ParseError.
+std::vector<uint8_t> Encode(const OpenSessionBody& body);
+std::vector<uint8_t> Encode(const OpenOkBody& body);
+std::vector<uint8_t> Encode(const NextQuestionBody& body);
+std::vector<uint8_t> Encode(const QuestionBody& body);
+std::vector<uint8_t> Encode(const AnswerBody& body);
+std::vector<uint8_t> Encode(const AnswerOkBody& body);
+std::vector<uint8_t> Encode(const CloseSessionBody& body);
+std::vector<uint8_t> Encode(const CloseOkBody& body);
+std::vector<uint8_t> Encode(const StatsBody& body);
+std::vector<uint8_t> Encode(const StatsOkBody& body);
+std::vector<uint8_t> Encode(const ErrorBody& body);
+
+util::Result<OpenSessionBody> DecodeOpenSession(
+    std::span<const uint8_t> payload);
+util::Result<OpenOkBody> DecodeOpenOk(std::span<const uint8_t> payload);
+util::Result<NextQuestionBody> DecodeNextQuestion(
+    std::span<const uint8_t> payload);
+util::Result<QuestionBody> DecodeQuestion(std::span<const uint8_t> payload);
+util::Result<AnswerBody> DecodeAnswer(std::span<const uint8_t> payload);
+util::Result<AnswerOkBody> DecodeAnswerOk(std::span<const uint8_t> payload);
+util::Result<CloseSessionBody> DecodeCloseSession(
+    std::span<const uint8_t> payload);
+util::Result<CloseOkBody> DecodeCloseOk(std::span<const uint8_t> payload);
+util::Result<StatsBody> DecodeStats(std::span<const uint8_t> payload);
+util::Result<StatsOkBody> DecodeStatsOk(std::span<const uint8_t> payload);
+util::Result<ErrorBody> DecodeError(std::span<const uint8_t> payload);
+
+/// Packs / unpacks a JoinPredicate into the four wire words.
+void PredicateToWords(const core::JoinPredicate& predicate,
+                      uint64_t words[4]);
+core::JoinPredicate PredicateFromWords(const uint64_t words[4]);
+
+}  // namespace server
+}  // namespace jinfer
+
+#endif  // JINFER_SERVER_PROTOCOL_H_

@@ -1,0 +1,749 @@
+#include "server/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "core/strategy.h"
+#include "relational/csv.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace server {
+
+namespace {
+
+/// "Name: attr=value, attr=value" — the CLI's question rendering, shared
+/// verbatim so the remote UX matches the local one.
+std::string RenderTuple(const rel::Relation& rel, size_t row) {
+  std::string out = rel.schema().relation_name();
+  out += ": ";
+  for (size_t c = 0; c < rel.num_attributes(); ++c) {
+    if (c) out += ", ";
+    out += rel.schema().attribute_names()[c];
+    out += "=";
+    out += rel.at(row, c).ToString();
+  }
+  return out;
+}
+
+/// RETRY_LATER marks refusals the client should simply retry: admission /
+/// queue shedding (kResourceExhausted) and transient faults (kUnavailable).
+uint8_t RetryFlagFor(const util::Status& status) {
+  return (status.code() == util::StatusCode::kResourceExhausted ||
+          status.code() == util::StatusCode::kUnavailable)
+             ? kErrorFlagRetryLater
+             : 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), manager_(options_.runtime) {
+  if (options_.workers < 1) options_.workers = 1;
+}
+
+Server::~Server() {
+  if (started_ && !joined_) {
+    RequestStop();
+    (void)Wait();
+  }
+}
+
+util::Status Server::Start() {
+  if (started_) {
+    return util::Status::FailedPrecondition("server already started");
+  }
+  JINFER_ASSIGN_OR_RETURN(Listener listener,
+                          Listener::Open(options_.host, options_.port));
+  listener_ = std::make_unique<Listener>(std::move(listener));
+  port_ = listener_->port();
+  started_ = true;
+  event_thread_ = std::thread(&Server::EventLoop, this);
+  worker_threads_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back(&Server::WorkerLoop, this);
+  }
+  return util::Status::OK();
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  wake_.Notify();
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake_.Notify();
+}
+
+util::Status Server::Wait() {
+  if (!started_) {
+    return util::Status::FailedPrecondition("server never started");
+  }
+  if (joined_) return serve_status_;
+  event_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_done_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : worker_threads_) t.join();
+  worker_threads_.clear();
+  joined_ = true;
+  return serve_status_;
+}
+
+StatsOkBody Server::Stats() {
+  StatsOkBody out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  const runtime::SessionManager::Stats m = manager_.stats();
+  out.sessions_opened = m.hosted_opened;
+  out.sessions_open = manager_.hosted_open();
+  out.sessions_completed = m.hosted_closed;
+  out.sessions_aborted = m.hosted_aborted;
+  out.sessions_reaped = m.hosted_reaped;
+  out.sessions_shed = m.hosted_shed;
+  const runtime::IndexCacheStats c = manager_.cache().stats();
+  out.cache_hits = c.hits;
+  out.cache_builds = c.builds;
+  return out;
+}
+
+std::vector<uint8_t> Server::ErrorFrame(const util::Status& status,
+                                        uint8_t flags) {
+  ErrorBody body;
+  body.code = static_cast<uint32_t>(status.code());
+  body.flags = flags;
+  body.message = status.message();
+  return EncodeFrame(FrameType::kError, Encode(body));
+}
+
+// ---------------------------------------------------------------------------
+// Event thread
+// ---------------------------------------------------------------------------
+
+void Server::EventLoop() {
+  using Clock = Connection::Clock;
+  Clock::time_point drain_at = Clock::time_point::max();
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (drain_requested_.load(std::memory_order_acquire) &&
+        !draining_.load(std::memory_order_relaxed)) {
+      // Drain step 1: refuse new connections, keep serving accepted ones.
+      draining_.store(true, std::memory_order_release);
+      listener_->Close();
+      drain_at = Clock::now() + options_.drain_deadline;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      if (conns_.empty()) break;  // Drained cleanly.
+      if (Clock::now() >= drain_at) {
+        // Drain step 3: patience is over — one goodbye frame, hard close.
+        std::vector<int> fds;
+        fds.reserve(conns_.size());
+        for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+        for (int fd : fds) {
+          auto it = conns_.find(fd);
+          if (it == conns_.end()) continue;
+          Connection& conn = *it->second;
+          conn.Enqueue(ErrorFrame(util::Status::DeadlineExceeded(
+                                      "server drain deadline reached"),
+                                  kErrorFlagWillClose));
+          (void)conn.OnWritable();  // Best effort; the close is unconditional.
+          CloseConn(fd, /*abort_session=*/true);
+        }
+        break;
+      }
+    }
+
+    // Close connections whose flush finished (or never started) while
+    // close_after_flush is set — they have nothing left to wait for.
+    {
+      std::vector<int> done_fds;
+      for (const auto& [fd, conn] : conns_) {
+        if (conn->close_after_flush() && !conn->wants_write()) {
+          done_fds.push_back(fd);
+        }
+      }
+      for (int fd : done_fds) CloseConn(fd, /*abort_session=*/true);
+    }
+
+    // Build the poll set: wake pipe, listener (when accepting), and every
+    // connection with read or write interest.
+    std::vector<pollfd> pfds;
+    pfds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+    const bool accepting = !draining_.load(std::memory_order_relaxed) &&
+                           listener_->open() &&
+                           conns_.size() < options_.max_connections;
+    size_t listener_slot = 0;
+    if (accepting) {
+      listener_slot = pfds.size();
+      pfds.push_back(pollfd{listener_->fd(), POLLIN, 0});
+    }
+    const size_t conn_base = pfds.size();
+    std::vector<int> conn_fds;
+    Clock::time_point earliest = drain_at;
+    for (const auto& [fd, conn] : conns_) {
+      short events = 0;
+      if (conn->wants_read()) events |= POLLIN;
+      if (conn->wants_write()) events |= POLLOUT;
+      if (events != 0) {
+        pfds.push_back(pollfd{fd, events, 0});
+        conn_fds.push_back(fd);
+      }
+      earliest = std::min(earliest, conn->NextDeadline());
+    }
+
+    int timeout_ms = 500;  // Idle heartbeat (flag checks are cheap).
+    if (earliest != Clock::time_point::max()) {
+      const auto until = std::chrono::ceil<std::chrono::milliseconds>(
+          earliest - Clock::now());
+      timeout_ms = static_cast<int>(
+          std::clamp<int64_t>(until.count(), 0, 500));
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      serve_status_ = util::Status::IoError(
+          util::StrFormat("poll failed: %s", std::strerror(errno)));
+      break;
+    }
+
+    if (pfds[0].revents != 0) wake_.Drain();
+    ApplyCompletions();
+    if (accepting && pfds[listener_slot].revents != 0) AcceptPending();
+    for (size_t i = conn_base; i < pfds.size(); ++i) {
+      auto it = conns_.find(pfds[i].fd);
+      if (it == conns_.end()) continue;  // Closed earlier this round.
+      const short re = pfds[i].revents;
+      if (re == 0) continue;
+      if (re & POLLOUT) {
+        HandleWritable(*it->second);
+        it = conns_.find(pfds[i].fd);
+        if (it == conns_.end()) continue;
+      }
+      if (re & (POLLIN | POLLERR | POLLHUP)) {
+        if (it->second->wants_read()) HandleReadable(*it->second);
+      }
+    }
+    SweepDeadlines();
+  }
+
+  // Teardown: every remaining connection closes, every bound session
+  // aborts (their IndexCache pins drop with them).
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) CloseConn(fd, /*abort_session=*/true);
+  listener_->Close();
+}
+
+void Server::AcceptPending() {
+  while (conns_.size() < options_.max_connections &&
+         !draining_.load(std::memory_order_relaxed)) {
+    auto sock = listener_->Accept();
+    if (!sock.ok()) break;  // Nothing pending, or an injected accept fault.
+    const int fd = sock->fd();
+    conns_.emplace(fd, std::make_unique<Connection>(
+                           std::move(*sock), next_generation_++,
+                           options_.limits));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+    stats_.connections_open = conns_.size();
+  }
+}
+
+bool Server::EnqueueOrClose(Connection& conn, std::vector<uint8_t> bytes) {
+  const int fd = conn.sock().fd();
+  if (!conn.Enqueue(bytes)) {
+    // Slow client: the write cap is the bound, the close is the policy.
+    CloseConn(fd, /*abort_session=*/true);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.frames_written;
+  return true;
+}
+
+void Server::SendErrorAndClose(Connection& conn, const util::Status& status,
+                               uint8_t extra_flags) {
+  const int fd = conn.sock().fd();
+  if (!EnqueueOrClose(conn,
+                      ErrorFrame(status, kErrorFlagWillClose | extra_flags))) {
+    return;  // Already closed.
+  }
+  conn.CloseAfterFlush();
+  auto flushed = conn.OnWritable();
+  if (!flushed.ok() || *flushed) CloseConn(fd, /*abort_session=*/true);
+}
+
+void Server::HandleReadable(Connection& conn) {
+  const int fd = conn.sock().fd();
+  auto ev = conn.OnReadable();
+  if (!ev.ok()) {
+    if (ev.status().code() == util::StatusCode::kParseError) {
+      // Malformed framing: say why (typed error frame), then close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      SendErrorAndClose(conn, ev.status(), 0);
+    } else {
+      // Broken socket, or an injected read/decode fault: this connection
+      // dies; no frame was half-applied, no other tenant notices.
+      CloseConn(fd, /*abort_session=*/true);
+    }
+    return;
+  }
+  switch (ev->kind) {
+    case Connection::ReadEvent::kNoProgress:
+      return;
+    case Connection::ReadEvent::kPeerClosed:
+      CloseConn(fd, /*abort_session=*/true);
+      return;
+    case Connection::ReadEvent::kFrame:
+      break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_read;
+  }
+  if (!IsRequestType(static_cast<uint8_t>(ev->frame.type))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    SendErrorAndClose(
+        conn, util::Status::ParseError("response-type frame from client"), 0);
+    return;
+  }
+
+  Work work;
+  work.fd = fd;
+  work.generation = conn.generation();
+  work.frame = std::move(ev->frame);
+  work.conn_session = conn.session_id();
+  // Load shedding: the work queue is the bound; a frame past it is refused
+  // at once with RETRY_LATER instead of buffered toward an OOM.
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    if (work_.size() >= options_.max_pending_work) {
+      shed = true;
+    } else {
+      work_.push_back(std::move(work));
+    }
+  }
+  if (shed) {
+    EnqueueOrClose(conn,
+                   ErrorFrame(util::Status::ResourceExhausted(
+                                  "server overloaded; retry later"),
+                              kErrorFlagRetryLater));
+    return;
+  }
+  conn.BeginWork();
+  work_cv_.notify_one();
+}
+
+void Server::HandleWritable(Connection& conn) {
+  const int fd = conn.sock().fd();
+  auto flushed = conn.OnWritable();
+  if (!flushed.ok()) {
+    CloseConn(fd, /*abort_session=*/true);
+    return;
+  }
+  if (*flushed && conn.close_after_flush()) {
+    CloseConn(fd, /*abort_session=*/true);
+  }
+}
+
+void Server::ApplyCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (auto& c : batch) {
+    auto it = conns_.find(c.fd);
+    if (it == conns_.end() || it->second->generation() != c.generation) {
+      // The connection died while its frame was processing. A session the
+      // worker just opened has no owner — abort it so its cache pin drops.
+      if (c.bind == Completion::kBind) {
+        (void)manager_.AbortHosted(c.session_id);
+        std::lock_guard<std::mutex> lock(render_mu_);
+        render_.erase(c.session_id);
+      }
+      continue;
+    }
+    Connection& conn = *it->second;
+    conn.OnWorkDone();
+    if (c.bind == Completion::kBind) {
+      conn.BindSession(c.session_id);
+    } else if (c.bind == Completion::kUnbind) {
+      conn.UnbindSession();
+    }
+    if (!c.bytes.empty() && !EnqueueOrClose(conn, std::move(c.bytes))) {
+      continue;
+    }
+    if (c.close_after) conn.CloseAfterFlush();
+    if (conn.wants_write()) {
+      HandleWritable(conn);
+    } else if (conn.close_after_flush()) {
+      CloseConn(c.fd, /*abort_session=*/true);
+    }
+  }
+}
+
+void Server::SweepDeadlines() {
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Connection& conn = *it->second;
+    const char* reason = conn.ExpiredReason();
+    if (reason == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deadline_closes;
+    }
+    // Best-effort goodbye; a deadline violator gets no flush patience.
+    conn.Enqueue(ErrorFrame(util::Status::DeadlineExceeded(reason),
+                            kErrorFlagWillClose));
+    (void)conn.OnWritable();
+    CloseConn(fd, /*abort_session=*/true);
+  }
+}
+
+void Server::CloseConn(int fd, bool abort_session) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const uint64_t session = it->second->session_id();
+  conns_.erase(it);
+  if (abort_session && session != 0) {
+    (void)manager_.AbortHosted(session);
+    std::lock_guard<std::mutex> lock(render_mu_);
+    render_.erase(session);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.connections_open = conns_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return workers_done_ || !work_.empty(); });
+      if (work_.empty()) return;  // workers_done_
+      work = std::move(work_.front());
+      work_.pop_front();
+    }
+    Completion done = HandleFrame(std::move(work));
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(done));
+    }
+    wake_.Notify();
+  }
+}
+
+Server::Completion Server::Base(const Work& work) {
+  Completion c;
+  c.fd = work.fd;
+  c.generation = work.generation;
+  return c;
+}
+
+Server::Completion Server::HandleFrame(Work work) {
+  switch (work.frame.type) {
+    case FrameType::kOpenSession:
+      return HandleOpenSession(work);
+    case FrameType::kNextQuestion:
+      return HandleNextQuestion(work);
+    case FrameType::kAnswer:
+      return HandleAnswer(work);
+    case FrameType::kCloseSession:
+      return HandleCloseSession(work);
+    case FrameType::kStats:
+      return HandleStats(work);
+    default: {
+      Completion c = Base(work);
+      c.bytes = ErrorFrame(
+          util::Status::ParseError("unhandled request frame type"),
+          kErrorFlagWillClose);
+      c.close_after = true;
+      return c;
+    }
+  }
+}
+
+Server::Completion Server::HandleOpenSession(const Work& work) {
+  Completion c = Base(work);
+  auto body = DecodeOpenSession(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  if (work.conn_session != 0) {
+    c.bytes = ErrorFrame(util::Status::FailedPrecondition(
+                             "a session is already open on this connection"),
+                         0);
+    return c;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    c.bytes = ErrorFrame(
+        util::Status::Unavailable("server is draining; retry elsewhere"),
+        kErrorFlagRetryLater);
+    return c;
+  }
+  auto kind = core::StrategyKindFromName(body->strategy);
+  if (!kind.ok()) {
+    c.bytes = ErrorFrame(kind.status(), 0);
+    return c;
+  }
+  const bool server_compress = manager_.cache().options().build.compress;
+  if ((body->compress != 0) != server_compress) {
+    c.bytes = ErrorFrame(
+        util::Status::InvalidArgument(util::StrFormat(
+            "this server builds indexes with compress=%d; reopen with the "
+            "matching flag",
+            server_compress ? 1 : 0)),
+        0);
+    return c;
+  }
+  auto r = rel::ReadRelationCsvText(
+      body->r_csv, body->r_name.empty() ? "R" : body->r_name);
+  if (!r.ok()) {
+    c.bytes = ErrorFrame(r.status(), 0);
+    return c;
+  }
+  auto p = rel::ReadRelationCsvText(
+      body->p_csv, body->p_name.empty() ? "P" : body->p_name);
+  if (!p.ok()) {
+    c.bytes = ErrorFrame(p.status(), 0);
+    return c;
+  }
+
+  runtime::IndexTier tier = runtime::IndexTier::kMemory;
+  std::shared_ptr<const core::SignatureIndex> index;
+  auto session_id = manager_.OpenHosted(
+      [&]() -> util::Result<runtime::Session> {
+        JINFER_ASSIGN_OR_RETURN(runtime::TieredIndex tiered,
+                                manager_.cache().GetOrBuildTiered(*r, *p));
+        tier = tiered.tier;
+        index = tiered.index;
+        return runtime::Session(tiered.index,
+                                core::MakeStrategy(*kind, body->seed));
+      });
+  if (!session_id.ok()) {
+    // Admission shedding and transient cache faults are both "try again
+    // later", not "you did something wrong".
+    c.bytes = ErrorFrame(session_id.status(),
+                         RetryFlagFor(session_id.status()));
+    return c;
+  }
+  {
+    std::lock_guard<std::mutex> lock(render_mu_);
+    render_.emplace(*session_id,
+                    RenderData{std::move(*r), std::move(*p)});
+  }
+  OpenOkBody ok;
+  ok.session_id = *session_id;
+  ok.num_classes = index->num_classes();
+  ok.num_tuples = index->num_tuples();
+  ok.index_tier = static_cast<uint8_t>(tier);
+  c.bytes = EncodeFrame(FrameType::kOpenOk, Encode(ok));
+  c.bind = Completion::kBind;
+  c.session_id = *session_id;
+  return c;
+}
+
+/// Shared prologue of the session-scoped handlers: the frame must name the
+/// session bound to its connection — anything else is a cross-tenant
+/// protocol violation and closes the connection.
+#define JINFER_SERVER_CHECK_OWNERSHIP(c, work, session_id)                 \
+  do {                                                                     \
+    if ((session_id) == 0 || (session_id) != (work).conn_session) {        \
+      {                                                                    \
+        std::lock_guard<std::mutex> lock(stats_mu_);                       \
+        ++stats_.protocol_errors;                                          \
+      }                                                                    \
+      (c).bytes = ErrorFrame(                                              \
+          util::Status::FailedPrecondition(                                \
+              "frame names a session this connection does not own"),       \
+          kErrorFlagWillClose);                                            \
+      (c).close_after = true;                                              \
+      return (c);                                                          \
+    }                                                                      \
+  } while (0)
+
+Server::Completion Server::HandleNextQuestion(const Work& work) {
+  Completion c = Base(work);
+  auto body = DecodeNextQuestion(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  JINFER_SERVER_CHECK_OWNERSHIP(c, work, body->session_id);
+  auto session = manager_.AcquireHosted(body->session_id);
+  if (!session.ok()) {
+    if (session.status().code() == util::StatusCode::kNotFound) {
+      // Reaped or aborted underneath the client: unbind so it may reopen.
+      c.bind = Completion::kUnbind;
+      std::lock_guard<std::mutex> lock(render_mu_);
+      render_.erase(body->session_id);
+    }
+    c.bytes = ErrorFrame(session.status(), 0);
+    return c;
+  }
+  runtime::Session& s = **session;
+  QuestionBody q;
+  q.session_id = body->session_id;
+  const std::optional<core::ClassId> next = s.NextQuestion();
+  if (!next.has_value()) {
+    q.finished = 1;
+  } else {
+    q.question_index = s.num_interactions();
+    q.class_id = *next;
+    const core::SignatureClass& cls = s.index().cls(*next);
+    std::lock_guard<std::mutex> lock(render_mu_);
+    auto rd = render_.find(body->session_id);
+    if (rd != render_.end()) {
+      q.r_text = RenderTuple(rd->second.r, cls.rep_r);
+      q.p_text = RenderTuple(rd->second.p, cls.rep_p);
+    }
+  }
+  q.predicate_text = s.index().omega().Format(s.CurrentPredicate());
+  PredicateToWords(s.CurrentPredicate(), q.predicate_words);
+  manager_.ReleaseHosted(body->session_id);
+  c.bytes = EncodeFrame(FrameType::kQuestion, Encode(q));
+  return c;
+}
+
+Server::Completion Server::HandleAnswer(const Work& work) {
+  Completion c = Base(work);
+  auto body = DecodeAnswer(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  JINFER_SERVER_CHECK_OWNERSHIP(c, work, body->session_id);
+  auto session = manager_.AcquireHosted(body->session_id);
+  if (!session.ok()) {
+    if (session.status().code() == util::StatusCode::kNotFound) {
+      c.bind = Completion::kUnbind;
+      std::lock_guard<std::mutex> lock(render_mu_);
+      render_.erase(body->session_id);
+    }
+    c.bytes = ErrorFrame(session.status(), 0);
+    return c;
+  }
+  runtime::Session& s = **session;
+  const util::Status applied = s.Answer(body->label != 0
+                                            ? core::Label::kPositive
+                                            : core::Label::kNegative);
+  if (!applied.ok()) {
+    // InconsistentSample / no pending question: the session state is
+    // untouched, the question (if any) stays pending — report and carry on.
+    manager_.ReleaseHosted(body->session_id);
+    c.bytes = ErrorFrame(applied, 0);
+    return c;
+  }
+  AnswerOkBody ok;
+  ok.session_id = body->session_id;
+  ok.predicate_text = s.index().omega().Format(s.CurrentPredicate());
+  PredicateToWords(s.CurrentPredicate(), ok.predicate_words);
+  manager_.ReleaseHosted(body->session_id);
+  c.bytes = EncodeFrame(FrameType::kAnswerOk, Encode(ok));
+  return c;
+}
+
+Server::Completion Server::HandleCloseSession(const Work& work) {
+  Completion c = Base(work);
+  auto body =
+      DecodeCloseSession(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  JINFER_SERVER_CHECK_OWNERSHIP(c, work, body->session_id);
+  // Snapshot the result under a lease (the index, and with it the Ω
+  // formatter, dies with the session), then close for real.
+  auto session = manager_.AcquireHosted(body->session_id);
+  if (!session.ok()) {
+    if (session.status().code() == util::StatusCode::kNotFound) {
+      c.bind = Completion::kUnbind;
+      std::lock_guard<std::mutex> lock(render_mu_);
+      render_.erase(body->session_id);
+    }
+    c.bytes = ErrorFrame(session.status(), 0);
+    return c;
+  }
+  runtime::Session& s = **session;
+  CloseOkBody ok;
+  ok.session_id = body->session_id;
+  ok.num_interactions = s.num_interactions();
+  ok.predicate_text = s.index().omega().Format(s.CurrentPredicate());
+  PredicateToWords(s.CurrentPredicate(), ok.predicate_words);
+  manager_.ReleaseHosted(body->session_id);
+  const auto closed = manager_.CloseHosted(body->session_id);
+  if (!closed.ok()) {
+    // An abort won the race between release and close; the snapshot above
+    // is still the session's final word.
+    (void)closed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(render_mu_);
+    render_.erase(body->session_id);
+  }
+  c.bind = Completion::kUnbind;
+  c.bytes = EncodeFrame(FrameType::kCloseOk, Encode(ok));
+  return c;
+}
+
+Server::Completion Server::HandleStats(const Work& work) {
+  Completion c = Base(work);
+  auto body = DecodeStats(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  c.bytes = EncodeFrame(FrameType::kStatsOk, Encode(Stats()));
+  return c;
+}
+
+#undef JINFER_SERVER_CHECK_OWNERSHIP
+
+}  // namespace server
+}  // namespace jinfer

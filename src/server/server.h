@@ -1,0 +1,215 @@
+// Server: the fault-tolerant network serving front end (DESIGN.md §11).
+//
+// One poll()-driven event thread owns the listener and every Connection;
+// a small worker pool executes frame handlers against the hosted-session
+// API of runtime::SessionManager. The event thread never blocks on
+// inference and the workers never touch a socket, so a slow client cannot
+// wedge a worker and a slow build cannot wedge the event loop. Exactly one
+// frame per connection is in flight at a time — reading pauses while a
+// frame is being processed, which is the natural per-connection
+// backpressure and what serializes a session's transcript.
+//
+// Failure-domain map (the robustness contract this PR exists for):
+//   malformed frame      typed kError frame (kParseError) then close —
+//                        never a crash, never trust a length prefix
+//   read/write/idle      connection closed with kDeadlineExceeded, its
+//     deadline expiry    hosted session aborted (IndexCache pin released)
+//   overload             admission (Options::runtime.max_sessions) and the
+//                        work queue (max_pending_work) both shed with a
+//                        kResourceExhausted RETRY_LATER frame — refuse,
+//                        never queue without bound
+//   slow client          write buffer capped; overflow closes the
+//                        connection instead of growing the heap
+//   SIGTERM              RequestDrain (async-signal-safe): stop accepting,
+//                        serve in-flight sessions to completion or the
+//                        drain deadline, then exit with Status::OK
+//   injected faults      server.accept / server.conn.read /
+//                        server.conn.write / server.frame.decode — a
+//                        tripped connection dies alone; every surviving
+//                        session's transcript is bit-identical to a
+//                        fault-free in-process run (tests/chaos/).
+
+#ifndef JINFER_SERVER_SERVER_H_
+#define JINFER_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "runtime/session_manager.h"
+#include "server/connection.h"
+#include "server/frame.h"
+#include "server/listener.h"
+#include "server/protocol.h"
+#include "util/result.h"
+#include "util/socket.h"
+
+namespace jinfer {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the real one via port().
+
+  /// Frame-processing threads (inference runs here). >= 1.
+  int workers = 2;
+
+  /// Accepted connections beyond this are not accepted (the listener is
+  /// simply not polled while full — the kernel backlog absorbs bursts).
+  size_t max_connections = 256;
+
+  /// Bound on dispatched-but-unprocessed frames. A frame arriving past the
+  /// bound is answered immediately with kResourceExhausted RETRY_LATER and
+  /// never queued — load shedding, not buffering.
+  size_t max_pending_work = 64;
+
+  /// Per-connection deadlines and caps (connection.h).
+  ConnectionLimits limits;
+
+  /// Budget for a graceful drain: after RequestDrain, in-flight
+  /// connections get this long to finish before being closed.
+  std::chrono::milliseconds drain_deadline{3000};
+
+  /// The hosted runtime underneath: worker cache, max_sessions admission
+  /// bound, build options. (threads/steps_per_slice only affect RunAll.)
+  runtime::SessionManager::Options runtime;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event thread + workers. After OK, the
+  /// server is reachable on port().
+  util::Status Start();
+
+  /// The bound port (resolves an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  /// Begins a graceful drain: stop accepting, finish in-flight work within
+  /// drain_deadline, then Wait() returns OK. Async-signal-safe (an atomic
+  /// store plus one write() on the wake pipe) — call it from a SIGTERM
+  /// handler directly.
+  void RequestDrain();
+
+  /// Hard stop: close everything now. Wait() still returns OK.
+  void RequestStop();
+
+  /// Joins the event thread and workers; returns the serve status (OK for
+  /// a drain or stop, an error if the event loop died on its own).
+  util::Status Wait();
+
+  /// Point-in-time counters — the same snapshot a kStats frame returns.
+  StatsOkBody Stats();
+
+  /// The hosted runtime (tests reach in for leak/pin assertions).
+  runtime::SessionManager& manager() { return manager_; }
+
+ private:
+  /// A dispatched request frame, bound to its connection by (fd,
+  /// generation) — fds are reused by the kernel, generations never are.
+  struct Work {
+    int fd = -1;
+    uint64_t generation = 0;
+    Frame frame;
+    uint64_t conn_session = 0;  ///< Session bound to the connection, 0=none.
+  };
+
+  /// A worker's answer, routed back through the event thread (the only
+  /// thread allowed to touch a Connection).
+  struct Completion {
+    int fd = -1;
+    uint64_t generation = 0;
+    std::vector<uint8_t> bytes;  ///< Encoded response frame.
+    bool close_after = false;    ///< Close once the response is flushed.
+    enum Bind : uint8_t { kNone, kBind, kUnbind } bind = kNone;
+    uint64_t session_id = 0;  ///< For kBind (aborted if the conn is gone).
+  };
+
+  /// What a hosted session needs to render questions: the uploaded
+  /// relations (the index stores codes, not values).
+  struct RenderData {
+    rel::Relation r, p;
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+
+  // --- Event-thread helpers (no locking on conns_) ---------------------
+  void AcceptPending();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void ApplyCompletions();
+  void SweepDeadlines();
+  void CloseConn(int fd, bool abort_session);
+  void SendErrorAndClose(Connection& conn, const util::Status& status,
+                         uint8_t extra_flags);
+  bool EnqueueOrClose(Connection& conn, std::vector<uint8_t> bytes);
+
+  // --- Worker-side frame handlers --------------------------------------
+  static Completion Base(const Work& work);
+  Completion HandleFrame(Work work);
+  Completion HandleOpenSession(const Work& work);
+  Completion HandleNextQuestion(const Work& work);
+  Completion HandleAnswer(const Work& work);
+  Completion HandleCloseSession(const Work& work);
+  Completion HandleStats(const Work& work);
+
+  static std::vector<uint8_t> ErrorFrame(const util::Status& status,
+                                         uint8_t flags);
+
+  ServerOptions options_;
+  runtime::SessionManager manager_;
+  util::WakePipe wake_;
+
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::thread event_thread_;
+  std::vector<std::thread> worker_threads_;
+  bool started_ = false;
+  bool joined_ = false;
+  util::Status serve_status_;
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+
+  // Event-thread-only connection table.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  uint64_t next_generation_ = 1;
+
+  // Work / completion queues.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> work_;
+  bool workers_done_ = false;
+
+  std::mutex done_mu_;
+  std::deque<Completion> done_;
+
+  // Rendering context per hosted session (workers, under render_mu_).
+  std::mutex render_mu_;
+  std::unordered_map<uint64_t, RenderData> render_;
+
+  // Server-level counters (event thread + workers).
+  mutable std::mutex stats_mu_;
+  StatsOkBody stats_;
+};
+
+}  // namespace server
+}  // namespace jinfer
+
+#endif  // JINFER_SERVER_SERVER_H_

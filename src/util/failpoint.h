@@ -29,6 +29,10 @@
 //   store.load.mmap    mapping a stored index in IndexStore::Load
 //   cache.build        a SignatureIndex build inside IndexCache
 //   manager.step       the SessionManager worker claiming a slice
+//   server.accept      the listener accepting a connection (server::Server)
+//   server.conn.read   a readable connection about to recv()
+//   server.conn.write  a writable connection about to send()
+//   server.frame.decode a complete frame about to be decoded
 //
 // Thread-safe: arming/disarming and hits may race freely; the registry
 // mutex serializes trigger evaluation (hit order across threads is the only

@@ -1,0 +1,217 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace util {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return IoStatusFromErrno(errno, "fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// "localhost" and "" mean loopback; otherwise the host must be a dotted
+/// quad (the server binds addresses, it does not resolve names).
+Result<in_addr_t> ResolveHost(const std::string& host) {
+  if (host.empty() || host == "localhost") return htonl(INADDR_LOOPBACK);
+  if (host == "0.0.0.0") return htonl(INADDR_ANY);
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("not an IPv4 address: '%s'", host.c_str()));
+  }
+  return addr.s_addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("endpoint '%s' is not host:port", spec.c_str()));
+  }
+  Endpoint out;
+  out.host = spec.substr(0, colon);
+  long port = 0;
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrFormat("endpoint '%s' has a non-numeric port", spec.c_str()));
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument(
+          StrFormat("endpoint '%s' port out of range", spec.c_str()));
+    }
+  }
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog) {
+  JINFER_ASSIGN_OR_RETURN(const in_addr_t addr, ResolveHost(host));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return IoStatusFromErrno(errno, "socket()");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = addr;
+  sin.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) <
+      0) {
+    return IoStatusFromErrno(
+        errno, StrFormat("bind(%s:%u)", host.c_str(), unsigned{port}));
+  }
+  if (::listen(sock.fd(), backlog) < 0) {
+    return IoStatusFromErrno(errno, "listen()");
+  }
+  JINFER_RETURN_NOT_OK(SetNonBlocking(sock.fd()));
+  return sock;
+}
+
+Result<uint16_t> BoundPort(const Socket& socket) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof(sin);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&sin), &len) <
+      0) {
+    return IoStatusFromErrno(errno, "getsockname()");
+  }
+  return static_cast<uint16_t>(ntohs(sin.sin_port));
+}
+
+Result<Socket> AcceptTcp(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return IoStatusFromErrno(errno, "accept()");
+  Socket sock(fd);
+  JINFER_RETURN_NOT_OK(SetNonBlocking(fd));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  JINFER_ASSIGN_OR_RETURN(const in_addr_t addr, ResolveHost(host));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return IoStatusFromErrno(errno, "socket()");
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = addr;
+  sin.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) <
+      0) {
+    return IoStatusFromErrno(
+        errno, StrFormat("connect(%s:%u)", host.c_str(), unsigned{port}));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status SetIoTimeout(const Socket& socket, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) <
+          0 ||
+      ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) <
+          0) {
+    return IoStatusFromErrno(errno, "setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(const Socket& socket, std::span<uint8_t> buf) {
+  while (true) {
+    const ssize_t n = ::recv(socket.fd(), buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return IoStatusFromErrno(errno, "recv()");
+  }
+}
+
+Result<size_t> WriteSome(const Socket& socket, std::span<const uint8_t> buf) {
+  while (true) {
+    const ssize_t n =
+        ::send(socket.fd(), buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return IoStatusFromErrno(errno, "send()");
+  }
+}
+
+Status ReadExact(const Socket& socket, std::span<uint8_t> buf) {
+  size_t done = 0;
+  while (done < buf.size()) {
+    JINFER_ASSIGN_OR_RETURN(const size_t n,
+                            ReadSome(socket, buf.subspan(done)));
+    if (n == 0) {
+      return Status::IoError(StrFormat(
+          "connection closed mid-read (%zu of %zu bytes)", done, buf.size()));
+    }
+    done += n;
+  }
+  return Status::OK();
+}
+
+Status WriteAll(const Socket& socket, std::span<const uint8_t> buf) {
+  size_t done = 0;
+  while (done < buf.size()) {
+    JINFER_ASSIGN_OR_RETURN(const size_t n,
+                            WriteSome(socket, buf.subspan(done)));
+    done += n;
+  }
+  return Status::OK();
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  JINFER_CHECK(::pipe(fds) == 0, "pipe(): %s", std::strerror(errno));
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  // Nonblocking on both ends: Notify from a signal handler must never
+  // block, and Drain reads until empty.
+  JINFER_CHECK(SetNonBlocking(fds[0]).ok() && SetNonBlocking(fds[1]).ok(),
+               "wake pipe O_NONBLOCK");
+}
+
+void WakePipe::Notify() {
+  const uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] ssize_t n = ::write(write_end_.fd(), &byte, 1);
+}
+
+void WakePipe::Drain() {
+  uint8_t sink[64];
+  while (::read(read_end_.fd(), sink, sizeof(sink)) > 0) {
+  }
+}
+
+}  // namespace util
+}  // namespace jinfer

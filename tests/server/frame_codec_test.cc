@@ -1,0 +1,330 @@
+// Frame codec: round-trip property tests plus the malformed-frame corpus
+// (ISSUE: truncated length prefix, oversized length, bad magic, checksum
+// mismatch, trailing garbage) — every malformed shape must decode to a
+// typed ParseError, never a crash, and an oversized length must be
+// rejected before any payload allocation.
+
+#include "server/frame.h"
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace jinfer {
+namespace server {
+namespace {
+
+std::vector<uint8_t> RandomPayload(std::mt19937_64& rng, size_t n) {
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng());
+  return bytes;
+}
+
+FrameHeader HeaderOf(const std::vector<uint8_t>& wire) {
+  FrameHeader header;
+  std::memcpy(&header, wire.data(), sizeof(header));
+  return header;
+}
+
+std::vector<uint8_t> WithHeader(const FrameHeader& header,
+                                const std::vector<uint8_t>& wire) {
+  std::vector<uint8_t> out = wire;
+  std::memcpy(out.data(), &header, sizeof(header));
+  return out;
+}
+
+// --- Round-trip properties -------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsRandomPayloadsAtEverySize) {
+  std::mt19937_64 rng(7);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{24}, size_t{255},
+                   size_t{4096}, size_t{100000}}) {
+    const std::vector<uint8_t> payload = RandomPayload(rng, n);
+    const std::vector<uint8_t> wire =
+        EncodeFrame(FrameType::kAnswer, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderBytes + n);
+
+    auto header = DecodeFrameHeader(
+        std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+        kMaxFramePayload);
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
+    EXPECT_EQ(header->payload_bytes, n);
+
+    auto frame = DecodeFramePayload(
+        *header,
+        std::span<const uint8_t>(wire.data() + kFrameHeaderBytes, n));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, FrameType::kAnswer);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(FrameCodecTest, RoundTripsEveryFrameType) {
+  for (uint8_t type : {0x01, 0x02, 0x03, 0x04, 0x05, 0x41, 0x42, 0x43, 0x44,
+                       0x45, 0x46}) {
+    const std::vector<uint8_t> payload = {1, 2, 3};
+    const std::vector<uint8_t> wire =
+        EncodeFrame(static_cast<FrameType>(type), payload);
+    auto header = DecodeFrameHeader(
+        std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+        kMaxFramePayload);
+    ASSERT_TRUE(header.ok()) << "type " << int(type);
+    EXPECT_EQ(header->type, type);
+    EXPECT_TRUE(IsKnownFrameType(type));
+  }
+  EXPECT_TRUE(IsRequestType(0x01));
+  EXPECT_FALSE(IsRequestType(0x41));
+  EXPECT_FALSE(IsRequestType(0x00));
+  EXPECT_FALSE(IsKnownFrameType(0x7f));
+}
+
+// --- The malformed-frame corpus --------------------------------------------
+
+TEST(FrameCodecTest, RejectsBadMagic) {
+  auto wire = EncodeFrame(FrameType::kStats, {});
+  FrameHeader header = HeaderOf(wire);
+  header.magic = 0xdeadbeef;
+  wire = WithHeader(header, wire);
+  auto decoded = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(decoded.status().ToString().find("magic"), std::string::npos);
+}
+
+TEST(FrameCodecTest, RejectsUnsupportedVersion) {
+  auto wire = EncodeFrame(FrameType::kStats, {});
+  FrameHeader header = HeaderOf(wire);
+  header.version = 99;
+  wire = WithHeader(header, wire);
+  auto decoded = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, RejectsUnknownType) {
+  auto wire = EncodeFrame(FrameType::kStats, {});
+  FrameHeader header = HeaderOf(wire);
+  header.type = 0x33;
+  wire = WithHeader(header, wire);
+  auto decoded = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, RejectsOversizedLengthBeforeBuffering) {
+  // A hostile 4 GiB-ish length prefix must die at header validation — the
+  // caller never allocates or waits for the claimed payload.
+  auto wire = EncodeFrame(FrameType::kOpenSession, {});
+  FrameHeader header = HeaderOf(wire);
+  header.payload_bytes = 0xfffffff0u;
+  wire = WithHeader(header, wire);
+  auto decoded = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(decoded.status().ToString().find("oversized"),
+            std::string::npos);
+}
+
+TEST(FrameCodecTest, HonorsPerServerPayloadBound) {
+  // A deployment may lower the bound below kMaxFramePayload; a payload legal
+  // globally but over the local bound is rejected the same way.
+  const std::vector<uint8_t> payload(1024, 0xab);
+  auto wire = EncodeFrame(FrameType::kOpenSession, payload);
+  auto decoded = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      /*max_payload=*/512);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, RejectsChecksumMismatch) {
+  const std::vector<uint8_t> payload = {10, 20, 30, 40};
+  auto wire = EncodeFrame(FrameType::kAnswer, payload);
+  wire[kFrameHeaderBytes + 2] ^= 0x01;  // Corrupt one payload byte.
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  auto frame = DecodeFramePayload(
+      *header, std::span<const uint8_t>(wire.data() + kFrameHeaderBytes,
+                                        payload.size()));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(frame.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST(FrameCodecTest, RejectsPayloadLengthMismatch) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  auto wire = EncodeFrame(FrameType::kAnswer, payload);
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(wire.data(), kFrameHeaderBytes),
+      kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  auto frame = DecodeFramePayload(
+      *header,
+      std::span<const uint8_t>(wire.data() + kFrameHeaderBytes, 3));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), util::StatusCode::kParseError);
+}
+
+// --- WireReader bounds and exactness ---------------------------------------
+
+TEST(WireReaderTest, RejectsTruncatedScalars) {
+  const uint8_t three[3] = {1, 2, 3};
+  WireReader r((std::span<const uint8_t>(three)));
+  EXPECT_FALSE(r.U32().ok());
+  EXPECT_FALSE(r.U64().ok());
+  auto got = r.U8();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 1);
+}
+
+TEST(WireReaderTest, RejectsStringLengthPastEnd) {
+  WireWriter w;
+  w.U32(1000);  // Claims 1000 bytes; none follow.
+  const auto bytes = std::move(w).Take();
+  WireReader r((std::span<const uint8_t>(bytes)));
+  auto s = r.Str();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(WireReaderTest, FinishRejectsTrailingGarbage) {
+  WireWriter w;
+  w.U8(1);
+  w.U8(2);
+  const auto bytes = std::move(w).Take();
+  WireReader r((std::span<const uint8_t>(bytes)));
+  ASSERT_TRUE(r.U8().ok());
+  EXPECT_FALSE(r.Finish().ok());
+  ASSERT_TRUE(r.U8().ok());
+  EXPECT_TRUE(r.Finish().ok());
+}
+
+TEST(WireReaderTest, RoundTripsScalarsAndStrings) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint32_t b = static_cast<uint32_t>(rng());
+    const uint64_t c = rng();
+    std::string s;
+    for (size_t i = rng() % 40; i > 0; --i) {
+      s.push_back(static_cast<char>(rng()));  // Arbitrary bytes, NULs too.
+    }
+    WireWriter w;
+    w.U8(a);
+    w.Str(s);
+    w.U64(c);
+    w.U32(b);
+    const auto bytes = std::move(w).Take();
+    WireReader r((std::span<const uint8_t>(bytes)));
+    EXPECT_EQ(r.U8().ValueOrDie(), a);
+    EXPECT_EQ(r.Str().ValueOrDie(), s);
+    EXPECT_EQ(r.U64().ValueOrDie(), c);
+    EXPECT_EQ(r.U32().ValueOrDie(), b);
+    EXPECT_TRUE(r.Finish().ok());
+  }
+}
+
+// --- Protocol bodies -------------------------------------------------------
+
+TEST(ProtocolTest, RoundTripsOpenSession) {
+  OpenSessionBody body;
+  body.strategy = "L2S";
+  body.seed = 0x1234567890abcdefULL;
+  body.compress = 0;
+  body.r_name = "Flight";
+  body.p_name = "Hotel";
+  body.r_csv = "From,To\nParis,Lille\n";
+  body.p_csv = "City,Discount\nNYC,\"A,A\"\n";
+  auto decoded = DecodeOpenSession(Encode(body));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->strategy, body.strategy);
+  EXPECT_EQ(decoded->seed, body.seed);
+  EXPECT_EQ(decoded->compress, body.compress);
+  EXPECT_EQ(decoded->r_csv, body.r_csv);
+  EXPECT_EQ(decoded->p_csv, body.p_csv);
+}
+
+TEST(ProtocolTest, RoundTripsQuestionWithPredicateWords) {
+  QuestionBody body;
+  body.session_id = 42;
+  body.finished = 0;
+  body.question_index = 7;
+  body.class_id = 3;
+  body.r_text = "R: A=1";
+  body.p_text = "P: B=2";
+  body.predicate_text = "{(A1,B2)}";
+  body.predicate_words[0] = 0x8000000000000001ULL;
+  body.predicate_words[3] = 0xf0f0f0f0f0f0f0f0ULL;
+  auto decoded = DecodeQuestion(Encode(body));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->session_id, 42u);
+  EXPECT_EQ(decoded->class_id, 3u);
+  EXPECT_EQ(decoded->predicate_words[0], body.predicate_words[0]);
+  EXPECT_EQ(decoded->predicate_words[3], body.predicate_words[3]);
+}
+
+TEST(ProtocolTest, RoundTripsStatsAndError) {
+  StatsOkBody stats;
+  stats.connections_accepted = 1;
+  stats.frames_read = 99;
+  stats.deadline_closes = 3;
+  auto s = DecodeStatsOk(Encode(stats));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->connections_accepted, 1u);
+  EXPECT_EQ(s->frames_read, 99u);
+  EXPECT_EQ(s->deadline_closes, 3u);
+
+  ErrorBody err;
+  err.code = static_cast<uint32_t>(util::StatusCode::kResourceExhausted);
+  err.flags = kErrorFlagRetryLater;
+  err.message = "server overloaded";
+  auto e = DecodeError(Encode(err));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->code, err.code);
+  EXPECT_EQ(e->flags, kErrorFlagRetryLater);
+  EXPECT_EQ(e->message, err.message);
+}
+
+TEST(ProtocolTest, DecodersRejectTruncatedAndTrailingBytes) {
+  const auto full = Encode(CloseSessionBody{42});
+  // Truncated at every prefix length.
+  for (size_t n = 0; n < full.size(); ++n) {
+    auto decoded =
+        DecodeCloseSession(std::span<const uint8_t>(full.data(), n));
+    EXPECT_FALSE(decoded.ok()) << "prefix " << n;
+  }
+  // One trailing byte.
+  auto extra = full;
+  extra.push_back(0);
+  EXPECT_FALSE(DecodeCloseSession(extra).ok());
+}
+
+TEST(ProtocolTest, PredicateWordsRoundTrip) {
+  core::JoinPredicate predicate;
+  predicate.Set(0);
+  predicate.Set(63);
+  predicate.Set(64);
+  predicate.Set(200);
+  uint64_t words[4];
+  PredicateToWords(predicate, words);
+  EXPECT_EQ(PredicateFromWords(words), predicate);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace jinfer

@@ -1,0 +1,505 @@
+// Integration tests for the serving front end: real sockets against a real
+// Server. The load-bearing property is transcript bit-identity — a session
+// driven over the wire must match an in-process Session step for step
+// (same questions, same hypothesis words, same final predicate) — plus the
+// lifecycle hardening: admission shedding, work-queue shedding, idle
+// reaping, cross-tenant isolation, malformed-frame handling, and graceful
+// drain (DESIGN.md §11.2, §11.3).
+
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+#include "core/signature_index.h"
+#include "core/strategy.h"
+#include "relational/csv.h"
+#include "runtime/session.h"
+#include "server/client.h"
+#include "server/frame.h"
+#include "server/protocol.h"
+#include "testing/paper_fixtures.h"
+#include "util/socket.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace server {
+namespace {
+
+using std::chrono::milliseconds;
+
+struct Instance {
+  rel::Relation r, p;
+};
+
+Instance Example21() {
+  return {testing::Example21R(), testing::Example21P()};
+}
+
+OpenSessionBody OpenBodyFor(const Instance& inst,
+                            const std::string& strategy, uint64_t seed) {
+  OpenSessionBody body;
+  body.strategy = strategy;
+  body.seed = seed;
+  body.compress = 1;
+  body.r_name = inst.r.schema().relation_name();
+  body.p_name = inst.p.schema().relation_name();
+  body.r_csv = rel::WriteRelationCsv(inst.r);
+  body.p_csv = rel::WriteRelationCsv(inst.p);
+  return body;
+}
+
+std::unique_ptr<Server> StartServer(ServerOptions options) {
+  auto server = std::make_unique<Server>(std::move(options));
+  auto status = server->Start();
+  JINFER_CHECK(status.ok(), "server start failed: %s",
+               status.ToString().c_str());
+  return server;
+}
+
+Client ConnectTo(const Server& server) {
+  auto client = Client::Connect("127.0.0.1", server.port());
+  JINFER_CHECK(client.ok(), "connect failed: %s",
+               client.status().ToString().c_str());
+  return std::move(client).ValueOrDie();
+}
+
+/// Drives a remote session to completion against an oracle over the local
+/// twin index, asserting bit-identity with a local Session at every step.
+void ExpectRemoteMatchesLocal(Client& client, const Instance& inst,
+                              core::StrategyKind kind, uint64_t seed,
+                              const core::JoinPredicate& goal) {
+  auto local_index = core::SignatureIndex::Build(inst.r, inst.p);
+  ASSERT_TRUE(local_index.ok());
+  runtime::Session local(*local_index, core::MakeStrategy(kind, seed));
+  core::GoalOracle local_oracle(goal);
+  core::GoalOracle remote_oracle(goal);
+
+  auto open = client.OpenSession(
+      OpenBodyFor(inst, core::StrategyKindName(kind), seed));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->num_classes, local_index->num_classes());
+
+  size_t steps = 0;
+  while (true) {
+    auto question = client.NextQuestion();
+    ASSERT_TRUE(question.ok()) << question.status().ToString();
+    auto local_q = local.NextQuestion();
+    if (question->finished) {
+      EXPECT_FALSE(local_q.has_value())
+          << "remote finished but local has a question";
+      break;
+    }
+    ASSERT_TRUE(local_q.has_value())
+        << "local finished but remote asked a question";
+    EXPECT_EQ(question->class_id, *local_q) << "step " << steps;
+    EXPECT_EQ(PredicateFromWords(question->predicate_words),
+              local.CurrentPredicate())
+        << "hypothesis diverged at step " << steps;
+
+    const core::Label label =
+        remote_oracle.LabelClass(*local_index, question->class_id);
+    ASSERT_TRUE(
+        local.Answer(local_oracle.LabelClass(*local_index, *local_q)).ok());
+    auto answered = client.Answer(label == core::Label::kPositive);
+    ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+    EXPECT_EQ(PredicateFromWords(answered->predicate_words),
+              local.CurrentPredicate())
+        << "post-answer hypothesis diverged at step " << steps;
+    ++steps;
+  }
+
+  auto closed = client.CloseSession();
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_EQ(closed->num_interactions, local.num_interactions());
+  EXPECT_EQ(PredicateFromWords(closed->predicate_words),
+            local.Result().predicate);
+}
+
+// --- Transcript bit-identity ------------------------------------------------
+
+TEST(ServerTest, RemoteTranscriptsMatchInProcessRuns) {
+  for (int workers : {1, 4}) {
+    ServerOptions options;
+    options.workers = workers;
+    auto server = StartServer(options);
+
+    const Instance inst = Example21();
+    auto index = core::SignatureIndex::Build(inst.r, inst.p);
+    ASSERT_TRUE(index.ok());
+    const core::JoinPredicate goal =
+        testing::Pred(index->omega(), {{0, 0}, {1, 1}});
+
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kBottomUp, core::StrategyKind::kLookahead1,
+          core::StrategyKind::kRandom}) {
+      for (uint64_t seed : {7u, 42u}) {
+        Client client = ConnectTo(*server);
+        ExpectRemoteMatchesLocal(client, inst, kind, seed, goal);
+      }
+    }
+    server->RequestDrain();
+    EXPECT_TRUE(server->Wait().ok());
+    EXPECT_EQ(server->manager().hosted_open(), 0u);
+  }
+}
+
+TEST(ServerTest, SyntheticInstanceMatchesAcrossConcurrentClients) {
+  auto inst_result = workload::GenerateSynthetic({3, 3, 30, 6}, 99);
+  ASSERT_TRUE(inst_result.ok());
+  const Instance inst{inst_result->r, inst_result->p};
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  ASSERT_TRUE(index.ok());
+  const core::JoinPredicate goal = testing::Pred(index->omega(), {{1, 2}});
+
+  ServerOptions options;
+  options.workers = 4;
+  auto server = StartServer(options);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client = ConnectTo(*server);
+      ExpectRemoteMatchesLocal(client, inst,
+                               core::StrategyKind::kLookahead1,
+                               /*seed=*/uint64_t(i), goal);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // All four tenants uploaded the same instance; the fingerprint dedups
+  // them onto one build through the tiered cache.
+  StatsOkBody stats = server->Stats();
+  EXPECT_EQ(stats.cache_builds, 1u);
+  EXPECT_EQ(stats.sessions_completed, uint64_t(kClients));
+  EXPECT_EQ(stats.sessions_open, 0u);
+}
+
+// --- Load shedding ----------------------------------------------------------
+
+TEST(ServerTest, AdmissionControlShedsThenRecovers) {
+  ServerOptions options;
+  options.runtime.max_sessions = 1;
+  auto server = StartServer(options);
+  const Instance inst = Example21();
+
+  Client first = ConnectTo(*server);
+  ASSERT_TRUE(first.OpenSession(OpenBodyFor(inst, "BU", 0)).ok());
+
+  Client second = ConnectTo(*server);
+  auto shed = second.OpenSession(OpenBodyFor(inst, "BU", 0));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(RetryLater(shed.status()));
+
+  // Shedding refuses the open, it does not punish the connection: the same
+  // client retries on the same socket once the slot frees. (CloseSession
+  // on an unfinished session returns the partial predicate.)
+  ASSERT_TRUE(first.CloseSession().ok());
+  auto retried = second.OpenSession(OpenBodyFor(inst, "BU", 0));
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  ASSERT_TRUE(second.CloseSession().ok());
+
+  StatsOkBody stats = server->Stats();
+  EXPECT_EQ(stats.sessions_shed, 1u);
+}
+
+TEST(ServerTest, FullWorkQueueShedsWithoutClosing) {
+  ServerOptions options;
+  options.max_pending_work = 0;  // Everything sheds: the pathological floor.
+  auto server = StartServer(options);
+
+  Client client = ConnectTo(*server);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto stats = client.ServerStats();
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), util::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(RetryLater(stats.status()));
+    // The connection survives each shed — the next attempt reuses it.
+  }
+}
+
+// --- Abandoned sessions -----------------------------------------------------
+
+TEST(ServerTest, IdleConnectionsAreReapedAndSessionsAborted) {
+  ServerOptions options;
+  options.limits.idle_timeout = milliseconds(150);
+  auto server = StartServer(options);
+  const Instance inst = Example21();
+
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession(OpenBodyFor(inst, "BU", 0)).ok());
+  ASSERT_TRUE(client.NextQuestion().ok());
+
+  // The client wanders off. The idle timeout must close the connection and
+  // abort the hosted session, releasing its cache pin.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server->manager().hosted_open() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_EQ(server->manager().hosted_open(), 0u);
+
+  StatsOkBody stats = server->Stats();
+  EXPECT_EQ(stats.sessions_aborted, 1u);
+  EXPECT_EQ(stats.connections_open, 0u);
+  EXPECT_GE(stats.deadline_closes, 1u);
+
+  // Client-side, the socket is dead: the next round trip fails.
+  EXPECT_FALSE(client.NextQuestion().ok());
+}
+
+// --- Protocol errors over a raw socket --------------------------------------
+
+/// Sends raw bytes, then reads one response frame (expecting kError) and
+/// asserts the connection is closed afterwards (EOF on the next read).
+void ExpectErrorThenClose(const Server& server,
+                          const std::vector<uint8_t>& wire,
+                          util::StatusCode want_code) {
+  auto sock = util::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(util::SetIoTimeout(*sock, milliseconds(5000)).ok());
+  ASSERT_TRUE(util::WriteAll(*sock, wire).ok());
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(
+      util::ReadExact(*sock, std::span<uint8_t>(header_bytes)).ok());
+  auto header = DecodeFrameHeader(std::span<const uint8_t>(header_bytes),
+                                  kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, static_cast<uint8_t>(FrameType::kError));
+  std::vector<uint8_t> payload(header->payload_bytes);
+  ASSERT_TRUE(util::ReadExact(*sock, std::span<uint8_t>(payload)).ok());
+  auto frame = DecodeFramePayload(*header, payload);
+  ASSERT_TRUE(frame.ok());
+  auto err = DecodeError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, static_cast<uint32_t>(want_code));
+  EXPECT_TRUE(err->flags & kErrorFlagWillClose)
+      << "error should announce the close";
+
+  // The server promised to close: the next read is EOF, not a hang.
+  uint8_t byte;
+  auto eof = util::ReadExact(*sock, std::span<uint8_t>(&byte, 1));
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(ServerTest, MalformedFramesGetTypedErrorThenClose) {
+  auto server = StartServer(ServerOptions{});
+
+  // Bad magic.
+  {
+    auto wire = EncodeFrame(FrameType::kStats, {});
+    uint32_t magic = 0x12345678;
+    std::memcpy(wire.data(), &magic, sizeof(magic));
+    ExpectErrorThenClose(*server, wire, util::StatusCode::kParseError);
+  }
+  // Oversized length prefix (hostile 4 GiB claim; only the header is sent).
+  {
+    auto wire = EncodeFrame(FrameType::kOpenSession, {});
+    FrameHeader header;
+    std::memcpy(&header, wire.data(), sizeof(header));
+    header.payload_bytes = 0xffffff00u;
+    std::memcpy(wire.data(), &header, sizeof(header));
+    wire.resize(kFrameHeaderBytes);
+    ExpectErrorThenClose(*server, wire, util::StatusCode::kParseError);
+  }
+  // Checksum mismatch.
+  {
+    const std::vector<uint8_t> payload = Encode(NextQuestionBody{1});
+    auto wire = EncodeFrame(FrameType::kNextQuestion, payload);
+    wire.back() ^= 0x80;
+    ExpectErrorThenClose(*server, wire, util::StatusCode::kParseError);
+  }
+  // A response-type frame from a client is never legal.
+  {
+    auto wire = EncodeFrame(FrameType::kQuestion, Encode(QuestionBody{}));
+    ExpectErrorThenClose(*server, wire, util::StatusCode::kParseError);
+  }
+  // Well-framed garbage: the frame parses, the body does not.
+  {
+    const std::vector<uint8_t> junk = {1, 2, 3};
+    auto wire = EncodeFrame(FrameType::kAnswer, junk);
+    ExpectErrorThenClose(*server, wire, util::StatusCode::kParseError);
+  }
+
+  StatsOkBody stats = server->Stats();
+  EXPECT_GE(stats.protocol_errors, 5u);
+}
+
+TEST(ServerTest, MidFrameEofIsAProtocolErrorNotAHang) {
+  auto server = StartServer(ServerOptions{});
+  auto sock = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(util::SetIoTimeout(*sock, milliseconds(5000)).ok());
+
+  // A header promising 100 payload bytes, then half-close: the server sees
+  // EOF mid-frame and must fail the connection cleanly.
+  auto wire = EncodeFrame(FrameType::kAnswer,
+                          std::vector<uint8_t>(100, 0xaa));
+  wire.resize(kFrameHeaderBytes + 10);
+  ASSERT_TRUE(util::WriteAll(*sock, wire).ok());
+  ASSERT_EQ(::shutdown(sock->fd(), SHUT_WR), 0);
+
+  // The server answers with a typed error (it can still write — only our
+  // write side is closed), then closes.
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(
+      util::ReadExact(*sock, std::span<uint8_t>(header_bytes)).ok());
+  auto header = DecodeFrameHeader(std::span<const uint8_t>(header_bytes),
+                                  kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, static_cast<uint8_t>(FrameType::kError));
+}
+
+// --- Cross-tenant isolation -------------------------------------------------
+
+TEST(ServerTest, SessionOwnershipViolationClosesViolatorOnly) {
+  auto server = StartServer(ServerOptions{});
+  const Instance inst = Example21();
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  ASSERT_TRUE(index.ok());
+  const core::JoinPredicate goal =
+      testing::Pred(index->omega(), {{0, 0}, {1, 1}});
+
+  Client victim = ConnectTo(*server);
+  auto victim_open = victim.OpenSession(OpenBodyFor(inst, "BU", 0));
+  ASSERT_TRUE(victim_open.ok());
+
+  Client attacker = ConnectTo(*server);
+  ASSERT_TRUE(attacker.OpenSession(OpenBodyFor(inst, "TD", 0)).ok());
+
+  // The attacker names the victim's session in a NextQuestion frame.
+  NextQuestionBody forged;
+  forged.session_id = victim_open->session_id;
+  auto stolen = attacker.RoundTrip(FrameType::kNextQuestion, Encode(forged));
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(),
+            util::StatusCode::kFailedPrecondition);
+  // The violator's connection is closed...
+  EXPECT_FALSE(attacker.NextQuestion().ok());
+
+  // ...and the victim's transcript is untouched: it still completes
+  // bit-identically to a fresh in-process run.
+  runtime::Session local(*index,
+                         core::MakeStrategy(core::StrategyKind::kBottomUp));
+  core::GoalOracle oracle(goal);
+  while (true) {
+    auto q = victim.NextQuestion();
+    ASSERT_TRUE(q.ok());
+    auto lq = local.NextQuestion();
+    if (q->finished) {
+      EXPECT_FALSE(lq.has_value());
+      break;
+    }
+    ASSERT_TRUE(lq.has_value());
+    EXPECT_EQ(q->class_id, *lq);
+    const core::Label label = oracle.LabelClass(*index, *lq);
+    ASSERT_TRUE(local.Answer(label).ok());
+    ASSERT_TRUE(victim.Answer(label == core::Label::kPositive).ok());
+  }
+  auto closed = victim.CloseSession();
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(PredicateFromWords(closed->predicate_words),
+            local.Result().predicate);
+}
+
+// --- Graceful drain ---------------------------------------------------------
+
+TEST(ServerTest, GracefulDrainFinishesInFlightSessions) {
+  auto server = StartServer(ServerOptions{});
+  const Instance inst = Example21();
+  auto index = core::SignatureIndex::Build(inst.r, inst.p);
+  ASSERT_TRUE(index.ok());
+  const core::JoinPredicate goal =
+      testing::Pred(index->omega(), {{0, 0}, {1, 1}});
+
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession(OpenBodyFor(inst, "BU", 0)).ok());
+  ASSERT_TRUE(client.NextQuestion().ok());
+
+  server->RequestDrain();
+
+  // In-flight work continues to completion during the drain...
+  core::GoalOracle oracle(goal);
+  while (true) {
+    auto q = client.NextQuestion();
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    if (q->finished) break;
+    ASSERT_TRUE(
+        client
+            .Answer(oracle.LabelClass(*index, q->class_id) ==
+                    core::Label::kPositive)
+            .ok());
+  }
+  ASSERT_TRUE(client.CloseSession().ok());
+
+  // ...while a draining server refuses new sessions on a surviving
+  // connection with a retryable refusal, not a slam.
+  auto refused = client.OpenSession(OpenBodyFor(inst, "BU", 0));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(RetryLater(refused.status()));
+
+  // Dropping the last connection lets the drain complete with OK.
+  { Client goner = std::move(client); }
+  EXPECT_TRUE(server->Wait().ok());
+
+  StatsOkBody stats = server->Stats();
+  EXPECT_EQ(stats.sessions_completed, 1u);
+  EXPECT_EQ(stats.sessions_open, 0u);
+  EXPECT_EQ(stats.connections_open, 0u);
+}
+
+TEST(ServerTest, DrainDeadlineForcesStragglersOut) {
+  ServerOptions options;
+  options.drain_deadline = milliseconds(200);
+  auto server = StartServer(options);
+
+  // A client that connects and then stalls forever.
+  auto sock = util::ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(util::SetIoTimeout(*sock, milliseconds(5000)).ok());
+
+  // Let the server accept it before draining.
+  std::this_thread::sleep_for(milliseconds(50));
+  server->RequestDrain();
+
+  // The drain deadline evicts the straggler with a goodbye frame...
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(
+      util::ReadExact(*sock, std::span<uint8_t>(header_bytes)).ok());
+  auto header = DecodeFrameHeader(std::span<const uint8_t>(header_bytes),
+                                  kMaxFramePayload);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, static_cast<uint8_t>(FrameType::kError));
+
+  // ...and Wait still returns OK: a deadline-bounded drain is a success.
+  EXPECT_TRUE(server->Wait().ok());
+}
+
+// --- Stats ------------------------------------------------------------------
+
+TEST(ServerTest, StatsFrameReportsCounters) {
+  auto server = StartServer(ServerOptions{});
+  Client client = ConnectTo(*server);
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->connections_accepted, 1u);
+  EXPECT_EQ(stats->connections_open, 1u);
+  EXPECT_GE(stats->frames_read, 1u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace jinfer
