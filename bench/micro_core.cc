@@ -24,6 +24,7 @@
 #include "sat/random_cnf.h"
 #include "semijoin/consistency.h"
 #include "semijoin/reduction_3sat.h"
+#include "util/bit_vector.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
@@ -277,6 +278,106 @@ void BM_EntropyK1k(benchmark::State& state) {
 }
 BENCHMARK(BM_EntropyK1k)->Arg(1)->Arg(2);
 
+// --- BitVector word kernels ---------------------------------------------------
+//
+// Raw throughput of the util::kernels word loops the packed sweeps are
+// built on; Arg = word count (1 = single-word fast path, 4 = SmallBitset
+// width, 16 = a 1024-bit universe only BitVector can hold). Items = words.
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  util::Rng rng(99);
+  std::vector<uint64_t> dst(words), a(words), b(words);
+  for (size_t w = 0; w < words; ++w) {
+    a[w] = rng.Next();
+    b[w] = rng.Next();
+  }
+  for (auto _ : state) {
+    util::kernels::And2Words(dst.data(), a.data(), b.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words));
+}
+BENCHMARK(BM_BitVectorAnd)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BitVectorSubset(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  util::Rng rng(99);
+  std::vector<uint64_t> big(words), small(words);
+  for (size_t w = 0; w < words; ++w) {
+    big[w] = rng.Next();
+    small[w] = big[w] & rng.Next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::kernels::IsSubsetWords(small.data(), big.data(), words));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words));
+}
+BENCHMARK(BM_BitVectorSubset)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BitVectorPopcount(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  util::Rng rng(99);
+  std::vector<uint64_t> a(words);
+  for (size_t w = 0; w < words; ++w) a[w] = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::kernels::PopcountWords(a.data(), words));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words));
+}
+BENCHMARK(BM_BitVectorPopcount)->Arg(1)->Arg(4)->Arg(16);
+
+// --- Batched entropy sweep, multi-word regime ---------------------------------
+//
+// One-step entropies for ALL informative classes of a 900-class,
+// |Omega| = 72 (two active words) instance. The batch form streams the
+// packed arrays once (EntropyOfAll); the per-candidate form re-derives
+// every candidate independently — the PR 2 shape the batch sweep
+// replaced. Items = candidates scored.
+
+const core::SignatureIndex& MultiWordIndex() {
+  static const core::SignatureIndex* index = [] {
+    auto inst = workload::GenerateSynthetic({9, 8, 30, 3}, 101);
+    JINFER_CHECK(inst.ok(), "generation");
+    auto built = core::SignatureIndex::Build(inst->r, inst->p);
+    JINFER_CHECK(built.ok(), "build");
+    return new core::SignatureIndex(std::move(built).ValueOrDie());
+  }();
+  return *index;
+}
+
+void BM_EntropySweepMultiWord(benchmark::State& state) {
+  core::InferenceState st(MultiWordIndex());
+  core::EntropyBatchScratch scratch;
+  std::vector<core::Entropy> entropies;
+  for (auto _ : state) {
+    core::EntropyOfAll(st, scratch, entropies);
+    benchmark::DoNotOptimize(entropies.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(st.NumInformativeClasses()));
+}
+BENCHMARK(BM_EntropySweepMultiWord);
+
+void BM_EntropySweepMultiWordPerCandidate(benchmark::State& state) {
+  core::InferenceState st(MultiWordIndex());
+  std::vector<core::Entropy> entropies(st.NumInformativeClasses());
+  for (auto _ : state) {
+    for (size_t i = 0; i < st.NumInformativeClasses(); ++i) {
+      entropies[i] = core::EntropyOf(st, st.InformativeClassAt(i));
+    }
+    benchmark::DoNotOptimize(entropies.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(st.NumInformativeClasses()));
+}
+BENCHMARK(BM_EntropySweepMultiWordPerCandidate);
+
 // OPT-sized synthetic instance shared by the exact-search benches — the
 // same configuration as the ablation/table1 optimal-floor experiments.
 const core::SignatureIndex& OptIndex() {
@@ -346,6 +447,27 @@ void BM_MinimaxValueEngineLarge(benchmark::State& state) {
   RunMinimaxValueBench(state, *index, options);
 }
 BENCHMARK(BM_MinimaxValueEngineLarge)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Exact minimax over a multi-word universe: 9 classes but |Omega| = 72,
+// so every apply/undo and u-count in the search runs the two-word generic
+// kernels instead of the single-word fast path — the large-|Omega| OPT
+// configuration the packed delta-frame path is accountable for. (The
+// synthetic two-word signatures barely overlap, so OPT = n and the tree
+// is near 3^n; 9 classes is the largest such instance that stays exact.)
+void BM_MinimaxValueMultiWord(benchmark::State& state) {
+  static const core::SignatureIndex* index = [] {
+    auto inst = workload::GenerateSynthetic({9, 8, 3, 2}, 13);
+    JINFER_CHECK(inst.ok(), "generation");
+    auto built = core::SignatureIndex::Build(inst->r, inst->p);
+    JINFER_CHECK(built.ok(), "build");
+    return new core::SignatureIndex(std::move(built).ValueOrDie());
+  }();
+  core::MinimaxOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.node_budget = 10'000'000;
+  RunMinimaxValueBench(state, *index, options);
+}
+BENCHMARK(BM_MinimaxValueMultiWord)->Arg(1)->Arg(2)->UseRealTime();
 
 // The seed implementation (copy-per-node, sorted-vector key in a std::map)
 // on the same instance: the yardstick for the engine's speedup.

@@ -63,6 +63,16 @@ Entropy EntropyOf(const InferenceState& state, ClassId cls) {
   return Entropy::OfCounts(up, un);
 }
 
+void EntropyOfAll(const InferenceState& state, EntropyBatchScratch& scratch,
+                  std::vector<Entropy>& out) {
+  state.CountNewlyUninformativeAll(scratch.u_pos, scratch.u_neg);
+  const size_t n = scratch.u_pos.size();
+  out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Entropy::OfCounts(scratch.u_pos[i], scratch.u_neg[i]);
+  }
+}
+
 namespace {
 
 /// Recursive entropy^k over a single mutable state. `root_weight` is the
@@ -77,8 +87,15 @@ namespace {
 /// ties to the larger max) without materializing the entropy vector. The
 /// state is restored exactly before returning, so iterating the informative
 /// list by index across recursive calls is safe.
-Entropy EntropyRec(uint64_t root_weight, InferenceState& state, ClassId cls,
-                   int remaining, uint64_t depth) {
+///
+/// The bottom level is batched: when every child is a leaf, one
+/// CountNewlyUninformativeAll sweep scores all of them and the fold runs
+/// over the returned columns in the same candidate order as the
+/// per-candidate recursion (entropy_reference.h), so the streaming max —
+/// first candidate wins ties — picks identically.
+Entropy EntropyRec(uint64_t root_weight, InferenceState& state,
+                   EntropyBatchScratch& scratch, ClassId cls, int remaining,
+                   uint64_t depth) {
   if (remaining == 1) {
     uint64_t removed_so_far = root_weight - state.InformativeTupleWeight();
     auto [newly_pos, newly_neg] = state.CountNewlyUninformativeBoth(cls);
@@ -95,12 +112,26 @@ Entropy EntropyRec(uint64_t root_weight, InferenceState& state, ClassId cls,
       // Labeling this way ends the session: the best possible outcome
       // (Algorithm 5 lines 3-5).
       e = Entropy::Infinite();
+    } else if (remaining == 2) {
+      // All children are leaves: one batched sweep replaces one
+      // CountNewlyUninformativeBoth per candidate.
+      state.CountNewlyUninformativeAll(scratch.u_pos, scratch.u_neg);
+      const uint64_t removed = root_weight - state.InformativeTupleWeight();
+      const uint64_t d = depth + 1;
+      for (size_t i = 0; i < scratch.u_pos.size(); ++i) {
+        Entropy inner = Entropy::OfCounts(removed + scratch.u_pos[i] - d,
+                                          removed + scratch.u_neg[i] - d);
+        if (i == 0 || inner.min_u > e.min_u ||
+            (inner.min_u == e.min_u && inner.max_u > e.max_u)) {
+          e = inner;
+        }
+      }
     } else {
       bool first = true;
       for (size_t i = 0; i < state.NumInformativeClasses(); ++i) {
         ClassId c2 = state.InformativeClassAt(i);
-        Entropy inner =
-            EntropyRec(root_weight, state, c2, remaining - 1, depth + 1);
+        Entropy inner = EntropyRec(root_weight, state, scratch, c2,
+                                   remaining - 1, depth + 1);
         if (first || inner.min_u > e.min_u ||
             (inner.min_u == e.min_u && inner.max_u > e.max_u)) {
           e = inner;
@@ -123,10 +154,17 @@ Entropy EntropyRec(uint64_t root_weight, InferenceState& state, ClassId cls,
 
 }  // namespace
 
-Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k) {
+Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k,
+                          EntropyBatchScratch& scratch) {
   JINFER_CHECK(k >= 1, "entropy lookahead depth must be >= 1, got %d", k);
   JINFER_CHECK(state.IsInformative(cls), "class %u is not informative", cls);
-  return EntropyRec(state.InformativeTupleWeight(), state, cls, k, 0);
+  return EntropyRec(state.InformativeTupleWeight(), state, scratch, cls, k,
+                    0);
+}
+
+Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k) {
+  EntropyBatchScratch scratch;
+  return EntropyKOfInPlace(state, cls, k, scratch);
 }
 
 Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k) {

@@ -61,6 +61,23 @@ Entropy SkylineMaxMin(const std::vector<Entropy>& entropies);
 /// entropy_S(t) for an informative class (one-step).
 Entropy EntropyOf(const InferenceState& state, ClassId cls);
 
+/// Reusable buffers for the batch entropy sweeps, so the lookahead and
+/// minimax hot paths stay allocation-free once warm. One per thread —
+/// batch calls on per-thread states must not share a scratch.
+struct EntropyBatchScratch {
+  std::vector<uint64_t> u_pos;
+  std::vector<uint64_t> u_neg;
+};
+
+/// entropy_S(t) for *every* informative class in one batched sweep:
+/// out[i] = EntropyOf(state, state.InformativeClassAt(i)), bit-identically
+/// (the u± sums are exact integers and the batch sweep reassociates them
+/// only), via InferenceState::CountNewlyUninformativeAll — one pass over
+/// the packed class arrays scores all candidates instead of re-streaming
+/// them per candidate.
+void EntropyOfAll(const InferenceState& state, EntropyBatchScratch& scratch,
+                  std::vector<Entropy>& out);
+
 /// entropy^k_S(t); k = 1 is EntropyOf, k = 2 is the paper's Algorithm 5.
 /// Counts at the leaves are taken relative to `state` and exclude the k
 /// labeled tuples, matching lines 8–9 of Algorithm 5. Copies the state once
@@ -71,8 +88,11 @@ Entropy EntropyKOf(const InferenceState& state, ClassId cls, int k);
 /// explored with ApplyLabelScoped/UndoLabel directly on `state`, which is
 /// restored exactly before returning. Lets a strategy evaluating many
 /// candidates reuse one scratch copy instead of copying per candidate —
-/// the lookahead hot path.
+/// the lookahead hot path. The overload taking an EntropyBatchScratch also
+/// reuses the batch buffers across candidates; the other allocates its own.
 Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k);
+Entropy EntropyKOfInPlace(InferenceState& state, ClassId cls, int k,
+                          EntropyBatchScratch& scratch);
 
 }  // namespace core
 }  // namespace jinfer

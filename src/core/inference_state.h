@@ -112,6 +112,22 @@ class InferenceState {
   std::pair<uint64_t, uint64_t> CountNewlyUninformativeBoth(
       ClassId cls) const;
 
+  /// u+(t) and u−(t) for *every* informative class in one pass: on return
+  /// u_pos[j] / u_neg[j] hold the counts for InformativeClassAt(j). This is
+  /// the column-wise batch form of CountNewlyUninformativeBoth — the outer
+  /// loop streams each informative class's key/count once and scores all
+  /// candidates against it, so the candidate loop runs over the contiguous
+  /// packed signature array with no per-candidate re-derivation. The
+  /// labeled class's self-exclusion is folded out of the inner loop: a
+  /// candidate always newly-uninformativizes its own class under either
+  /// label, so the sweep counts it and subtracts one at the end, keeping
+  /// the inner loop branch-free. Bit-identical to calling
+  /// CountNewlyUninformativeBoth per candidate (sums are exact integers;
+  /// only the association order differs). Buffers are caller-owned so
+  /// concurrent sweeps on per-thread states share nothing.
+  void CountNewlyUninformativeAll(std::vector<uint64_t>& u_pos,
+                                  std::vector<uint64_t>& u_neg) const;
+
   /// Copy of the state with one more label applied. `cls` must be
   /// informative (then either label keeps the sample consistent).
   InferenceState WithLabel(ClassId cls, Label label) const;
@@ -167,31 +183,33 @@ class InferenceState {
   /// Currently-informative classes, sorted by ClassId. The per-label sweeps
   /// only walk this list.
   std::vector<ClassId> informative_;
-  /// keys_[c] = pos_predicate_ ∩ signature(c), kept fresh for informative
-  /// classes (stale entries for certain/labeled classes are never read).
-  /// Cert+ test: keys_[c] == pos_predicate_; Cert− test: keys_[c] ⊆ T(t′).
-  /// Multi-word path only — empty on the single-word path, whose keys live
-  /// in the packed arrays below.
-  std::vector<JoinPredicate> keys_;
-  /// ceil(|Ω| / 64): every predicate lives inside Ω, so the hot sweeps run
-  /// prefix bitset ops over this many words instead of all four.
+  /// ceil(|Ω| / 64), min 1: every predicate lives inside Ω, so the hot
+  /// sweeps run word kernels (util/bit_vector.h) over this many words
+  /// instead of JoinPredicate::kWords — the active-word prefix.
   size_t active_words_ = JoinPredicate::kWords;
 
-  // Single-word fast path (|Ω| ≤ 64, i.e. active_words_ == 1, which covers
-  // instances up to 8×8 attributes): the key word and tuple count of every
-  // informative class packed contiguously in informative_ order, plus the
-  // word of each negative witness. The per-label sweeps and the u± counts
-  // then stream over flat uint64_t arrays instead of chasing 32-byte
-  // bitsets and 64-byte SignatureClass records — the sweeps are memory-
-  // bound, and this cuts the touched bytes per class from ~96 to 16.
-  // Unused (empty inf arrays) when Ω spans several words.
+  // Packed columnar sweep arrays (DESIGN.md §12), class-major with stride
+  // W = active_words_: for the i-th informative class, words [i·W, i·W+W)
+  // of inf_keys_ hold its key T(S+) ∩ T(c), the same slice of inf_sigs_
+  // holds its signature T(c), and inf_counts_[i] its tuple count, all in
+  // informative_ order. neg_words_ packs the W-word signature of every
+  // negative witness the same way. The per-label sweeps, the u± counts and
+  // the batch candidate sweep stream these flat uint64_t arrays with the
+  // util::kernels word loops instead of chasing 32-byte bitsets and
+  // 64-byte SignatureClass records — the sweeps are memory-bound, and at
+  // W == 1 this cuts the touched bytes per class from ~96 to 24. The
+  // Cert+ test is key == T(S+) (Lemma 3.3 via keys); Cert− is
+  // key ⊆ some witness (Lemma 3.4). Signatures ride along so a positive
+  // undo can recompute every key with one flat pos ∩ sig pass and the
+  // batch sweep can read candidate signatures contiguously.
   std::vector<uint64_t> inf_keys_;
+  std::vector<uint64_t> inf_sigs_;
   std::vector<uint64_t> inf_counts_;
-  std::vector<uint64_t> neg_words_;  // word 0 of negative_signatures_
+  std::vector<uint64_t> neg_words_;
 
-  /// Refills inf_keys_/inf_counts_ from the informative list (exact for any
-  /// sample state, since keys are always pos ∩ sig). No-op on the
-  /// multi-word path.
+  /// Refills the packed arrays from the informative list and the sample
+  /// (exact for any state: keys are always pos ∩ sig). Construction-time
+  /// only; labels maintain the arrays incrementally.
   void RebuildPackedInformative();
 
   // Delta stack for ApplyLabelScoped/UndoLabel: transition records shared

@@ -14,8 +14,14 @@ util::Result<Omega> Omega::Make(const rel::Schema& r, const rel::Schema& p) {
     return util::Status::InvalidArgument("schemas must be non-empty");
   }
   if (n * m > util::SmallBitset::kMaxBits) {
+    // The cap comes from the persistent class-table format, which embeds
+    // each signature as a fixed four-word SmallBitset; the in-memory kernel
+    // layer itself is width-generic (util::BitVector covers any |Omega|),
+    // so lifting this limit is a store-format change, not an engine one.
     return util::Status::CapacityExceeded(util::StrFormat(
-        "|Omega| = %zu * %zu = %zu exceeds the %zu-atom predicate capacity",
+        "|Omega| = %zu * %zu = %zu exceeds the %zu-atom capacity pinned by "
+        "the store format (signatures are fixed four-word bitsets on disk); "
+        "larger universes need a store-format rev of SignatureClass",
         n, m, n * m, util::SmallBitset::kMaxBits));
   }
   Omega o;

@@ -20,14 +20,18 @@ std::optional<ClassId> LookaheadStrategy::SelectNext(
 
   std::vector<Entropy> entropies;
   entropies.reserve(informative.size());
+  EntropyBatchScratch batch;
   if (depth_ == 1) {
-    for (ClassId c : informative) entropies.push_back(EntropyOf(state, c));
+    // One column-wise sweep scores every candidate; entropies[k] matches
+    // EntropyOf(state, informative[k]) bit-for-bit.
+    EntropyOfAll(state, batch, entropies);
   } else {
     // One scratch state for every candidate: the lookahead tree is explored
-    // in place via ApplyLabelScoped/UndoLabel and restores it exactly.
+    // in place via ApplyLabelScoped/UndoLabel and restores it exactly. The
+    // batch buffers are likewise shared across candidates.
     InferenceState scratch = state;
     for (ClassId c : informative) {
-      entropies.push_back(EntropyKOfInPlace(scratch, c, depth_));
+      entropies.push_back(EntropyKOfInPlace(scratch, c, depth_, batch));
     }
   }
   Entropy chosen = SkylineMaxMin(entropies);
@@ -44,9 +48,15 @@ std::optional<ClassId> ExpectedGainStrategy::SelectNext(
   std::optional<ClassId> best;
   double best_score = -1;
   uint64_t best_min = 0;
-  for (ClassId c : state.InformativeClasses()) {
-    uint64_t up = state.CountNewlyUninformative(c, Label::kPositive);
-    uint64_t un = state.CountNewlyUninformative(c, Label::kNegative);
+  // Batched u± sweep; column i corresponds to InformativeClassAt(i), so
+  // the first-wins tie-break below visits candidates in the same order as
+  // the per-candidate loop it replaced.
+  EntropyBatchScratch batch;
+  state.CountNewlyUninformativeAll(batch.u_pos, batch.u_neg);
+  for (size_t i = 0; i < batch.u_pos.size(); ++i) {
+    const ClassId c = state.InformativeClassAt(i);
+    const uint64_t up = batch.u_pos[i];
+    const uint64_t un = batch.u_neg[i];
     double score = 0.5 * (static_cast<double>(up) + static_cast<double>(un));
     uint64_t min_u = std::min(up, un);
     if (!best || score > best_score ||

@@ -268,7 +268,12 @@ uint32_t MinimaxEngine::Search(Worker& worker, InferenceState& st,
   // far, initialized to the canonical fail value bound + 1. Children are
   // searched with allowance cur - 2 (a candidate only matters if
   // 1 + worst < cur), which prunes every subtree deeper than the remaining
-  // budget on top of the seed's `1 + worst >= best` cutoff.
+  // budget on top of the seed's `1 + worst >= best` cutoff. Every
+  // ApplyLabelScoped/UndoLabel pair below runs the state's packed
+  // columnar delta-frame path (inference_state.h, DESIGN.md §12): the
+  // sweep walks flat key/signature word arrays sized to the active-word
+  // prefix of |Omega|, so the search inherits the word-kernel speedups —
+  // including multi-word universes — without holding any bitset itself.
   uint32_t cur = bound + 1;
   for (size_t i = 0; i < n; ++i) {
     const ClassId c = st.InformativeClassAt(i);

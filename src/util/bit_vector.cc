@@ -1,0 +1,19 @@
+#include "util/bit_vector.h"
+
+namespace jinfer {
+namespace util {
+
+std::string BitVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEachSetBit([&](size_t bit) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(bit);
+  });
+  out += '}';
+  return out;
+}
+
+}  // namespace util
+}  // namespace jinfer

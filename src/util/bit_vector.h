@@ -1,0 +1,373 @@
+// BitVector: a dynamic multi-word bitset for universes larger than
+// SmallBitset's 256-bit capacity, plus the word-at-a-time kernels
+// (util::kernels) shared between it and the packed columnar sweep arrays
+// in core::InferenceState (DESIGN.md §12).
+//
+// Where SmallBitset is the fixed-capacity value type pinned into the
+// persistent class-table format, BitVector grows on demand: Set(bit)
+// extends the word array, so a universe over 256 atoms routes here instead
+// of tripping SmallBitset's capacity check. The representation is
+// normalized — the highest word is never zero — which makes equality,
+// ordering and hashing independent of how much capacity a value happened
+// to pass through (property-checked against a std::vector<bool> model in
+// tests/util/bitset_fuzz_test.cc).
+//
+// The kernels are deliberately plain counted loops over uint64_t spans:
+// with a constant or small runtime bound the compiler unrolls and
+// auto-vectorizes them (AVX2/AVX-512 on the bench hardware), and the same
+// code stays portable where it cannot. Branch-free accumulator forms are
+// used for the predicates (subset, equality) so the loop body carries no
+// early-out dependence — at the W ≤ 8 word counts the sweeps run at, the
+// saved branch mispredicts outweigh the skipped words.
+
+#ifndef JINFER_UTIL_BIT_VECTOR_H_
+#define JINFER_UTIL_BIT_VECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace jinfer {
+namespace util {
+
+namespace kernels {
+
+/// dst[w] &= src[w].
+inline void AndWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] &= src[w];
+}
+
+/// dst[w] = a[w] & b[w].
+inline void And2Words(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                      size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] = a[w] & b[w];
+}
+
+/// dst[w] |= src[w].
+inline void OrWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+/// dst[w] &= ~src[w] (set difference).
+inline void AndNotWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] &= ~src[w];
+}
+
+/// True iff a ⊆ b over `words` words. Branch-free accumulator form.
+inline bool IsSubsetWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t stray = 0;
+  for (size_t w = 0; w < words; ++w) stray |= a[w] & ~b[w];
+  return stray == 0;
+}
+
+/// True iff a == b over `words` words.
+inline bool EqualWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t diff = 0;
+  for (size_t w = 0; w < words; ++w) diff |= a[w] ^ b[w];
+  return diff == 0;
+}
+
+/// True iff a ∩ b ≠ ∅ over `words` words.
+inline bool IntersectsWords(const uint64_t* a, const uint64_t* b,
+                            size_t words) {
+  uint64_t common = 0;
+  for (size_t w = 0; w < words; ++w) common |= a[w] & b[w];
+  return common != 0;
+}
+
+/// Σ popcount(a[w]).
+inline size_t PopcountWords(const uint64_t* a, size_t words) {
+  size_t c = 0;
+  for (size_t w = 0; w < words; ++w) {
+    c += static_cast<size_t>(std::popcount(a[w]));
+  }
+  return c;
+}
+
+/// True iff key ⊆ witnesses[k] for some k, where `witnesses` is a flat
+/// array of `num` stride-`words` rows — Lemma 3.4 against every negative
+/// witness, the inner predicate of the certainty sweeps.
+inline bool AnyWitnessContains(const uint64_t* key, const uint64_t* witnesses,
+                               size_t num, size_t words) {
+  for (size_t k = 0; k < num; ++k) {
+    if (IsSubsetWords(key, witnesses + k * words, words)) return true;
+  }
+  return false;
+}
+
+/// Mix64-chain hash over `words` words; matches SmallBitset::HashPrefix for
+/// equal word counts, so a container can mix prefix-hashed keys of either
+/// type as long as it is consistent about the width.
+inline uint64_t HashWords(const uint64_t* a, size_t words) {
+  if (words == 1) return Mix64(a[0]);
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t w = 0; w < words; ++w) h = Mix64(a[w] + h);
+  return h;
+}
+
+}  // namespace kernels
+
+class BitVector {
+ public:
+  /// "No such bit" sentinel for the search operations.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  /// Constructs the empty set with capacity for bits [0, nbits) (rounded up
+  /// to whole words; zero words for nbits == 0). Capacity is a reservation
+  /// only — Set() grows past it on demand.
+  explicit BitVector(size_t nbits = 0) : words_(WordsFor(nbits), 0) {}
+
+  /// Number of 64-bit words covering bit indices [0, nbits); 0 for empty.
+  static constexpr size_t WordsFor(size_t nbits) { return (nbits + 63) / 64; }
+
+  /// A vector with bits [0, n) set.
+  static BitVector AllSet(size_t n) {
+    BitVector b(n);
+    size_t full = n / 64;
+    for (size_t w = 0; w < full; ++w) b.words_[w] = ~uint64_t{0};
+    if (n % 64 != 0) b.words_[full] = (uint64_t{1} << (n % 64)) - 1;
+    b.Trim();
+    return b;
+  }
+
+  /// The singleton {bit}.
+  static BitVector Singleton(size_t bit) {
+    BitVector b;
+    b.Set(bit);
+    return b;
+  }
+
+  /// Widens a SmallBitset (bits [0, nbits) of it) into a BitVector.
+  static BitVector FromSmall(const SmallBitset& s, size_t nbits) {
+    JINFER_CHECK(nbits <= SmallBitset::kMaxBits,
+                 "FromSmall(%zu) exceeds SmallBitset capacity", nbits);
+    BitVector b(nbits);
+    for (size_t w = 0; w < b.words_.size(); ++w) b.words_[w] = s.word(w);
+    b.Trim();
+    return b;
+  }
+
+  /// Narrows to a SmallBitset; the value must fit its 256-bit capacity.
+  SmallBitset ToSmall() const {
+    JINFER_CHECK(words_.size() <= SmallBitset::kWords,
+                 "BitVector with %zu words exceeds SmallBitset capacity",
+                 words_.size());
+    SmallBitset s;
+    ForEachSetBit([&](size_t bit) { s.Set(bit); });
+    return s;
+  }
+
+  /// Sets a bit, growing the word array as needed — the dynamic analogue
+  /// of SmallBitset::Set, which JINFER_DCHECKs its fixed capacity instead.
+  void Set(size_t bit) {
+    size_t w = bit / 64;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= uint64_t{1} << (bit % 64);
+  }
+
+  /// Clears a bit; bits beyond the current capacity are already clear.
+  void Reset(size_t bit) {
+    size_t w = bit / 64;
+    if (w >= words_.size()) return;
+    words_[w] &= ~(uint64_t{1} << (bit % 64));
+  }
+
+  /// Reads a bit; bits beyond the current capacity read as 0.
+  bool Test(size_t bit) const {
+    size_t w = bit / 64;
+    return w < words_.size() && ((words_[w] >> (bit % 64)) & 1) != 0;
+  }
+
+  bool Empty() const {
+    uint64_t any = 0;
+    for (uint64_t w : words_) any |= w;
+    return any == 0;
+  }
+
+  size_t Count() const {
+    return kernels::PopcountWords(words_.data(), words_.size());
+  }
+
+  /// Current capacity in bits (a multiple of 64). Semantically the value
+  /// extends with zeros beyond this; comparisons ignore capacity.
+  size_t capacity_bits() const { return words_.size() * 64; }
+
+  size_t num_words() const { return words_.size(); }
+  std::span<const uint64_t> words() const { return words_; }
+  const uint64_t* data() const { return words_.data(); }
+
+  /// The i-th word; words beyond the capacity read as 0.
+  uint64_t word(size_t i) const { return i < words_.size() ? words_[i] : 0; }
+
+  bool IsSubsetOf(const BitVector& other) const {
+    const size_t common =
+        words_.size() < other.words_.size() ? words_.size()
+                                            : other.words_.size();
+    if (!kernels::IsSubsetWords(words_.data(), other.words_.data(), common)) {
+      return false;
+    }
+    for (size_t w = common; w < words_.size(); ++w) {
+      if (words_[w] != 0) return false;
+    }
+    return true;
+  }
+
+  bool IsStrictSubsetOf(const BitVector& other) const {
+    return IsSubsetOf(other) && *this != other;
+  }
+
+  bool Intersects(const BitVector& other) const {
+    const size_t common =
+        words_.size() < other.words_.size() ? words_.size()
+                                            : other.words_.size();
+    return kernels::IntersectsWords(words_.data(), other.words_.data(),
+                                    common);
+  }
+
+  BitVector operator&(const BitVector& o) const {
+    const size_t common =
+        words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+    BitVector r(common * 64);
+    kernels::And2Words(r.words_.data(), words_.data(), o.words_.data(),
+                       common);
+    r.Trim();
+    return r;
+  }
+  BitVector operator|(const BitVector& o) const {
+    const BitVector& big = words_.size() >= o.words_.size() ? *this : o;
+    const BitVector& small = words_.size() >= o.words_.size() ? o : *this;
+    BitVector r = big;
+    kernels::OrWords(r.words_.data(), small.words_.data(),
+                     small.words_.size());
+    r.Trim();
+    return r;
+  }
+  BitVector operator^(const BitVector& o) const {
+    const BitVector& big = words_.size() >= o.words_.size() ? *this : o;
+    const BitVector& small = words_.size() >= o.words_.size() ? o : *this;
+    BitVector r = big;
+    for (size_t w = 0; w < small.words_.size(); ++w) {
+      r.words_[w] ^= small.words_[w];
+    }
+    r.Trim();
+    return r;
+  }
+  /// Set difference: bits in *this but not in `o`.
+  BitVector operator-(const BitVector& o) const {
+    BitVector r = *this;
+    const size_t common =
+        words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+    kernels::AndNotWords(r.words_.data(), o.words_.data(), common);
+    r.Trim();
+    return r;
+  }
+  BitVector& operator&=(const BitVector& o) {
+    if (o.words_.size() < words_.size()) words_.resize(o.words_.size());
+    kernels::AndWords(words_.data(), o.words_.data(), words_.size());
+    Trim();
+    return *this;
+  }
+  BitVector& operator|=(const BitVector& o) {
+    if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
+    kernels::OrWords(words_.data(), o.words_.data(), o.words_.size());
+    return *this;
+  }
+
+  /// Equality of the represented sets (capacity-independent).
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    const BitVector& big = a.words_.size() >= b.words_.size() ? a : b;
+    const BitVector& small = a.words_.size() >= b.words_.size() ? b : a;
+    if (!kernels::EqualWords(big.words_.data(), small.words_.data(),
+                             small.words_.size())) {
+      return false;
+    }
+    for (size_t w = small.words_.size(); w < big.words_.size(); ++w) {
+      if (big.words_[w] != 0) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const BitVector& a, const BitVector& b) {
+    return !(a == b);
+  }
+
+  /// Same order as SmallBitset: lexicographic from the highest word down,
+  /// capacity-independent (the set with the highest distinct bit is
+  /// greater).
+  friend bool operator<(const BitVector& a, const BitVector& b) {
+    const size_t words =
+        a.words_.size() > b.words_.size() ? a.words_.size() : b.words_.size();
+    for (size_t w = words; w-- > 0;) {
+      const uint64_t aw = a.word(w);
+      const uint64_t bw = b.word(w);
+      if (aw != bw) return aw < bw;
+    }
+    return false;
+  }
+
+  /// Index of the lowest set bit; kNpos when empty.
+  size_t FirstSetBit() const { return NextSetBit(0); }
+
+  /// Index of the lowest set bit >= `from`; kNpos when none.
+  size_t NextSetBit(size_t from) const {
+    size_t w = from / 64;
+    if (w >= words_.size()) return kNpos;
+    uint64_t masked = words_[w] & (~uint64_t{0} << (from % 64));
+    while (true) {
+      if (masked != 0) {
+        return w * 64 + static_cast<size_t>(std::countr_zero(masked));
+      }
+      if (++w == words_.size()) return kNpos;
+      masked = words_[w];
+    }
+  }
+
+  /// Calls fn(bit) for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        fn(w * 64 + static_cast<size_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Capacity-independent hash, consistent with operator== (trailing zero
+  /// words do not contribute).
+  size_t Hash() const {
+    size_t words = words_.size();
+    while (words > 0 && words_[words - 1] == 0) --words;
+    if (words == 0) return static_cast<size_t>(Mix64(0));
+    return static_cast<size_t>(kernels::HashWords(words_.data(), words));
+  }
+
+  /// Debug string, e.g. "{0,3,257}".
+  std::string ToString() const;
+
+ private:
+  /// Drops trailing zero words after a shrinking operation so word counts
+  /// stay close to the value's true extent. Comparisons and Hash() are
+  /// written to be capacity-independent regardless — Set/Reset leave
+  /// trailing zeros in place and everything still agrees.
+  void Trim() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  }
+
+  std::vector<uint64_t> words_;
+};
+
+struct BitVectorHash {
+  size_t operator()(const BitVector& b) const { return b.Hash(); }
+};
+
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_BIT_VECTOR_H_

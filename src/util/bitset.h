@@ -3,8 +3,12 @@
 // popcount, iteration over set bits, and hashing.
 //
 // 256 bits covers Omega = attrs(R) x attrs(P) for tables of up to 16x16
-// attributes (e.g. TPC-H Lineitem(16) x Part(9)). Capacity violations are
-// caught at the API boundary (core::Omega), not here.
+// attributes (e.g. TPC-H Lineitem(16) x Part(9)). The capacity is pinned by
+// the store format (SignatureClass embeds the four words directly), so it
+// cannot grow; larger universes use util::BitVector (bit_vector.h) instead.
+// Per-bit capacity violations abort via JINFER_DCHECK — always-on in the
+// Debug builds the sanitizer/chaos/TSan CI jobs run, compiled out of the
+// Release hot loops. Bulk entry points (AllSet, word) keep full-time checks.
 
 #ifndef JINFER_UTIL_BITSET_H_
 #define JINFER_UTIL_BITSET_H_
@@ -58,17 +62,17 @@ class SmallBitset {
   }
 
   void Set(size_t bit) {
-    JINFER_CHECK(bit < kMaxBits, "Set(%zu) out of range", bit);
+    JINFER_DCHECK(bit < kMaxBits, "Set(%zu) out of range", bit);
     words_[bit / 64] |= uint64_t{1} << (bit % 64);
   }
 
   void Reset(size_t bit) {
-    JINFER_CHECK(bit < kMaxBits, "Reset(%zu) out of range", bit);
+    JINFER_DCHECK(bit < kMaxBits, "Reset(%zu) out of range", bit);
     words_[bit / 64] &= ~(uint64_t{1} << (bit % 64));
   }
 
   bool Test(size_t bit) const {
-    JINFER_CHECK(bit < kMaxBits, "Test(%zu) out of range", bit);
+    JINFER_DCHECK(bit < kMaxBits, "Test(%zu) out of range", bit);
     return (words_[bit / 64] >> (bit % 64)) & 1;
   }
 

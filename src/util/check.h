@@ -20,4 +20,17 @@
     }                                                                  \
   } while (false)
 
+/// Debug-mode variant for per-bit/per-word assertions on kernel hot paths,
+/// where an always-on branch would defeat auto-vectorization. Enabled in
+/// Debug builds (and whenever JINFER_DEBUG_CHECKS is defined); compiles to
+/// nothing in Release. The sanitizer, chaos and TSan CI jobs all build
+/// Debug, so these stay exercised on every change.
+#if !defined(NDEBUG) || defined(JINFER_DEBUG_CHECKS)
+#define JINFER_DCHECK(cond, ...) JINFER_CHECK(cond, __VA_ARGS__)
+#else
+#define JINFER_DCHECK(cond, ...) \
+  do {                           \
+  } while (false)
+#endif
+
 #endif  // JINFER_UTIL_CHECK_H_

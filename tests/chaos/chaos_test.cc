@@ -338,6 +338,75 @@ TEST(ChaosTest, DeadlinesEnforcedWithinOneSlice) {
   EXPECT_LT(elapsed, std::chrono::milliseconds(400));
 }
 
+// Property 1 for the packed word-kernel sweeps at scale: a multi-word
+// (|Omega| = 72, 900-class) L1S session and the 18-class OPT minimax
+// session, run through the manager under slice faults at 1 and 4 threads,
+// reproduce their fault-free transcripts bit-for-bit. Guards the batched
+// u+/u- sweep and the delta-frame apply/undo path: a fault-induced retry
+// or reordering that perturbed candidate evaluation would change what the
+// session asks.
+TEST(ChaosTest, LargeOmegaTranscriptsSurviveFaults) {
+  struct Case {
+    workload::SyntheticConfig config;
+    uint64_t seed;
+    core::StrategyKind kind;
+  };
+  const std::vector<Case> cases = {
+      {{9, 8, 30, 3}, 101, core::StrategyKind::kLookahead1},
+      {{3, 2, 8, 4}, 20140324, core::StrategyKind::kOptimal},
+  };
+
+  std::vector<std::shared_ptr<core::SignatureIndex>> indexes;
+  std::vector<core::JoinPredicate> goals;
+  std::vector<core::InferenceResult> baseline;
+  for (const Case& c : cases) {
+    auto inst = workload::GenerateSynthetic(c.config, c.seed);
+    ASSERT_TRUE(inst.ok());
+    auto index = core::SignatureIndex::Build(inst->r, inst->p);
+    ASSERT_TRUE(index.ok());
+    indexes.push_back(
+        std::make_shared<core::SignatureIndex>(std::move(*index)));
+    goals.push_back(indexes.back()->omega().PredicateFromPairs({{0, 0},
+                                                                {1, 1}}));
+    // Baseline on the direct session path, which crosses no failpoints.
+    Session session(*indexes.back(), core::MakeStrategy(c.kind));
+    core::GoalOracle oracle(goals.back());
+    while (std::optional<core::ClassId> question = session.NextQuestion()) {
+      ASSERT_TRUE(
+          session.Answer(oracle.LabelClass(*indexes.back(), *question)).ok());
+    }
+    baseline.push_back(session.Result());
+  }
+  ASSERT_GE(baseline[0].num_interactions, 8u);  // A real multi-word session.
+
+  ASSERT_TRUE(util::Failpoints::Arm("manager.step", "prob:0.2:37").ok());
+  for (int threads : {1, 4}) {
+    std::vector<SessionJob> jobs;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      SessionJob job;
+      auto index = indexes[i];
+      auto kind = cases[i].kind;
+      job.make = [index, kind] {
+        return util::Result<Session>(Session(*index, core::MakeStrategy(kind)));
+      };
+      job.oracle = std::make_unique<core::GoalOracle>(goals[i]);
+      jobs.push_back(std::move(job));
+    }
+    SessionManager::Options options;
+    options.threads = threads;
+    options.steps_per_slice = 1;
+    SessionManager manager(options);
+    auto results = manager.RunAll(std::move(jobs));
+    ASSERT_EQ(results.size(), cases.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << "case " << i << " at " << threads
+          << " threads: " << results[i].status().ToString();
+      ExpectSameResult(baseline[i], *results[i], i);
+    }
+  }
+}
+
 // Load-shedding composes with faults: an oversubscribed batch under an
 // ambient fault schedule sheds its tail deterministically and still
 // completes or cleanly fails every admitted job — the pool never deadlocks.
