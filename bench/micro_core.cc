@@ -20,6 +20,7 @@
 #include "core/strategies/minimax_engine.h"
 #include "core/strategies/minimax_reference.h"
 #include "core/strategies/optimal_strategy.h"
+#include "obs/metrics.h"
 #include "sat/dpll.h"
 #include "sat/random_cnf.h"
 #include "semijoin/consistency.h"
@@ -651,6 +652,51 @@ void BM_FailpointArmedUntripped(benchmark::State& state) {
   util::Failpoints::Reset();
 }
 BENCHMARK(BM_FailpointArmedUntripped);
+
+// --- obs layer (DESIGN.md §13) ------------------------------------------
+//
+// The cost contract every instrumented hot path relies on, priced the same
+// way the failpoint pair above prices chaos hooks. Disarmed: one relaxed
+// load of the enable flag and nothing else (a JINFER_NO_METRICS build
+// removes even that — the call compiles to void). Armed counter inc: one
+// relaxed fetch_add on this thread's cache-line-padded shard — the ≤5 ns
+// bar each Inc call site is budgeted against; the Threads(8) variant shows
+// the shards keep concurrent writers contention-free. Histogram record:
+// two fetch_adds (bucket + sum) behind one bit_width.
+
+void BM_MetricsDisarmed(benchmark::State& state) {
+  static obs::Counter& counter =
+      obs::Registry::Global().counter("jinfer_bench_disarmed_total");
+  if (state.thread_index() == 0) obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    counter.Inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+  if (state.thread_index() == 0) obs::SetMetricsEnabled(true);
+}
+BENCHMARK(BM_MetricsDisarmed);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  static obs::Counter& counter =
+      obs::Registry::Global().counter("jinfer_bench_counter_total");
+  for (auto _ : state) {
+    counter.Inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_MetricsCounterInc)->Threads(1)->Threads(8);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  static obs::Histogram& histogram =
+      obs::Registry::Global().histogram("jinfer_bench_histogram_nanos");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = (v + 1237) & 0xFFFFF;  // Walk the buckets, near-free arithmetic.
+    benchmark::DoNotOptimize(&histogram);
+  }
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 }  // namespace
 }  // namespace jinfer

@@ -28,16 +28,15 @@
 
 #include <unistd.h>
 
-#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/oracle.h"
+#include "obs/metrics.h"
 #include "core/strategy.h"
 #include "relational/csv.h"
 #include "runtime/index_cache.h"
@@ -324,9 +323,13 @@ BENCHMARK(BM_ThroughputSessionsDegraded)
 // connection count grows (Arg): real sockets on loopback, the full frame
 // protocol, the event loop + worker handoff, and the shared tiered cache
 // underneath. Each connection runs complete sessions back to back (open,
-// question/answer loop, close); per-session wall latency is collected and
-// reported as latency_p50_ms / latency_p99_ms next to items_per_second —
-// the number the overload/drain design is accountable to (§11.3).
+// question/answer loop, close); per-session wall latency is recorded into
+// an obs::Histogram and reported as latency_p50_ms / latency_p99_ms next
+// to items_per_second — the same log₂ buckets and interpolated quantile
+// definition the server's own StatsOk summaries use (DESIGN.md §13), so
+// the bench number and the production dashboard number agree by
+// construction. Record is wait-free, so the tenant threads share one
+// histogram with no bench-side mutex.
 void BM_ServerThroughput(benchmark::State& state) {
   const int connections = static_cast<int>(state.range(0));
   constexpr size_t kSessionsPerConn = 8;
@@ -364,8 +367,7 @@ void BM_ServerThroughput(benchmark::State& state) {
   server::Server srv(options);
   JINFER_CHECK(srv.Start().ok(), "server start");
 
-  std::vector<double> latencies_ms;
-  std::mutex latencies_mu;
+  obs::Histogram latency_nanos;
 
   for (auto _ : state) {
     std::vector<std::thread> tenants;
@@ -374,8 +376,6 @@ void BM_ServerThroughput(benchmark::State& state) {
       tenants.emplace_back([&, c] {
         auto client = server::Client::Connect("127.0.0.1", srv.port());
         JINFER_CHECK(client.ok(), "connect");
-        std::vector<double> local;
-        local.reserve(kSessionsPerConn);
         for (size_t s = 0; s < kSessionsPerConn; ++s) {
           const Upload& up =
               (*uploads)[(static_cast<size_t>(c) + s) % uploads->size()];
@@ -393,12 +393,11 @@ void BM_ServerThroughput(benchmark::State& state) {
                 "answer");
           }
           JINFER_CHECK(client->CloseSession().ok(), "close");
-          local.push_back(std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - begin)
-                              .count());
+          latency_nanos.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - begin)
+                  .count()));
         }
-        std::lock_guard<std::mutex> lock(latencies_mu);
-        latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
       });
     }
     for (auto& t : tenants) t.join();
@@ -410,12 +409,10 @@ void BM_ServerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(connections) *
                           static_cast<int64_t>(kSessionsPerConn));
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  if (!latencies_ms.empty()) {
-    state.counters["latency_p50_ms"] =
-        latencies_ms[latencies_ms.size() / 2];
-    state.counters["latency_p99_ms"] =
-        latencies_ms[latencies_ms.size() * 99 / 100];
+  const obs::HistogramSnapshot latency = latency_nanos.Snapshot();
+  if (latency.count > 0) {
+    state.counters["latency_p50_ms"] = latency.Quantile(0.5) / 1e6;
+    state.counters["latency_p99_ms"] = latency.Quantile(0.99) / 1e6;
   }
   server::StatsOkBody stats = srv.Stats();
   state.counters["frames_read"] = static_cast<double>(stats.frames_read);

@@ -3,11 +3,16 @@
 //
 // Usage:
 //   ./build/examples/interactive_cli [--store-dir=DIR] [--deadline-ms=N]
-//                                    R.csv P.csv [strategy]
+//                                    [--metrics-dump] R.csv P.csv [strategy]
 //   ./build/examples/interactive_cli [--store-dir=DIR]   (built-in demo)
 //   ./build/examples/interactive_cli --serve=HOST:PORT [--store-dir=DIR]
-//   ./build/examples/interactive_cli --connect=HOST:PORT [R.csv P.csv
-//                                    [strategy]]
+//   ./build/examples/interactive_cli --connect=HOST:PORT [--metrics-dump]
+//                                    [R.csv P.csv [strategy]]
+//
+// --metrics-dump prints the Prometheus text exposition of the process's
+// metric registry after the session (DESIGN.md §13). In --connect mode the
+// dump is fetched from the *server* over a kMetrics frame instead — live
+// histograms from the serving process, while other sessions keep running.
 //
 // One binary demos both ends of the wire (DESIGN.md §11): --serve runs the
 // fault-tolerant serving front end (SIGTERM or Ctrl-C drains gracefully —
@@ -52,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "relational/csv.h"
 #include "relational/relation.h"
 #include "runtime/index_cache.h"
@@ -173,7 +179,8 @@ int RunServe(const std::string& spec, const std::string& store_dir) {
 }
 
 int RunConnect(const std::string& spec, const rel::Relation& r,
-               const rel::Relation& p, const std::string& strategy_name) {
+               const rel::Relation& p, const std::string& strategy_name,
+               bool metrics_dump) {
   auto endpoint = util::ParseEndpoint(spec);
   if (!endpoint.ok()) {
     std::fprintf(stderr, "bad --connect endpoint: %s\n",
@@ -259,6 +266,16 @@ int RunConnect(const std::string& spec, const rel::Relation& r,
   std::printf("\nInferred join predicate: %s (%llu interaction(s))\n",
               closed->predicate_text.c_str(),
               static_cast<unsigned long long>(closed->num_interactions));
+  if (metrics_dump) {
+    auto metrics = client->ServerMetrics();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "metrics fetch failed: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n# server metrics (live, via kMetrics frame)\n%s",
+                metrics->text.c_str());
+  }
   return 0;
 }
 
@@ -270,6 +287,7 @@ int main(int argc, char** argv) {
   std::string store_dir;
   std::string serve_spec, connect_spec;
   long deadline_ms = 0;
+  bool metrics_dump = false;
 
   // Split --store-dir[=DIR], --serve[=H:P], --connect[=H:P] and
   // --deadline-ms=N off before the positional arguments.
@@ -288,6 +306,8 @@ int main(int argc, char** argv) {
       connect_spec = arg.substr(std::strlen("--connect="));
     } else if (arg == "--connect" && a + 1 < argc) {
       connect_spec = argv[++a];
+    } else if (arg == "--metrics-dump") {
+      metrics_dump = true;
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       char* end = nullptr;
       deadline_ms = std::strtol(arg.c_str() + std::strlen("--deadline-ms="),
@@ -339,7 +359,7 @@ int main(int argc, char** argv) {
   }
 
   if (!connect_spec.empty()) {
-    return RunConnect(connect_spec, r, p, strategy_name);
+    return RunConnect(connect_spec, r, p, strategy_name, metrics_dump);
   }
 
   runtime::IndexCacheOptions cache_options;
@@ -428,5 +448,9 @@ int main(int argc, char** argv) {
   std::printf("\nInferred join predicate: %s\n",
               session.index().omega().Format(
                   session.CurrentPredicate()).c_str());
+  if (metrics_dump) {
+    std::printf("\n# process metrics\n%s",
+                obs::RenderPrometheusText().c_str());
+  }
   return 0;
 }

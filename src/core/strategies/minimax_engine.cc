@@ -2,11 +2,73 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace jinfer {
 namespace core {
+
+namespace {
+
+/// Registry handles for the engine's counters. The engine already keeps
+/// exact per-instance MinimaxCounters; each public entry point publishes
+/// its delta to the registry so operators see aggregate search pressure
+/// without asking every engine instance (DESIGN.md §13.1).
+struct MinimaxMetrics {
+  obs::Counter& searches;
+  obs::Counter& nodes;
+  obs::Counter& tt_probes;
+  obs::Counter& tt_hits;
+  obs::Counter& tt_stores;
+  obs::Histogram& search_nanos;
+
+  static MinimaxMetrics& Get() {
+    static MinimaxMetrics* m = new MinimaxMetrics{
+        obs::Registry::Global().counter(obs::kMinimaxSearchesTotal),
+        obs::Registry::Global().counter(obs::kMinimaxNodesTotal),
+        obs::Registry::Global().counter(obs::kMinimaxTtProbesTotal),
+        obs::Registry::Global().counter(obs::kMinimaxTtHitsTotal),
+        obs::Registry::Global().counter(obs::kMinimaxTtStoresTotal),
+        obs::Registry::Global().histogram(obs::kMinimaxSearchNanos),
+    };
+    return *m;
+  }
+};
+
+/// Publishes one entry point's counter delta plus its wall time as a
+/// histogram sample and a flight-recorder span (detail = nodes visited).
+void RecordSearch(const MinimaxCounters& before, const MinimaxCounters& after,
+                  const util::Stopwatch& watch) {
+#ifndef JINFER_NO_METRICS
+  if (!obs::MetricsEnabled()) return;
+  MinimaxMetrics& m = MinimaxMetrics::Get();
+  const uint64_t nodes = after.nodes - before.nodes;
+  m.searches.Inc();
+  m.nodes.Inc(nodes);
+  m.tt_probes.Inc(after.tt_probes - before.tt_probes);
+  m.tt_hits.Inc(after.tt_hits - before.tt_hits);
+  m.tt_stores.Inc(after.tt_stores - before.tt_stores);
+  const uint64_t duration_nanos = watch.ElapsedNanos();
+  m.search_nanos.Record(duration_nanos);
+  obs::SpanRecord record;
+  record.trace_id = 0;
+  record.start_nanos = watch.StartNanos();
+  record.duration_nanos = duration_nanos;
+  record.detail = nodes;
+  record.kind = obs::SpanKind::kMinimaxSearch;
+  obs::FlightRecorder::Global().Record(record);
+#else
+  (void)before;
+  (void)after;
+  (void)watch;
+#endif
+}
+
+}  // namespace
 
 ZobristTable::ZobristTable(size_t num_classes, uint64_t seed) {
   util::Rng rng(seed);
@@ -357,7 +419,11 @@ size_t MinimaxEngine::Value(const InferenceState& state) {
                "engine is bound to a different SignatureIndex");
   if (state.NumInformativeClasses() == 0) return 0;
   std::vector<uint32_t> results;
-  return SolveRoot(state, &results);
+  const MinimaxCounters before = counters_;
+  util::Stopwatch watch;
+  const size_t v = SolveRoot(state, &results);
+  RecordSearch(before, counters_, watch);
+  return v;
 }
 
 std::optional<ClassId> MinimaxEngine::SelectBest(const InferenceState& state) {
@@ -367,7 +433,10 @@ std::optional<ClassId> MinimaxEngine::SelectBest(const InferenceState& state) {
   if (n == 0) return std::nullopt;
   if (n == 1) return state.InformativeClassAt(0);
   std::vector<uint32_t> results;
+  const MinimaxCounters before = counters_;
+  util::Stopwatch watch;
   const uint32_t v = SolveRoot(state, &results);
+  RecordSearch(before, counters_, watch);
   // Lowest-ClassId argmin: candidates failing the final bound report values
   // strictly above v, so this is the exact tie-break of the reference.
   for (size_t i = 0; i < n; ++i) {
@@ -420,6 +489,8 @@ size_t MinimaxEngine::WorstCase(Strategy& strategy) {
   MinimaxCounters counters;
   InferenceState scratch(*index_);
   ++counters.scratch_rebuilds;
+  const MinimaxCounters before = counters_;
+  util::Stopwatch watch;
   const size_t v = PlayAdversary(strategy, tt, counters, scratch,
                                  ZobristTable::kEmptyHash);
   counters_.nodes += counters.nodes;
@@ -427,6 +498,7 @@ size_t MinimaxEngine::WorstCase(Strategy& strategy) {
   counters_.tt_hits += counters.tt_hits;
   counters_.tt_stores += counters.tt_stores;
   counters_.scratch_rebuilds += counters.scratch_rebuilds;
+  RecordSearch(before, counters_, watch);
   return v;
 }
 

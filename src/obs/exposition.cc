@@ -1,0 +1,82 @@
+#include "obs/exposition.h"
+
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace obs {
+
+namespace {
+
+void RenderHistogram(const std::string& name, const HistogramSnapshot& h,
+                     std::string& out) {
+  out += util::StrFormat("# TYPE %s histogram\n", name.c_str());
+  size_t highest = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] != 0) highest = b;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= highest; ++b) {
+    cumulative += h.buckets[b];
+    out += util::StrFormat(
+        "%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+        static_cast<unsigned long long>(HistogramSnapshot::BucketUpper(b)),
+        static_cast<unsigned long long>(cumulative));
+  }
+  out += util::StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h.count));
+  out += util::StrFormat("%s_sum %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h.sum));
+  out += util::StrFormat("%s_count %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(h.count));
+  for (double q : {0.5, 0.9, 0.99}) {
+    out += util::StrFormat("%s{quantile=\"%g\"} %.1f\n", name.c_str(), q,
+                           h.Quantile(q));
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(
+    const std::vector<MetricSnapshot>& metrics) {
+  std::string out;
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += util::StrFormat("# TYPE %s counter\n%s %llu\n",
+                               m.name.c_str(), m.name.c_str(),
+                               static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricKind::kGauge:
+        out += util::StrFormat("# TYPE %s gauge\n%s %lld\n", m.name.c_str(),
+                               m.name.c_str(),
+                               static_cast<long long>(m.gauge));
+        break;
+      case MetricKind::kHistogram:
+        RenderHistogram(m.name, m.histogram, out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText() {
+  return RenderPrometheusText(Registry::Global().Snapshot());
+}
+
+std::vector<HistogramSummary> SummarizeHistograms() {
+  std::vector<HistogramSummary> out;
+  for (const MetricSnapshot& m : Registry::Global().Snapshot()) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    HistogramSummary s;
+    s.name = m.name;
+    s.count = m.histogram.count;
+    s.sum = m.histogram.sum;
+    s.p50 = m.histogram.Quantile(0.5);
+    s.p99 = m.histogram.Quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace jinfer

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <bit>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/metric_names.h"
+#include "util/string_util.h"
+
+namespace jinfer {
+namespace obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIndexBuild: return "index_build";
+    case SpanKind::kCacheProbe: return "cache_probe";
+    case SpanKind::kStoreLoad: return "store_load";
+    case SpanKind::kStorePut: return "store_put";
+    case SpanKind::kQuestionCompute: return "question_compute";
+    case SpanKind::kMinimaxSearch: return "minimax_search";
+    case SpanKind::kAnswerApply: return "answer_apply";
+    case SpanKind::kFrameDecode: return "frame_decode";
+    case SpanKind::kFrameQueue: return "frame_queue";
+    case SpanKind::kFrameExecute: return "frame_execute";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+      mask_(slots_.size() - 1),
+      drop_counter_(&Registry::Global().counter(kTraceSpansDroppedTotal)) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // Leaked.
+  return *recorder;
+}
+
+void FlightRecorder::Record(const SpanRecord& record) {
+#ifndef JINFER_NO_METRICS
+  if (!MetricsEnabled()) return;
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Odd sequence = write in progress: a reader that sees it skips the
+  // slot. Two writers lapping each other on one slot can interleave, but
+  // then neither leaves the exact even sequence a reader accepts, so a
+  // torn record is never returned — it just counts as dropped.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.start_nanos.store(record.start_nanos, std::memory_order_relaxed);
+  slot.duration_nanos.store(record.duration_nanos,
+                            std::memory_order_relaxed);
+  slot.kind_detail.store(
+      (record.detail << 8) | static_cast<uint64_t>(record.kind),
+      std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  if (ticket >= slots_.size()) drop_counter_->Inc();
+#else
+  (void)record;
+#endif
+}
+
+std::vector<SpanRecord> FlightRecorder::Snapshot(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+#ifndef JINFER_NO_METRICS
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  const uint64_t first = head > cap ? head - cap : 0;
+  out.reserve(static_cast<size_t>(head - first));
+  for (uint64_t ticket = first; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    const uint64_t expected = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+    SpanRecord r;
+    r.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    r.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+    r.duration_nanos = slot.duration_nanos.load(std::memory_order_relaxed);
+    const uint64_t kd = slot.kind_detail.load(std::memory_order_relaxed);
+    r.detail = kd >> 8;
+    r.kind = static_cast<SpanKind>(kd & 0xff);
+    // Re-check after the copy: a writer may have lapped us mid-read.
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+    if (trace_id != 0 && r.trace_id != trace_id) continue;
+    out.push_back(r);
+  }
+#else
+  (void)trace_id;
+#endif
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  return head_.load(std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::dropped() const {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t cap = slots_.size();
+  return head > cap ? head - cap : 0;
+}
+
+std::string RenderFlightDump(const std::string& reason,
+                             const std::vector<SpanRecord>& spans) {
+  std::string out = util::StrFormat("flight recorder dump: %s (%zu spans)\n",
+                                    reason.c_str(), spans.size());
+  const SpanRecord* slowest = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (slowest == nullptr || s.duration_nanos > slowest->duration_nanos) {
+      slowest = &s;
+    }
+  }
+  if (slowest != nullptr) {
+    out += util::StrFormat(
+        "slowest span: %s trace=%llu duration=%.3f ms detail=%llu\n",
+        SpanKindName(slowest->kind),
+        static_cast<unsigned long long>(slowest->trace_id),
+        static_cast<double>(slowest->duration_nanos) * 1e-6,
+        static_cast<unsigned long long>(slowest->detail));
+  }
+  for (const SpanRecord& s : spans) {
+    out += util::StrFormat(
+        "  %-16s trace=%llu start=%llu duration_ns=%llu detail=%llu\n",
+        SpanKindName(s.kind), static_cast<unsigned long long>(s.trace_id),
+        static_cast<unsigned long long>(s.start_nanos),
+        static_cast<unsigned long long>(s.duration_nanos),
+        static_cast<unsigned long long>(s.detail));
+  }
+  return out;
+}
+
+namespace {
+
+std::mutex& LastDumpMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& LastDumpStorage() {
+  static std::string* dump = new std::string();  // Leaked.
+  return *dump;
+}
+
+}  // namespace
+
+void EmitFlightDump(const std::string& reason, uint64_t trace_id) {
+  std::vector<SpanRecord> spans =
+      FlightRecorder::Global().Snapshot(trace_id);
+  std::string rendered = RenderFlightDump(reason, spans);
+  Registry::Global().counter(kTraceDumpsTotal).Inc();
+  // One stderr line, not the whole table: the dump is for the operator to
+  // pull (LastFlightDump, --metrics-dump), the line is the breadcrumb.
+  const size_t newline = rendered.find('\n');
+  std::fprintf(stderr, "[jinfer-obs] %.*s\n",
+               static_cast<int>(newline == std::string::npos
+                                    ? rendered.size()
+                                    : newline),
+               rendered.c_str());
+  std::lock_guard<std::mutex> lock(LastDumpMutex());
+  LastDumpStorage() = std::move(rendered);
+}
+
+std::string LastFlightDump() {
+  std::lock_guard<std::mutex> lock(LastDumpMutex());
+  return LastDumpStorage();
+}
+
+}  // namespace obs
+}  // namespace jinfer

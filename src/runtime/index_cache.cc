@@ -4,12 +4,59 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
 #include "util/string_util.h"
 
 namespace jinfer {
 namespace runtime {
+
+namespace {
+
+/// Registry handles for the cache's counters. Dual-write discipline
+/// (DESIGN.md §13.1): the per-instance IndexCacheStats under mu_ stays
+/// the source of truth for stats() — every site that bumps a struct field
+/// also bumps the matching global counter, so registry deltas track
+/// struct deltas exactly (asserted in tests/chaos/).
+struct CacheMetrics {
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Counter& builds;
+  obs::Counter& failures;
+  obs::Counter& mapped_loads;
+  obs::Counter& store_writes;
+  obs::Counter& evictions;
+  obs::Counter& rejected_admissions;
+  obs::Counter& degraded_builds;
+  obs::Counter& fail_fast;
+  obs::Counter& backoff_arms;
+  obs::Histogram& probe_nanos;
+  obs::Histogram& build_nanos;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics* m = new CacheMetrics{
+        obs::Registry::Global().counter(obs::kCacheLookupsTotal),
+        obs::Registry::Global().counter(obs::kCacheHitsTotal),
+        obs::Registry::Global().counter(obs::kCacheBuildsTotal),
+        obs::Registry::Global().counter(obs::kCacheFailuresTotal),
+        obs::Registry::Global().counter(obs::kCacheMappedLoadsTotal),
+        obs::Registry::Global().counter(obs::kCacheStoreWritesTotal),
+        obs::Registry::Global().counter(obs::kCacheEvictionsTotal),
+        obs::Registry::Global().counter(obs::kCacheRejectedAdmissionsTotal),
+        obs::Registry::Global().counter(obs::kCacheDegradedBuildsTotal),
+        obs::Registry::Global().counter(obs::kCacheFailFastTotal),
+        obs::Registry::Global().counter(obs::kCacheBackoffArmsTotal),
+        obs::Registry::Global().histogram(obs::kCacheProbeNanos),
+        obs::Registry::Global().histogram(obs::kCacheBuildNanos),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 const char* IndexTierName(IndexTier tier) {
   switch (tier) {
@@ -28,6 +75,9 @@ IndexCache::GetOrBuild(const rel::Relation& r, const rel::Relation& p) {
 
 util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
     const rel::Relation& r, const rel::Relation& p) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  obs::ScopedSpan probe_span(obs::SpanKind::kCacheProbe, /*trace_id=*/0,
+                             &metrics.probe_nanos);
   const InstanceFingerprint key =
       FingerprintInstance(r, p, options_.build.compress);
 
@@ -38,12 +88,14 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.lookups;
+    metrics.lookups.Inc();
     // Every lookup feeds the admission sketch, hits included: residency
     // decisions compare true access frequencies, not miss frequencies.
     sketch_.Increment(SketchKey(key));
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      metrics.hits.Inc();
       std::shared_future<BuildOutcome> future = it->second.future;
       lock.unlock();
       // Blocks iff the resolution is still in flight.
@@ -55,8 +107,9 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
     // resolution above) runs a real retry.
     auto failed = failures_.find(key);
     if (failed != failures_.end() &&
-        std::chrono::steady_clock::now() < failed->second.retry_after) {
+        clock().NowNanos() < failed->second.retry_after_nanos) {
       ++stats_.fail_fast;
+      metrics.fail_fast.Inc();
       return util::Status::Unavailable(util::StrFormat(
           "index resolution for fingerprint %s backing off after %u "
           "transient failure(s)",
@@ -93,6 +146,8 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
   if (!store_hit) {
     util::Result<core::SignatureIndex> built =
         [&]() -> util::Result<core::SignatureIndex> {
+      obs::ScopedSpan build_span(obs::SpanKind::kIndexBuild, /*trace_id=*/0,
+                                 &metrics.build_nanos);
       util::Status injected = util::FailpointHit("cache.build");
       if (!injected.ok()) return injected;
       return core::SignatureIndex::Build(r, p, options_.build);
@@ -116,6 +171,8 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
       // falls through to the build path above rather than surfacing.
       ++stats_.builds;
       ++stats_.failures;
+      metrics.builds.Inc();
+      metrics.failures.Inc();
       if (options_.failure_backoff_base.count() > 0 &&
           util::IsTransient(outcome.status())) {
         FailureState& state = failures_[key];
@@ -126,8 +183,13 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
         if (window > options_.failure_backoff_max) {
           window = options_.failure_backoff_max;
         }
-        state.retry_after = std::chrono::steady_clock::now() + window;
+        state.retry_after_nanos =
+            clock().NowNanos() +
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(window)
+                    .count());
         ++stats_.backoff_arms;
+        metrics.backoff_arms.Inc();
       }
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second.id == my_id) entries_.erase(it);
@@ -146,10 +208,18 @@ util::Result<TieredIndex> IndexCache::GetOrBuildTiered(
     failures_.erase(key);  // Success closes any backoff window.
     if (store_hit) {
       ++stats_.mapped_loads;
+      metrics.mapped_loads.Inc();
     } else {
       ++stats_.builds;
-      if (degraded) ++stats_.degraded_builds;
-      if (persisted) ++stats_.store_writes;
+      metrics.builds.Inc();
+      if (degraded) {
+        ++stats_.degraded_builds;
+        metrics.degraded_builds.Inc();
+      }
+      if (persisted) {
+        ++stats_.store_writes;
+        metrics.store_writes.Inc();
+      }
     }
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.id == my_id) {
@@ -189,11 +259,13 @@ void IndexCache::EnforceCapacityLocked(const InstanceFingerprint& key,
   if (victim != entries_.end() && newcomer_freq > victim_freq) {
     entries_.erase(victim);
     ++stats_.evictions;
+    CacheMetrics::Get().evictions.Inc();
   } else {
     auto self = entries_.find(key);
     if (self != entries_.end() && self->second.id == id) {
       entries_.erase(self);
       ++stats_.rejected_admissions;
+      CacheMetrics::Get().rejected_admissions.Inc();
     }
   }
 }

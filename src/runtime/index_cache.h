@@ -56,6 +56,7 @@
 #include "store/index_store.h"
 #include "util/frequency_sketch.h"
 #include "util/result.h"
+#include "util/stopwatch.h"
 
 namespace jinfer {
 namespace runtime {
@@ -107,6 +108,11 @@ struct IndexCacheOptions {
   /// retries immediately, the PR 3 behavior).
   std::chrono::milliseconds failure_backoff_base{100};
   std::chrono::milliseconds failure_backoff_max{5000};
+
+  /// Clock the backoff windows are measured on; nullptr = the process
+  /// steady clock. Tests inject a util::FakeClock so window expiry is an
+  /// exact assertion instead of a sleep.
+  const util::MonotonicClock* clock = nullptr;
 };
 
 struct IndexCacheStats {
@@ -208,8 +214,14 @@ class IndexCache {
   /// transiently. Erased on the next success.
   struct FailureState {
     uint32_t consecutive = 0;
-    std::chrono::steady_clock::time_point retry_after;
+    uint64_t retry_after_nanos = 0;  ///< On options_.clock's epoch.
   };
+
+  /// The injected clock, or the process steady clock.
+  const util::MonotonicClock& clock() const {
+    return options_.clock != nullptr ? *options_.clock
+                                     : *util::SystemClock();
+  }
 
   /// Enforces the capacity bound after entry `id` for `key` completed:
   /// count-min admission — evict the coldest resident if the newcomer is

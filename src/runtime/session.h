@@ -26,6 +26,7 @@
 #ifndef JINFER_RUNTIME_SESSION_H_
 #define JINFER_RUNTIME_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -85,6 +86,13 @@ class Session {
   const core::SignatureIndex& index() const { return *index_; }
   const core::InferenceState& state() const { return state_; }
 
+  /// Trace id stamped on this session's observability spans (question
+  /// compute, answer apply); 0 = untraced. The serving layer sets the
+  /// hosted-session id here so a flight-recorder dump can be filtered to
+  /// one tenant.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
+
   /// Snapshot in core::RunInference's result shape: predicate, interaction
   /// count, inference seconds (time inside NextQuestion/Answer only — user
   /// think-time between calls is excluded by construction), trace.
@@ -100,6 +108,7 @@ class Session {
   bool finished_ = false;
   bool halted_early_ = false;
   size_t num_interactions_ = 0;
+  uint64_t trace_id_ = 0;
   double seconds_ = 0;
   std::vector<core::InteractionRecord> trace_;
 };

@@ -8,6 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
@@ -18,6 +21,41 @@ namespace jinfer {
 namespace runtime {
 
 namespace {
+
+/// Registry handles for the manager's counters, dual-written beside the
+/// per-instance Stats struct (DESIGN.md §13.1). The struct under stats_mu_
+/// stays the source of truth for stats(); the registry mirrors its deltas
+/// exactly (asserted in tests/chaos/metrics_chaos_test.cc).
+struct ManagerMetrics {
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& shed;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& factory_retries;
+  obs::Counter& slice_faults;
+  obs::Counter& hosted_opened;
+  obs::Counter& hosted_closed;
+  obs::Counter& hosted_aborted;
+  obs::Counter& hosted_reaped;
+  obs::Counter& hosted_shed;
+
+  static ManagerMetrics& Get() {
+    static ManagerMetrics* m = new ManagerMetrics{
+        obs::Registry::Global().counter(obs::kManagerCompletedTotal),
+        obs::Registry::Global().counter(obs::kManagerFailedTotal),
+        obs::Registry::Global().counter(obs::kManagerShedTotal),
+        obs::Registry::Global().counter(obs::kManagerDeadlineExceededTotal),
+        obs::Registry::Global().counter(obs::kManagerFactoryRetriesTotal),
+        obs::Registry::Global().counter(obs::kManagerSliceFaultsTotal),
+        obs::Registry::Global().counter(obs::kManagerHostedOpenedTotal),
+        obs::Registry::Global().counter(obs::kManagerHostedClosedTotal),
+        obs::Registry::Global().counter(obs::kManagerHostedAbortedTotal),
+        obs::Registry::Global().counter(obs::kManagerHostedReapedTotal),
+        obs::Registry::Global().counter(obs::kManagerHostedShedTotal),
+    };
+    return *m;
+  }
+};
 
 /// Shared scheduler state: a ready queue of job indices plus the count of
 /// jobs not yet finished. A job index is in exactly one place at a time —
@@ -101,6 +139,8 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.shed += n - admitted;
     stats_.failed += n - admitted;
+    ManagerMetrics::Get().shed.Inc(n - admitted);
+    ManagerMetrics::Get().failed.Inc(n - admitted);
   }
 
   Scheduler scheduler;
@@ -133,7 +173,14 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.deadline_exceeded;
           ++stats_.failed;
+          ManagerMetrics::Get().deadline_exceeded.Inc();
+          ManagerMetrics::Get().failed.Inc();
         }
+        // The dump names the span that ate the budget — the diagnosis a
+        // deadline page needs first (DESIGN.md §13.2).
+        obs::EmitFlightDump(util::StrFormat(
+            "job %zu cancelled: %s deadline expired", i,
+            run_deadline.expired() ? "run" : "job"));
         scheduler.Retire();
         continue;
       }
@@ -146,6 +193,7 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.slice_faults;
+          ManagerMetrics::Get().slice_faults.Inc();
         }
         scheduler.Requeue(i);
         continue;
@@ -173,6 +221,7 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
             {
               std::lock_guard<std::mutex> lock(stats_mu_);
               ++stats_.factory_retries;
+              ManagerMetrics::Get().factory_retries.Inc();
             }
             scheduler.Requeue(i);
             continue;
@@ -181,6 +230,7 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
           {
             std::lock_guard<std::mutex> lock(stats_mu_);
             ++stats_.failed;
+            ManagerMetrics::Get().failed.Inc();
           }
           scheduler.Retire();
           continue;
@@ -215,8 +265,10 @@ std::vector<util::Result<core::InferenceResult>> SessionManager::RunAll(
           std::lock_guard<std::mutex> lock(stats_mu_);
           if (error.ok()) {
             ++stats_.completed;
+            ManagerMetrics::Get().completed.Inc();
           } else {
             ++stats_.failed;
+            ManagerMetrics::Get().failed.Inc();
           }
         }
         scheduler.Retire();
@@ -253,6 +305,7 @@ util::Result<uint64_t> SessionManager::OpenHosted(
         hosted_.size() + hosted_opening_ >= options_.max_sessions) {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.hosted_shed;
+      ManagerMetrics::Get().hosted_shed.Inc();
       return util::Status::ResourceExhausted(util::StrFormat(
           "session shed: %zu hosted sessions open, bounded at %zu",
           hosted_.size() + hosted_opening_, options_.max_sessions));
@@ -270,10 +323,11 @@ util::Result<uint64_t> SessionManager::OpenHosted(
       hosted_.try_emplace(id, std::move(made).ValueOrDie());
   JINFER_CHECK(inserted, "hosted id %llu reused",
                static_cast<unsigned long long>(id));
-  it->second.last_touch = std::chrono::steady_clock::now();
+  it->second.last_touch_nanos = clock().NowNanos();
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.hosted_opened;
+    ManagerMetrics::Get().hosted_opened.Inc();
   }
   return id;
 }
@@ -300,11 +354,12 @@ void SessionManager::ReleaseHosted(uint64_t id) {
   if (it == hosted_.end()) return;
   JINFER_CHECK(it->second.busy, "release of an unleased hosted session");
   it->second.busy = false;
-  it->second.last_touch = std::chrono::steady_clock::now();
+  it->second.last_touch_nanos = clock().NowNanos();
   if (it->second.aborted) {
     hosted_.erase(it);
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.hosted_aborted;
+    ManagerMetrics::Get().hosted_aborted.Inc();
   }
 }
 
@@ -324,6 +379,7 @@ util::Result<core::InferenceResult> SessionManager::CloseHosted(uint64_t id) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.hosted_closed;
+    ManagerMetrics::Get().hosted_closed.Inc();
   }
   return result;
 }
@@ -344,16 +400,20 @@ util::Status SessionManager::AbortHosted(uint64_t id) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.hosted_aborted;
+    ManagerMetrics::Get().hosted_aborted.Inc();
   }
   return util::Status::OK();
 }
 
 size_t SessionManager::ReapIdleHosted(std::chrono::nanoseconds max_idle) {
-  const auto now = std::chrono::steady_clock::now();
+  const uint64_t now = clock().NowNanos();
+  const uint64_t idle_nanos =
+      max_idle.count() < 0 ? 0 : static_cast<uint64_t>(max_idle.count());
   size_t reaped = 0;
   std::lock_guard<std::mutex> lock(hosted_mu_);
   for (auto it = hosted_.begin(); it != hosted_.end();) {
-    if (!it->second.busy && now - it->second.last_touch > max_idle) {
+    if (!it->second.busy &&
+        now - it->second.last_touch_nanos > idle_nanos) {
       it = hosted_.erase(it);
       ++reaped;
     } else {
@@ -363,6 +423,7 @@ size_t SessionManager::ReapIdleHosted(std::chrono::nanoseconds max_idle) {
   if (reaped > 0) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.hosted_reaped += reaped;
+    ManagerMetrics::Get().hosted_reaped.Inc(reaped);
   }
   return reaped;
 }

@@ -52,6 +52,7 @@
 #include "runtime/session.h"
 #include "util/result.h"
 #include "util/retry.h"
+#include "util/stopwatch.h"
 
 namespace jinfer {
 namespace runtime {
@@ -114,6 +115,12 @@ class SessionManager {
     /// the serving front end maps this to a RETRY_LATER frame, so overload
     /// refuses new tenants instead of queueing them.
     size_t max_sessions = 0;
+
+    /// Clock the hosted-session idle timestamps are measured on; nullptr =
+    /// the process steady clock. Tests inject a util::FakeClock so
+    /// ReapIdleHosted is an exact assertion instead of a sleep. (The
+    /// manager-owned cache has its own clock knob in cache_options.)
+    const util::MonotonicClock* clock = nullptr;
   };
 
   /// Counters accumulated across RunAll calls; see stats().
@@ -214,10 +221,16 @@ class SessionManager {
     Session session;
     bool busy = false;
     bool aborted = false;
-    std::chrono::steady_clock::time_point last_touch;
+    uint64_t last_touch_nanos = 0;  ///< On Options::clock's epoch.
 
     explicit Hosted(Session s) : session(std::move(s)) {}
   };
+
+  /// The injected clock, or the process steady clock.
+  const util::MonotonicClock& clock() const {
+    return options_.clock != nullptr ? *options_.clock
+                                     : *util::SystemClock();
+  }
 
   Options options_;
   IndexCache cache_;

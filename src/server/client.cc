@@ -163,5 +163,14 @@ util::Result<StatsOkBody> Client::ServerStats() {
   return DecodeStatsOk(response.payload);
 }
 
+util::Result<MetricsOkBody> Client::ServerMetrics() {
+  JINFER_ASSIGN_OR_RETURN(
+      Frame response, RoundTrip(FrameType::kMetrics, Encode(MetricsBody{})));
+  if (response.type != FrameType::kMetricsOk) {
+    return WrongResponse(response.type, FrameType::kMetricsOk);
+  }
+  return DecodeMetricsOk(response.payload);
+}
+
 }  // namespace server
 }  // namespace jinfer

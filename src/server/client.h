@@ -69,6 +69,9 @@ class Client {
   /// The server's counters (no session required).
   util::Result<StatsOkBody> ServerStats();
 
+  /// The server's full Prometheus text exposition (no session required).
+  util::Result<MetricsOkBody> ServerMetrics();
+
   uint64_t session_id() const { return session_id_; }
   const util::Socket& sock() const { return sock_; }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/status.h"
 
@@ -31,6 +34,11 @@ util::Result<Connection::ReadEvent> Connection::OnReadable() {
     if (pending_header_.has_value()) {
       const size_t need = kFrameHeaderBytes + pending_header_->payload_bytes;
       if (in_.size() >= need) {
+        static obs::Histogram& decode_nanos =
+            obs::Registry::Global().histogram(obs::kServerFrameDecodeNanos);
+        obs::ScopedSpan decode_span(obs::SpanKind::kFrameDecode, session_id_,
+                                    &decode_nanos);
+        decode_span.set_detail(pending_header_->payload_bytes);
         JINFER_RETURN_NOT_OK(util::FailpointHit("server.frame.decode"));
         JINFER_ASSIGN_OR_RETURN(
             Frame frame,

@@ -15,6 +15,7 @@ bool IsRequestType(uint8_t type) {
     case FrameType::kAnswer:
     case FrameType::kCloseSession:
     case FrameType::kStats:
+    case FrameType::kMetrics:
       return true;
     default:
       return false;
@@ -30,6 +31,7 @@ bool IsKnownFrameType(uint8_t type) {
     case FrameType::kCloseOk:
     case FrameType::kStatsOk:
     case FrameType::kError:
+    case FrameType::kMetricsOk:
       return true;
     default:
       return false;
@@ -43,12 +45,14 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kAnswer: return "Answer";
     case FrameType::kCloseSession: return "CloseSession";
     case FrameType::kStats: return "Stats";
+    case FrameType::kMetrics: return "Metrics";
     case FrameType::kOpenOk: return "OpenOk";
     case FrameType::kQuestion: return "Question";
     case FrameType::kAnswerOk: return "AnswerOk";
     case FrameType::kCloseOk: return "CloseOk";
     case FrameType::kStatsOk: return "StatsOk";
     case FrameType::kError: return "Error";
+    case FrameType::kMetricsOk: return "MetricsOk";
   }
   return "Unknown";
 }

@@ -58,6 +58,7 @@ enum class FrameType : uint8_t {
   kAnswer = 0x03,
   kCloseSession = 0x04,
   kStats = 0x05,
+  kMetrics = 0x06,
   // Server → client.
   kOpenOk = 0x41,
   kQuestion = 0x42,
@@ -65,6 +66,7 @@ enum class FrameType : uint8_t {
   kCloseOk = 0x44,
   kStatsOk = 0x45,
   kError = 0x46,
+  kMetricsOk = 0x47,
 };
 
 /// True for the types a client may send.

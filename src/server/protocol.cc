@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "util/string_util.h"
+
 namespace jinfer {
 namespace server {
 
@@ -210,6 +212,7 @@ util::Result<StatsBody> DecodeStats(std::span<const uint8_t> payload) {
 
 std::vector<uint8_t> Encode(const StatsOkBody& body) {
   WireWriter w;
+  w.U32(body.version);
   w.U64(body.connections_accepted);
   w.U64(body.connections_open);
   w.U64(body.sessions_opened);
@@ -224,12 +227,26 @@ std::vector<uint8_t> Encode(const StatsOkBody& body) {
   w.U64(body.deadline_closes);
   w.U64(body.cache_hits);
   w.U64(body.cache_builds);
+  w.U32(static_cast<uint32_t>(body.histograms.size()));
+  for (const StatsHistogramSummary& h : body.histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.U64(h.sum);
+    w.U64(std::bit_cast<uint64_t>(h.p50));
+    w.U64(std::bit_cast<uint64_t>(h.p99));
+  }
   return std::move(w).Take();
 }
 
 util::Result<StatsOkBody> DecodeStatsOk(std::span<const uint8_t> payload) {
   WireReader r(payload);
   StatsOkBody body;
+  JINFER_ASSIGN_OR_RETURN(body.version, r.U32());
+  if (body.version != kStatsOkVersion) {
+    return util::Status::ParseError(util::StrFormat(
+        "unsupported StatsOk payload version %u (this build speaks %u)",
+        body.version, kStatsOkVersion));
+  }
   JINFER_ASSIGN_OR_RETURN(body.connections_accepted, r.U64());
   JINFER_ASSIGN_OR_RETURN(body.connections_open, r.U64());
   JINFER_ASSIGN_OR_RETURN(body.sessions_opened, r.U64());
@@ -244,6 +261,49 @@ util::Result<StatsOkBody> DecodeStatsOk(std::span<const uint8_t> payload) {
   JINFER_ASSIGN_OR_RETURN(body.deadline_closes, r.U64());
   JINFER_ASSIGN_OR_RETURN(body.cache_hits, r.U64());
   JINFER_ASSIGN_OR_RETURN(body.cache_builds, r.U64());
+  JINFER_ASSIGN_OR_RETURN(const uint32_t num_histograms, r.U32());
+  // Each entry is at least 4 (name length) + 32 bytes; the remainder bound
+  // rejects a hostile count before any reserve.
+  if (num_histograms > r.remaining() / 36) {
+    return util::Status::ParseError(util::StrFormat(
+        "StatsOk histogram count %u exceeds the %zu-byte remainder",
+        num_histograms, r.remaining()));
+  }
+  body.histograms.reserve(num_histograms);
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    StatsHistogramSummary h;
+    JINFER_ASSIGN_OR_RETURN(h.name, r.Str());
+    JINFER_ASSIGN_OR_RETURN(h.count, r.U64());
+    JINFER_ASSIGN_OR_RETURN(h.sum, r.U64());
+    JINFER_ASSIGN_OR_RETURN(const uint64_t p50_bits, r.U64());
+    JINFER_ASSIGN_OR_RETURN(const uint64_t p99_bits, r.U64());
+    h.p50 = std::bit_cast<double>(p50_bits);
+    h.p99 = std::bit_cast<double>(p99_bits);
+    body.histograms.push_back(std::move(h));
+  }
+  JINFER_RETURN_NOT_OK(r.Finish());
+  return body;
+}
+
+std::vector<uint8_t> Encode(const MetricsBody&) { return {}; }
+
+util::Result<MetricsBody> DecodeMetrics(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  JINFER_RETURN_NOT_OK(r.Finish());
+  return MetricsBody{};
+}
+
+std::vector<uint8_t> Encode(const MetricsOkBody& body) {
+  WireWriter w;
+  w.Str(body.text);
+  return std::move(w).Take();
+}
+
+util::Result<MetricsOkBody> DecodeMetricsOk(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  MetricsOkBody body;
+  JINFER_ASSIGN_OR_RETURN(body.text, r.Str());
   JINFER_RETURN_NOT_OK(r.Finish());
   return body;
 }

@@ -92,8 +92,26 @@ struct CloseOkBody {
 
 struct StatsBody {};  ///< Stats request carries no fields.
 
+/// StatsOk payload version. v1 carried the bare counters; v2 prefixes the
+/// version word and appends latency-histogram summaries. Decoders reject
+/// any other version with ParseError — an operator tool reading a newer
+/// server fails loudly instead of misparsing.
+inline constexpr uint32_t kStatsOkVersion = 2;
+
+/// One latency histogram, reduced to count/sum/p50/p99 (the obs layer's
+/// HistogramSummary, on the wire). Quantiles travel as IEEE doubles in
+/// bit_cast'd u64 words.
+struct StatsHistogramSummary {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Server-wide observability snapshot, the operator's curl-able counters.
 struct StatsOkBody {
+  uint32_t version = kStatsOkVersion;
   uint64_t connections_accepted = 0;
   uint64_t connections_open = 0;
   uint64_t sessions_opened = 0;
@@ -108,6 +126,17 @@ struct StatsOkBody {
   uint64_t deadline_closes = 0;    ///< Connections closed by a deadline.
   uint64_t cache_hits = 0;         ///< IndexCache memory-tier hits.
   uint64_t cache_builds = 0;       ///< Full index builds run.
+  /// v2: every histogram in the global registry, summarized (obs
+  /// exposition's SummarizeHistograms).
+  std::vector<StatsHistogramSummary> histograms;
+};
+
+struct MetricsBody {};  ///< Metrics request carries no fields.
+
+/// Full Prometheus text exposition of the server process's registry —
+/// what a scraper or `interactive_cli --connect` pulls while sessions run.
+struct MetricsOkBody {
+  std::string text;
 };
 
 inline constexpr uint8_t kErrorFlagRetryLater = 1u << 0;
@@ -131,6 +160,8 @@ std::vector<uint8_t> Encode(const CloseSessionBody& body);
 std::vector<uint8_t> Encode(const CloseOkBody& body);
 std::vector<uint8_t> Encode(const StatsBody& body);
 std::vector<uint8_t> Encode(const StatsOkBody& body);
+std::vector<uint8_t> Encode(const MetricsBody& body);
+std::vector<uint8_t> Encode(const MetricsOkBody& body);
 std::vector<uint8_t> Encode(const ErrorBody& body);
 
 util::Result<OpenSessionBody> DecodeOpenSession(
@@ -146,6 +177,9 @@ util::Result<CloseSessionBody> DecodeCloseSession(
 util::Result<CloseOkBody> DecodeCloseOk(std::span<const uint8_t> payload);
 util::Result<StatsBody> DecodeStats(std::span<const uint8_t> payload);
 util::Result<StatsOkBody> DecodeStatsOk(std::span<const uint8_t> payload);
+util::Result<MetricsBody> DecodeMetrics(std::span<const uint8_t> payload);
+util::Result<MetricsOkBody> DecodeMetricsOk(
+    std::span<const uint8_t> payload);
 util::Result<ErrorBody> DecodeError(std::span<const uint8_t> payload);
 
 /// Packs / unpacks a JoinPredicate into the four wire words.

@@ -9,13 +9,54 @@
 #include <utility>
 
 #include "core/strategy.h"
+#include "obs/exposition.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/csv.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace jinfer {
 namespace server {
 
 namespace {
+
+/// Registry handles for the server's counters and gauges, dual-written
+/// beside the StatsOkBody counter struct under stats_mu_ (DESIGN.md §13.1).
+/// Gauges are refreshed by the event loop, which owns the figures.
+struct ServerMetrics {
+  obs::Counter& connections_accepted;
+  obs::Counter& frames_read;
+  obs::Counter& frames_written;
+  obs::Counter& protocol_errors;
+  obs::Counter& deadline_closes;
+  obs::Counter& work_shed;
+  obs::Gauge& connections_open;
+  obs::Gauge& sessions_open;
+  obs::Gauge& pending_work;
+  obs::Histogram& frame_decode_nanos;
+  obs::Histogram& frame_queue_nanos;
+  obs::Histogram& frame_execute_nanos;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = new ServerMetrics{
+        obs::Registry::Global().counter(obs::kServerConnectionsAcceptedTotal),
+        obs::Registry::Global().counter(obs::kServerFramesReadTotal),
+        obs::Registry::Global().counter(obs::kServerFramesWrittenTotal),
+        obs::Registry::Global().counter(obs::kServerProtocolErrorsTotal),
+        obs::Registry::Global().counter(obs::kServerDeadlineClosesTotal),
+        obs::Registry::Global().counter(obs::kServerWorkShedTotal),
+        obs::Registry::Global().gauge(obs::kServerConnectionsOpen),
+        obs::Registry::Global().gauge(obs::kServerSessionsOpen),
+        obs::Registry::Global().gauge(obs::kServerPendingWork),
+        obs::Registry::Global().histogram(obs::kServerFrameDecodeNanos),
+        obs::Registry::Global().histogram(obs::kServerFrameQueueNanos),
+        obs::Registry::Global().histogram(obs::kServerFrameExecuteNanos),
+    };
+    return *m;
+  }
+};
 
 /// "Name: attr=value, attr=value" — the CLI's question rendering, shared
 /// verbatim so the remote UX matches the local one.
@@ -114,6 +155,16 @@ StatsOkBody Server::Stats() {
   const runtime::IndexCacheStats c = manager_.cache().stats();
   out.cache_hits = c.hits;
   out.cache_builds = c.builds;
+  // v2: latency histograms from the process-wide registry, summarized.
+  for (const obs::HistogramSummary& h : obs::SummarizeHistograms()) {
+    StatsHistogramSummary s;
+    s.name = h.name;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.p50 = h.p50;
+    s.p99 = h.p99;
+    out.histograms.push_back(std::move(s));
+  }
   return out;
 }
 
@@ -219,6 +270,20 @@ void Server::EventLoop() {
     }
 
     if (pfds[0].revents != 0) wake_.Drain();
+    // Gauge refresh on every loop round (the idle heartbeat bounds the
+    // staleness at ~500 ms): the event thread owns these figures, so the
+    // scrape path never has to take its locks.
+    {
+      ServerMetrics& metrics = ServerMetrics::Get();
+      metrics.sessions_open.Set(
+          static_cast<int64_t>(manager_.hosted_open()));
+      size_t pending;
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        pending = work_.size();
+      }
+      metrics.pending_work.Set(static_cast<int64_t>(pending));
+    }
     ApplyCompletions();
     if (accepting && pfds[listener_slot].revents != 0) AcceptPending();
     for (size_t i = conn_base; i < pfds.size(); ++i) {
@@ -256,6 +321,9 @@ void Server::AcceptPending() {
     conns_.emplace(fd, std::make_unique<Connection>(
                            std::move(*sock), next_generation_++,
                            options_.limits));
+    ServerMetrics::Get().connections_accepted.Inc();
+    ServerMetrics::Get().connections_open.Set(
+        static_cast<int64_t>(conns_.size()));
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.connections_accepted;
     stats_.connections_open = conns_.size();
@@ -269,6 +337,7 @@ bool Server::EnqueueOrClose(Connection& conn, std::vector<uint8_t> bytes) {
     CloseConn(fd, /*abort_session=*/true);
     return false;
   }
+  ServerMetrics::Get().frames_written.Inc();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.frames_written;
   return true;
@@ -295,6 +364,7 @@ void Server::HandleReadable(Connection& conn) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
+        ServerMetrics::Get().protocol_errors.Inc();
       }
       SendErrorAndClose(conn, ev.status(), 0);
     } else {
@@ -317,11 +387,13 @@ void Server::HandleReadable(Connection& conn) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_read;
+    ServerMetrics::Get().frames_read.Inc();
   }
   if (!IsRequestType(static_cast<uint8_t>(ev->frame.type))) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.protocol_errors;
+      ServerMetrics::Get().protocol_errors.Inc();
     }
     SendErrorAndClose(
         conn, util::Status::ParseError("response-type frame from client"), 0);
@@ -333,6 +405,7 @@ void Server::HandleReadable(Connection& conn) {
   work.generation = conn.generation();
   work.frame = std::move(ev->frame);
   work.conn_session = conn.session_id();
+  work.enqueue_nanos = util::SystemClock()->NowNanos();
   // Load shedding: the work queue is the bound; a frame past it is refused
   // at once with RETRY_LATER instead of buffered toward an OOM.
   bool shed = false;
@@ -345,6 +418,7 @@ void Server::HandleReadable(Connection& conn) {
     }
   }
   if (shed) {
+    ServerMetrics::Get().work_shed.Inc();
     EnqueueOrClose(conn,
                    ErrorFrame(util::Status::ResourceExhausted(
                                   "server overloaded; retry later"),
@@ -417,7 +491,13 @@ void Server::SweepDeadlines() {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.deadline_closes;
+      ServerMetrics::Get().deadline_closes.Inc();
     }
+    // Name the span that ate the budget, filtered to this tenant's trace
+    // when the connection has a bound session (DESIGN.md §13.2).
+    obs::EmitFlightDump(
+        util::StrFormat("connection fd=%d closed: %s", fd, reason),
+        conn.session_id());
     // Best-effort goodbye; a deadline violator gets no flush patience.
     conn.Enqueue(ErrorFrame(util::Status::DeadlineExceeded(reason),
                             kErrorFlagWillClose));
@@ -436,6 +516,8 @@ void Server::CloseConn(int fd, bool abort_session) {
     std::lock_guard<std::mutex> lock(render_mu_);
     render_.erase(session);
   }
+  ServerMetrics::Get().connections_open.Set(
+      static_cast<int64_t>(conns_.size()));
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.connections_open = conns_.size();
 }
@@ -454,7 +536,31 @@ void Server::WorkerLoop() {
       work = std::move(work_.front());
       work_.pop_front();
     }
-    Completion done = HandleFrame(std::move(work));
+    // Queue-wait span: enqueue on the event thread → claim here. Recorded
+    // from the timestamps already taken, not a ScopedSpan, because the
+    // waiting happened on no one's stack.
+    {
+      ServerMetrics& metrics = ServerMetrics::Get();
+      const uint64_t now = util::SystemClock()->NowNanos();
+      const uint64_t waited =
+          now > work.enqueue_nanos ? now - work.enqueue_nanos : 0;
+      metrics.frame_queue_nanos.Record(waited);
+      obs::SpanRecord queued;
+      queued.trace_id = work.conn_session;
+      queued.start_nanos = work.enqueue_nanos;
+      queued.duration_nanos = waited;
+      queued.detail = static_cast<uint64_t>(work.frame.type);
+      queued.kind = obs::SpanKind::kFrameQueue;
+      obs::FlightRecorder::Global().Record(queued);
+    }
+    Completion done;
+    {
+      obs::ScopedSpan execute_span(
+          obs::SpanKind::kFrameExecute, work.conn_session,
+          &ServerMetrics::Get().frame_execute_nanos);
+      execute_span.set_detail(static_cast<uint64_t>(work.frame.type));
+      done = HandleFrame(std::move(work));
+    }
     {
       std::lock_guard<std::mutex> lock(done_mu_);
       done_.push_back(std::move(done));
@@ -482,6 +588,8 @@ Server::Completion Server::HandleFrame(Work work) {
       return HandleCloseSession(work);
     case FrameType::kStats:
       return HandleStats(work);
+    case FrameType::kMetrics:
+      return HandleMetrics(work);
     default: {
       Completion c = Base(work);
       c.bytes = ErrorFrame(
@@ -499,6 +607,7 @@ Server::Completion Server::HandleOpenSession(const Work& work) {
   if (!body.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
     c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
     c.close_after = true;
     return c;
@@ -566,6 +675,12 @@ Server::Completion Server::HandleOpenSession(const Work& work) {
     render_.emplace(*session_id,
                     RenderData{std::move(*r), std::move(*p)});
   }
+  // Stamp the hosted id on the session's observability spans so a flight
+  // dump can be filtered to this tenant.
+  if (auto lease = manager_.AcquireHosted(*session_id); lease.ok()) {
+    (*lease)->set_trace_id(*session_id);
+    manager_.ReleaseHosted(*session_id);
+  }
   OpenOkBody ok;
   ok.session_id = *session_id;
   ok.num_classes = index->num_classes();
@@ -586,6 +701,7 @@ Server::Completion Server::HandleOpenSession(const Work& work) {
       {                                                                    \
         std::lock_guard<std::mutex> lock(stats_mu_);                       \
         ++stats_.protocol_errors;                                          \
+        ServerMetrics::Get().protocol_errors.Inc();                        \
       }                                                                    \
       (c).bytes = ErrorFrame(                                              \
           util::Status::FailedPrecondition(                                \
@@ -602,6 +718,7 @@ Server::Completion Server::HandleNextQuestion(const Work& work) {
   if (!body.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
     c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
     c.close_after = true;
     return c;
@@ -648,6 +765,7 @@ Server::Completion Server::HandleAnswer(const Work& work) {
   if (!body.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
     c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
     c.close_after = true;
     return c;
@@ -690,6 +808,7 @@ Server::Completion Server::HandleCloseSession(const Work& work) {
   if (!body.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
     c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
     c.close_after = true;
     return c;
@@ -735,11 +854,29 @@ Server::Completion Server::HandleStats(const Work& work) {
   if (!body.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
     c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
     c.close_after = true;
     return c;
   }
   c.bytes = EncodeFrame(FrameType::kStatsOk, Encode(Stats()));
+  return c;
+}
+
+Server::Completion Server::HandleMetrics(const Work& work) {
+  Completion c = Base(work);
+  auto body = DecodeMetrics(std::span<const uint8_t>(work.frame.payload));
+  if (!body.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.protocol_errors;
+    ServerMetrics::Get().protocol_errors.Inc();
+    c.bytes = ErrorFrame(body.status(), kErrorFlagWillClose);
+    c.close_after = true;
+    return c;
+  }
+  MetricsOkBody ok;
+  ok.text = obs::RenderPrometheusText();
+  c.bytes = EncodeFrame(FrameType::kMetricsOk, Encode(ok));
   return c;
 }
 

@@ -126,6 +126,8 @@ class Server {
     uint64_t generation = 0;
     Frame frame;
     uint64_t conn_session = 0;  ///< Session bound to the connection, 0=none.
+    uint64_t enqueue_nanos = 0;  ///< When the event thread queued it (obs:
+                                 ///< the frame-queue wait span).
   };
 
   /// A worker's answer, routed back through the event thread (the only
@@ -167,6 +169,7 @@ class Server {
   Completion HandleAnswer(const Work& work);
   Completion HandleCloseSession(const Work& work);
   Completion HandleStats(const Work& work);
+  Completion HandleMetrics(const Work& work);
 
   static std::vector<uint8_t> ErrorFrame(const util::Status& status,
                                          uint8_t flags);

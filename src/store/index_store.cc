@@ -10,6 +10,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/index_file.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
@@ -21,6 +24,37 @@ namespace store {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Registry handles for the store's counters, dual-written beside the
+/// per-instance IndexStoreStats (DESIGN.md §13.1).
+struct StoreMetrics {
+  obs::Counter& loads;
+  obs::Counter& load_hits;
+  obs::Counter& load_misses;
+  obs::Counter& writes;
+  obs::Counter& skipped_writes;
+  obs::Counter& quarantined;
+  obs::Counter& put_retries;
+  obs::Counter& load_retries;
+  obs::Histogram& load_nanos;
+  obs::Histogram& put_nanos;
+
+  static StoreMetrics& Get() {
+    static StoreMetrics* m = new StoreMetrics{
+        obs::Registry::Global().counter(obs::kStoreLoadsTotal),
+        obs::Registry::Global().counter(obs::kStoreLoadHitsTotal),
+        obs::Registry::Global().counter(obs::kStoreLoadMissesTotal),
+        obs::Registry::Global().counter(obs::kStoreWritesTotal),
+        obs::Registry::Global().counter(obs::kStoreSkippedWritesTotal),
+        obs::Registry::Global().counter(obs::kStoreQuarantinedTotal),
+        obs::Registry::Global().counter(obs::kStorePutRetriesTotal),
+        obs::Registry::Global().counter(obs::kStoreLoadRetriesTotal),
+        obs::Registry::Global().histogram(obs::kStoreLoadNanos),
+        obs::Registry::Global().histogram(obs::kStorePutNanos),
+    };
+    return *m;
+  }
+};
 
 constexpr const char* kFileSuffix = ".jidx";
 constexpr const char* kQuarantineDir = "quarantine";
@@ -102,15 +136,20 @@ bool IndexStore::Contains(const InstanceFingerprint& fingerprint) const {
 
 util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
     const InstanceFingerprint& fingerprint) const {
+  StoreMetrics& metrics = StoreMetrics::Get();
+  obs::ScopedSpan span(obs::SpanKind::kStoreLoad, /*trace_id=*/0,
+                       &metrics.load_nanos);
   {
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_->loads;
+    metrics.loads.Inc();
   }
   const std::string path = PathFor(fingerprint);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_->load_misses;
+    metrics.load_misses.Inc();
     return util::Status::NotFound(util::StrFormat(
         "no stored index for fingerprint %s", fingerprint.ToHex().c_str()));
   }
@@ -132,6 +171,7 @@ util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
   if (retries > 0) {
     std::lock_guard<std::mutex> lock(*mu_);
     stats_->load_retries += retries;
+    metrics.load_retries.Inc(retries);
   }
   if (!mapped.ok() && util::IsTransient(mapped.status())) {
     return mapped.status();
@@ -145,6 +185,7 @@ util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
     Quarantine(path);
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_->quarantined;
+    metrics.quarantined.Inc();
     return util::Status::ParseError(util::StrFormat(
         "stored index %s rejected and quarantined: %s", path.c_str(),
         mapped.status().message().c_str()));
@@ -152,11 +193,15 @@ util::Result<std::shared_ptr<const core::SignatureIndex>> IndexStore::Load(
 
   std::lock_guard<std::mutex> lock(*mu_);
   ++stats_->load_hits;
+  metrics.load_hits.Inc();
   return std::move(mapped)->index;
 }
 
 util::Status IndexStore::Put(const core::SignatureIndex& index,
                              const InstanceFingerprint& fingerprint) const {
+  StoreMetrics& metrics = StoreMetrics::Get();
+  obs::ScopedSpan span(obs::SpanKind::kStorePut, /*trace_id=*/0,
+                       &metrics.put_nanos);
   const std::string path = PathFor(fingerprint);
   std::error_code ec;
   if (fs::exists(path, ec) && !ec) {
@@ -168,11 +213,13 @@ util::Status IndexStore::Put(const core::SignatureIndex& index,
     if (existing.ok() && existing->fingerprint == fingerprint) {
       std::lock_guard<std::mutex> lock(*mu_);
       ++stats_->skipped_writes;
+      metrics.skipped_writes.Inc();
       return util::Status::OK();
     }
     Quarantine(path);
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_->quarantined;
+    metrics.quarantined.Inc();
   }
 
   const std::vector<uint8_t> bytes = SerializeIndexFile(index, fingerprint);
@@ -187,8 +234,10 @@ util::Status IndexStore::Put(const core::SignatureIndex& index,
                       &retries);
   std::lock_guard<std::mutex> lock(*mu_);
   stats_->put_retries += retries;
+  if (retries > 0) metrics.put_retries.Inc(retries);
   if (!published.ok()) return published;
   ++stats_->writes;
+  metrics.writes.Inc();
   return util::Status::OK();
 }
 

@@ -1,0 +1,26 @@
+#include "util/stopwatch.h"
+
+namespace jinfer {
+namespace util {
+
+namespace {
+
+class SteadyMonotonicClock final : public MonotonicClock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+const MonotonicClock* SystemClock() {
+  static const SteadyMonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace util
+}  // namespace jinfer

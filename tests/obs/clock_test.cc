@@ -1,0 +1,142 @@
+// The clock seam (util/stopwatch.h): FakeClock makes every duration
+// decision in the runtime an exact assertion instead of a sleep — span
+// timing through Stopwatch, the cache's failure-backoff window, and the
+// hosted-session idle reaper all crank the same injected clock here.
+
+#include "util/stopwatch.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "runtime/index_cache.h"
+#include "runtime/session.h"
+#include "runtime/session_manager.h"
+#include "util/failpoint.h"
+#include "workload/synthetic.h"
+
+namespace jinfer {
+namespace obs {
+namespace {
+
+using std::chrono::milliseconds;
+
+class ClockTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::Failpoints::Reset(); }
+  void TearDown() override { util::Failpoints::Reset(); }
+};
+
+TEST_F(ClockTest, SystemClockIsMonotonicAndNonNull) {
+  const util::MonotonicClock* clock = util::SystemClock();
+  ASSERT_NE(clock, nullptr);
+  const uint64_t a = clock->NowNanos();
+  const uint64_t b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(ClockTest, FakeClockAdvancesOnlyWhenTold) {
+  util::FakeClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.AdvanceNanos(500);
+  EXPECT_EQ(clock.NowNanos(), 1500u);
+  clock.Advance(milliseconds(2));
+  EXPECT_EQ(clock.NowNanos(), 1500u + 2000000u);
+}
+
+TEST_F(ClockTest, StopwatchOnFakeClockIsExact) {
+  util::FakeClock clock(42);
+  util::Stopwatch watch(&clock);
+  EXPECT_EQ(watch.StartNanos(), 42u);
+  EXPECT_EQ(watch.ElapsedNanos(), 0u);
+  clock.AdvanceNanos(1234567);
+  EXPECT_EQ(watch.ElapsedNanos(), 1234567u);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 1234567e-9);
+  EXPECT_EQ(watch.ElapsedMicros(), 1234);
+  watch.Reset();
+  EXPECT_EQ(watch.StartNanos(), 42u + 1234567u);
+  EXPECT_EQ(watch.ElapsedNanos(), 0u);
+}
+
+TEST_F(ClockTest, StopwatchClampsABackwardClockToZero) {
+  // MonotonicClock promises non-decreasing, but Stopwatch still refuses to
+  // return a negative-wrapped duration if an implementation misbehaves.
+  util::FakeClock clock(100);
+  util::Stopwatch watch(&clock);
+  EXPECT_EQ(watch.ElapsedNanos(), 0u);
+}
+
+TEST_F(ClockTest, CacheBackoffWindowExpiresOnTheInjectedClock) {
+  auto inst = workload::GenerateSynthetic({2, 2, 15, 4}, 3);
+  ASSERT_TRUE(inst.ok());
+
+  util::FakeClock clock;
+  runtime::IndexCacheOptions options;
+  options.clock = &clock;
+  options.failure_backoff_base = milliseconds(100);
+  options.failure_backoff_max = milliseconds(5000);
+  runtime::IndexCache cache(options);
+
+  // One injected transient build failure arms a 100 ms window.
+  ASSERT_TRUE(util::Failpoints::Arm("cache.build", "count:1").ok());
+  EXPECT_FALSE(cache.GetOrBuild(inst->r, inst->p).ok());
+
+  // Inside the window every lookup fails fast without building.
+  EXPECT_TRUE(
+      cache.GetOrBuild(inst->r, inst->p).status().IsUnavailable());
+  clock.Advance(milliseconds(99));
+  EXPECT_TRUE(
+      cache.GetOrBuild(inst->r, inst->p).status().IsUnavailable());
+  EXPECT_EQ(cache.stats().fail_fast, 2u);
+
+  // One more tick crosses the boundary: the next lookup retries for real
+  // and succeeds (the failpoint retired itself after one trip).
+  clock.Advance(milliseconds(2));
+  EXPECT_TRUE(cache.GetOrBuild(inst->r, inst->p).ok());
+  EXPECT_EQ(cache.stats().fail_fast, 2u);
+}
+
+TEST_F(ClockTest, ReapIdleHostedIsDeterministicOnTheInjectedClock) {
+  auto inst = workload::GenerateSynthetic({2, 2, 15, 4}, 5);
+  ASSERT_TRUE(inst.ok());
+  auto index = core::SignatureIndex::Build(inst->r, inst->p);
+  ASSERT_TRUE(index.ok());
+
+  util::FakeClock clock;
+  runtime::SessionManager::Options options;
+  options.clock = &clock;
+  runtime::SessionManager manager(options);
+
+  auto make = [&index]() -> util::Result<runtime::Session> {
+    return runtime::Session(
+        *index, core::MakeStrategy(core::StrategyKind::kTopDown));
+  };
+  auto first = manager.OpenHosted(make);
+  ASSERT_TRUE(first.ok());
+  clock.Advance(milliseconds(500));
+  auto second = manager.OpenHosted(make);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(manager.hosted_open(), 2u);
+
+  // At t=1500ms the first session is 1500ms idle, the second 1000ms: a
+  // 1200ms window reaps exactly the first — no sleeps, no slack.
+  clock.Advance(milliseconds(1000));
+  EXPECT_EQ(manager.ReapIdleHosted(milliseconds(1200)), 1u);
+  EXPECT_EQ(manager.hosted_open(), 1u);
+  EXPECT_FALSE(manager.AcquireHosted(*first).ok());
+  ASSERT_TRUE(manager.AcquireHosted(*second).ok());
+  manager.ReleaseHosted(*second);
+
+  // Touching a session (the release above) restarts its idle clock.
+  clock.Advance(milliseconds(1100));
+  EXPECT_EQ(manager.ReapIdleHosted(milliseconds(1200)), 0u);
+  clock.Advance(milliseconds(200));
+  EXPECT_EQ(manager.ReapIdleHosted(milliseconds(1200)), 1u);
+  EXPECT_EQ(manager.hosted_open(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace jinfer

@@ -65,8 +65,8 @@ TEST(FrameCodecTest, RoundTripsRandomPayloadsAtEverySize) {
 }
 
 TEST(FrameCodecTest, RoundTripsEveryFrameType) {
-  for (uint8_t type : {0x01, 0x02, 0x03, 0x04, 0x05, 0x41, 0x42, 0x43, 0x44,
-                       0x45, 0x46}) {
+  for (uint8_t type : {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x41, 0x42, 0x43,
+                       0x44, 0x45, 0x46, 0x47}) {
     const std::vector<uint8_t> payload = {1, 2, 3};
     const std::vector<uint8_t> wire =
         EncodeFrame(static_cast<FrameType>(type), payload);
@@ -298,6 +298,67 @@ TEST(ProtocolTest, RoundTripsStatsAndError) {
   EXPECT_EQ(e->code, err.code);
   EXPECT_EQ(e->flags, kErrorFlagRetryLater);
   EXPECT_EQ(e->message, err.message);
+}
+
+TEST(ProtocolTest, RoundTripsStatsOkV2HistogramSummaries) {
+  StatsOkBody stats;
+  stats.frames_read = 7;
+  StatsHistogramSummary h;
+  h.name = "jinfer_server_frame_execute_nanos";
+  h.count = 12;
+  h.sum = 34567;
+  h.p50 = 1536.5;
+  h.p99 = 4096.25;
+  stats.histograms.push_back(h);
+  h.name = "jinfer_session_question_nanos";
+  h.count = 0;
+  h.p50 = 0.0;
+  h.p99 = 0.0;
+  stats.histograms.push_back(h);
+  auto decoded = DecodeStatsOk(Encode(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, kStatsOkVersion);
+  ASSERT_EQ(decoded->histograms.size(), 2u);
+  EXPECT_EQ(decoded->histograms[0].name,
+            "jinfer_server_frame_execute_nanos");
+  EXPECT_EQ(decoded->histograms[0].count, 12u);
+  EXPECT_EQ(decoded->histograms[0].sum, 34567u);
+  // Doubles travel bit_cast'd, so equality is exact, not approximate.
+  EXPECT_EQ(decoded->histograms[0].p50, 1536.5);
+  EXPECT_EQ(decoded->histograms[0].p99, 4096.25);
+  EXPECT_EQ(decoded->histograms[1].name, "jinfer_session_question_nanos");
+  EXPECT_EQ(decoded->histograms[1].count, 0u);
+}
+
+TEST(ProtocolTest, StatsOkDecoderRejectsUnknownVersion) {
+  auto wire = Encode(StatsOkBody{});
+  // The version word leads the payload, little-endian. A v3 server's reply
+  // must fail loudly, not misparse as shifted counters.
+  wire[0] = 3;
+  auto decoded = DecodeStatsOk(wire);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(decoded.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(ProtocolTest, StatsOkDecoderRejectsHostileHistogramCount) {
+  // A count claiming more histograms than the remaining bytes could hold
+  // must be rejected before any allocation sized from it.
+  auto wire = Encode(StatsOkBody{});
+  ASSERT_GE(wire.size(), 4u);
+  for (int i = 0; i < 4; ++i) wire[wire.size() - 4 + i] = 0xff;
+  EXPECT_FALSE(DecodeStatsOk(wire).ok());
+}
+
+TEST(ProtocolTest, RoundTripsMetricsOkText) {
+  MetricsOkBody body;
+  body.text =
+      "# TYPE jinfer_server_frames_read_total counter\n"
+      "jinfer_server_frames_read_total 9\n";
+  auto decoded = DecodeMetricsOk(Encode(body));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->text, body.text);
+  EXPECT_TRUE(Encode(MetricsBody{}).empty());
 }
 
 TEST(ProtocolTest, DecodersRejectTruncatedAndTrailingBytes) {

@@ -500,6 +500,65 @@ TEST(ServerTest, StatsFrameReportsCounters) {
   EXPECT_GE(stats->frames_read, 1u);
 }
 
+TEST(ServerTest, StatsFrameCarriesV2HistogramSummaries) {
+  auto server = StartServer(ServerOptions{});
+  Client client = ConnectTo(*server);
+  const Instance inst = Example21();
+
+  // Drive one frame-execute cycle so the server-side latency histograms
+  // have something to summarize.
+  auto open = client.OpenSession(OpenBodyFor(inst, "TD", 1));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  auto question = client.NextQuestion();
+  ASSERT_TRUE(question.ok()) << question.status().ToString();
+
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->version, kStatsOkVersion);
+  ASSERT_FALSE(stats->histograms.empty());
+  bool saw_execute = false;
+  for (const StatsHistogramSummary& h : stats->histograms) {
+    if (h.name != "jinfer_server_frame_execute_nanos") continue;
+    saw_execute = true;
+    // At least the open + question frames executed; quantiles are
+    // well-formed (p50 <= p99, both inside the recorded range).
+    EXPECT_GE(h.count, 2u);
+    EXPECT_GT(h.sum, 0u);
+    EXPECT_LE(h.p50, h.p99);
+    EXPECT_GT(h.p99, 0.0);
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(client.CloseSession().ok());
+}
+
+TEST(ServerTest, MetricsFrameExposesPrometheusTextWhileSessionsRun) {
+  auto server = StartServer(ServerOptions{});
+  Client client = ConnectTo(*server);
+  const Instance inst = Example21();
+
+  auto open = client.OpenSession(OpenBodyFor(inst, "TD", 7));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  auto question = client.NextQuestion();
+  ASSERT_TRUE(question.ok()) << question.status().ToString();
+
+  // kMetrics mid-session: the full Prometheus text rides back over the
+  // same connection without disturbing the open session.
+  auto metrics = client.ServerMetrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics->text.find("jinfer_server_frames_read_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->text.find("jinfer_server_frame_execute_nanos"),
+            std::string::npos);
+  EXPECT_NE(metrics->text.find("jinfer_server_sessions_open"),
+            std::string::npos);
+
+  // The session is still live: keep stepping it after the scrape.
+  auto next = client.NextQuestion();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_TRUE(client.CloseSession().ok());
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace jinfer
