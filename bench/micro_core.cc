@@ -28,6 +28,7 @@
 #include "util/bit_vector.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/simd/sweep.h"
 #include "workload/synthetic.h"
 #include "workload/tpch.h"
 
@@ -378,6 +379,102 @@ void BM_EntropySweepMultiWordPerCandidate(benchmark::State& state) {
                           static_cast<int64_t>(st.NumInformativeClasses()));
 }
 BENCHMARK(BM_EntropySweepMultiWordPerCandidate);
+
+// --- Dispatched kernel backends (util/simd, DESIGN.md §12.4) -----------------
+//
+// BM_KernelBackendSweep: the 902-class sweep of BM_EntropySweepMultiWord
+// under each forced backend (Arg = KernelBackend enum value; unsupported
+// backends are skipped). The label names the backend; the scalar row is
+// the portability floor, the widest row the headline.
+
+void BM_KernelBackendSweep(benchmark::State& state) {
+  const auto backend = static_cast<util::simd::KernelBackend>(state.range(0));
+  if (!util::simd::KernelBackendSupported(backend)) {
+    state.SkipWithError("backend unsupported on this CPU/build");
+    return;
+  }
+  const util::simd::KernelBackend ambient =
+      util::simd::ActiveKernelBackend();
+  util::simd::SetKernelBackend(backend);
+  state.SetLabel(util::simd::KernelBackendName(backend));
+  core::InferenceState st(MultiWordIndex());
+  core::EntropyBatchScratch scratch;
+  std::vector<core::Entropy> entropies;
+  for (auto _ : state) {
+    core::EntropyOfAll(st, scratch, entropies);
+    benchmark::DoNotOptimize(entropies.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(st.NumInformativeClasses()));
+  util::simd::SetKernelBackend(ambient);
+}
+BENCHMARK(BM_KernelBackendSweep)->Arg(0)->Arg(1)->Arg(2);
+
+// BM_EntropySweepTiled: the cache-tiling sweep in the regime where the
+// streamed key/count arrays overflow the whole cache hierarchy and every
+// untiled candidate pass re-streams them from DRAM. Kernel-level
+// synthetic instance: 24M single-word classes (384 MB of keys+counts —
+// past even a large shared L3), no negative witnesses (the
+// pre-first-negative session phase, and the leanest-compute kernel, so
+// bandwidth is the binding constraint). The measured region sweeps one
+// 128-candidate output slice, so an iteration is O(j_slice · n) like a
+// tile column, not the full O(n²) plane. Arg = i_tile (0 = untiled
+// monolithic block); the recorded sweep across tile sizes is the
+// measurement behind DefaultSweepTiling's 256 KiB stream budget — at
+// L3-resident stream sizes the sweep is compute-bound on the bench
+// hardware and tiling measures within noise, which is why the fixture
+// sits past L3. Items = candidate·class pairs swept.
+
+void BM_EntropySweepTiled(benchmark::State& state) {
+  constexpr size_t kN = 24000000;
+  constexpr size_t kWords = 1;
+  constexpr size_t kSlice = 128;
+  static const auto* fx = [] {
+    struct Fixture {
+      std::vector<uint64_t> keys, sigs, cnts;
+    };
+    auto* f = new Fixture;
+    util::Rng rng(0xced);
+    f->sigs.resize(kN * kWords);
+    f->keys.resize(kN * kWords);
+    for (size_t i = 0; i < kN * kWords; ++i) {
+      f->sigs[i] = rng.Next();
+      f->keys[i] = rng.Next() & f->sigs[i];
+    }
+    f->cnts.resize(kN);
+    for (auto& c : f->cnts) c = 1 + rng.NextBelow(4);
+    return f;
+  }();
+  util::simd::SweepArgs args;
+  args.keys = fx->keys.data();
+  args.sigs = fx->sigs.data();
+  args.cnts = fx->cnts.data();
+  args.negs = nullptr;
+  args.num_negs = 0;
+  args.words = kWords;
+  args.n = kN;
+  const size_t i_tile = static_cast<size_t>(state.range(0));
+  const util::simd::SweepTiling tiling{i_tile == 0 ? kN : i_tile,
+                                       util::simd::DefaultSweepTiling(kWords)
+                                           .j_tile};
+  std::vector<uint64_t> u_pos(kSlice, 0), u_neg(kSlice, 0);
+  for (auto _ : state) {
+    util::simd::internal::SweepRangeTiled(util::simd::ActiveKernelOps(),
+                                          args, 0, kSlice, tiling,
+                                          u_pos.data(), u_neg.data());
+    benchmark::DoNotOptimize(u_pos.data());
+    benchmark::DoNotOptimize(u_neg.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSlice) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_EntropySweepTiled)
+    ->Arg(0)        // untiled: the full 384 MB stream per candidate pass
+    ->Arg(4096)     // 64 KiB stream: L1-sized tiles (tiling overhead bound)
+    ->Arg(16384)    // 256 KiB stream: DefaultSweepTiling's budget
+    ->Arg(131072)   // 2 MiB stream: L2-sized tiles
+    ->Unit(benchmark::kMillisecond);
 
 // OPT-sized synthetic instance shared by the exact-search benches — the
 // same configuration as the ablation/table1 optimal-floor experiments.

@@ -66,6 +66,7 @@
 #include "server/server.h"
 #include "store/index_store.h"
 #include "util/deadline.h"
+#include "util/simd/dispatch.h"
 #include "util/socket.h"
 
 using namespace jinfer;
@@ -385,11 +386,13 @@ int main(int argc, char** argv) {
       index, core::MakeStrategy(*kind, /*seed=*/std::random_device{}()));
 
   std::printf("%zu x %zu rows -> %llu candidate tuples (%zu classes), "
-              "strategy %s, index: %s\n",
+              "strategy %s, index: %s, kernels: %s\n",
               r.num_rows(), p.num_rows(),
               static_cast<unsigned long long>(index->num_tuples()),
               index->num_classes(), core::StrategyKindName(*kind),
-              runtime::IndexTierName(tiered->tier));
+              runtime::IndexTierName(tiered->tier),
+              util::simd::KernelBackendName(
+                  util::simd::ActiveKernelBackend()));
   std::printf("Label each proposed pairing: y = belongs to your join, "
               "n = does not, q = stop.\n");
   if (deadline_ms > 0) {

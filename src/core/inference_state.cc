@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/bit_vector.h"
+#include "util/simd/sweep.h"
 
 namespace jinfer {
 namespace core {
@@ -14,6 +15,16 @@ using util::kernels::AnyWitnessContains;
 using util::kernels::EqualWords;
 using util::kernels::IsSubsetWords;
 
+/// The active-word prefix is 1..JoinPredicate::kWords by construction
+/// (set once from |Ω| ≤ 256). Stating the range lets value-range
+/// propagation delete the kernels' `words >= kSimdMinWords` dispatch
+/// branch from every inlined per-candidate loop in this file, keeping
+/// those loops as tight as before runtime dispatch existed.
+inline size_t ActiveW(size_t w) {
+  if (w == 0 || w > JoinPredicate::kWords) __builtin_unreachable();
+  return w;
+}
+
 /// Lemma 3.4 against every witness, single-word path: true iff key ⊆ some
 /// negative signature word.
 inline bool CertainNegativeWord(uint64_t key,
@@ -22,44 +33,6 @@ inline bool CertainNegativeWord(uint64_t key,
     if ((key & ~neg) == 0) return true;
   }
   return false;
-}
-
-/// Multi-word u± sweep body with the word count as a compile-time
-/// constant: every kernel loop fully unrolls, which the per-candidate
-/// path (runtime W) cannot do. Same pair order and exact integer sums as
-/// the generic loop, so the column stays bit-identical.
-template <size_t W>
-void SweepUCountsFixed(const uint64_t* keys, const uint64_t* sigs,
-                       const uint64_t* cnts, const uint64_t* negs,
-                       size_t num_negs, size_t n, uint64_t* u_pos,
-                       uint64_t* u_neg) {
-  for (size_t j = 0; j < n; ++j) {
-    uint64_t sigw[W];
-    uint64_t keyj[W];
-    for (size_t w = 0; w < W; ++w) {
-      sigw[w] = sigs[j * W + w];
-      keyj[w] = keys[j * W + w];
-    }
-    uint64_t upos = 0, uneg = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t* k = &keys[i * W];
-      const uint64_t cnt = cnts[i];
-      uint64_t stray = 0;
-      uint64_t diff = 0;
-      uint64_t key2[W];
-      for (size_t w = 0; w < W; ++w) {
-        key2[w] = k[w] & sigw[w];
-        stray |= k[w] & ~sigw[w];
-        diff |= key2[w] ^ keyj[w];
-      }
-      if (stray == 0) uneg += cnt;  // k ⊆ T(t_j).
-      if (diff == 0 || AnyWitnessContains(key2, negs, num_negs, W)) {
-        upos += cnt;
-      }
-    }
-    u_pos[j] = upos - 1;  // Self class: count(j) counted, count(j)−1 due.
-    u_neg[j] = uneg - 1;
-  }
 }
 
 }  // namespace
@@ -131,7 +104,7 @@ void InferenceState::ApplyLabelIncremental(ClassId cls, Label label,
   // only shrink), so the sweeps below visit informative classes only and
   // compact the survivors in place, preserving the sorted order. Forward
   // copies are safe: the write cursor never passes the read cursor.
-  const size_t W = active_words_;
+  const size_t W = ActiveW(active_words_);
   const size_t n = informative_.size();
   size_t write = 0;
   if (W == 1) {
@@ -256,7 +229,7 @@ void InferenceState::UndoLabel() {
                "delta stack out of sync with the sample");
   sample_.pop_back();
   labeled_[frame.cls] = false;
-  const size_t W = active_words_;
+  const size_t W = ActiveW(active_words_);
   const bool undo_positive = frame.label == Label::kPositive;
   if (undo_positive) {
     pos_predicate_ = frame.old_pos;
@@ -331,7 +304,7 @@ void InferenceState::UndoLabel() {
 }
 
 void InferenceState::RebuildPackedInformative() {
-  const size_t W = active_words_;
+  const size_t W = ActiveW(active_words_);
   const size_t n = informative_.size();
   inf_keys_.resize(n * W);
   inf_sigs_.resize(n * W);
@@ -380,7 +353,7 @@ uint64_t InferenceState::CountNewlyUninformative(ClassId cls,
   // The remaining members of the labeled tuple's own class always become
   // uninformative; the labeled tuple itself is excluded (Figure 5).
   uint64_t newly = labeled_class.count - 1;
-  const size_t W = active_words_;
+  const size_t W = ActiveW(active_words_);
   const size_t n = informative_.size();
 
   if (W == 1) {
@@ -442,7 +415,7 @@ std::pair<uint64_t, uint64_t> InferenceState::CountNewlyUninformativeBoth(
   const SignatureClass& labeled_class = index_->cls(cls);
   uint64_t newly_pos = labeled_class.count - 1;
   uint64_t newly_neg = labeled_class.count - 1;
-  const size_t W = active_words_;
+  const size_t W = ActiveW(active_words_);
   const size_t n = informative_.size();
 
   if (W == 1) {
@@ -484,64 +457,30 @@ std::pair<uint64_t, uint64_t> InferenceState::CountNewlyUninformativeBoth(
 
 void InferenceState::CountNewlyUninformativeAll(
     std::vector<uint64_t>& u_pos, std::vector<uint64_t>& u_neg) const {
-  const size_t W = active_words_;
   const size_t n = informative_.size();
-  u_pos.assign(n, 0);
-  u_neg.assign(n, 0);
-  const size_t num_negs = negative_signatures_.size();
+  u_pos.resize(n);
+  u_neg.resize(n);
 
-  // Outer loop: one candidate t_j per iteration, its signature and cached
-  // key held in registers; the inner loop streams every informative class
-  // i from the contiguous packed key/count arrays, accumulating both
-  // u-counts in scalars (no per-iteration stores — the column writes the
-  // transposed order would need defeat vectorization and cost an RMW per
-  // pair; measured ~1.5× slower on the 900-class two-word instance).
-  // Candidate j's post-positive predicate P′ = T(S+) ∩ T(t_j) is exactly
-  // its own cached key, so the Cert+ test needs no per-candidate scratch.
-  // The i == j term is counted like any other and folded out at the end:
-  // a class always satisfies both of its own tests (its key is a subset
-  // of its signature and equals its own P′), contributing exactly
-  // count(j), and u±(t_j) wants count(j) − 1 for the self class — so the
-  // correction is a flat −1 per candidate, and the inner loop carries no
-  // self branch.
-  if (W == 1) {
-    for (size_t j = 0; j < n; ++j) {
-      const uint64_t sig = inf_sigs_[j];
-      const uint64_t key_j = inf_keys_[j];
-      uint64_t upos = 0, uneg = 0;
-      for (size_t i = 0; i < n; ++i) {
-        const uint64_t k = inf_keys_[i];
-        const uint64_t cnt = inf_counts_[i];
-        if ((k & ~sig) == 0) uneg += cnt;  // k ⊆ T(t_j).
-        const uint64_t key2 = k & sig;
-        if (key2 == key_j || CertainNegativeWord(key2, neg_words_)) {
-          upos += cnt;
-        }
-      }
-      u_pos[j] = upos - 1;  // Self class: count(j) counted, count(j)−1 due.
-      u_neg[j] = uneg - 1;
-    }
-  } else {
-    static_assert(JoinPredicate::kWords == 4,
-                  "extend the fixed-width dispatch below");
-    switch (W) {
-      case 2:
-        SweepUCountsFixed<2>(inf_keys_.data(), inf_sigs_.data(),
-                             inf_counts_.data(), neg_words_.data(), num_negs,
-                             n, u_pos.data(), u_neg.data());
-        break;
-      case 3:
-        SweepUCountsFixed<3>(inf_keys_.data(), inf_sigs_.data(),
-                             inf_counts_.data(), neg_words_.data(), num_negs,
-                             n, u_pos.data(), u_neg.data());
-        break;
-      default:
-        SweepUCountsFixed<4>(inf_keys_.data(), inf_sigs_.data(),
-                             inf_counts_.data(), neg_words_.data(), num_negs,
-                             n, u_pos.data(), u_neg.data());
-        break;
-    }
-  }
+  // The fused u± sweep lives in the runtime-dispatched kernel layer
+  // (util/simd/sweep.h, DESIGN.md §12.4): one candidate t_j per output
+  // slot, its signature and cached key held in registers (or candidate
+  // lanes, on the vector backends); the inner loop streams every
+  // informative class i from the contiguous packed key/count arrays,
+  // accumulating both u-counts without per-pair stores. Candidate j's
+  // post-positive predicate P′ = T(S+) ∩ T(t_j) is exactly its own cached
+  // key, so the Cert+ test needs no per-candidate scratch, and the
+  // i == j self term is folded out by the driver's flat −1 correction.
+  // Above the cache budget the driver tiles the i×j plane; the columns
+  // are bit-identical for every backend, tiling, and thread count.
+  util::simd::SweepArgs args;
+  args.keys = inf_keys_.data();
+  args.sigs = inf_sigs_.data();
+  args.cnts = inf_counts_.data();
+  args.negs = neg_words_.data();
+  args.num_negs = negative_signatures_.size();
+  args.words = active_words_;
+  args.n = n;
+  util::simd::SweepUCounts(args, u_pos.data(), u_neg.data());
 }
 
 InferenceState InferenceState::WithLabel(ClassId cls, Label label) const {

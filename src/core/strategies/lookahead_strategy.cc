@@ -18,20 +18,23 @@ std::optional<ClassId> LookaheadStrategy::SelectNext(
   // skip the (expensive and ill-defined at k>1) entropy evaluation.
   if (informative.size() == 1) return informative.front();
 
-  std::vector<Entropy> entropies;
+  // batch_/entropies_ are members: their capacity carries over from
+  // question to question within the session (every callee clears or
+  // assigns before use, so no stale values survive).
+  std::vector<Entropy>& entropies = entropies_;
+  entropies.clear();
   entropies.reserve(informative.size());
-  EntropyBatchScratch batch;
   if (depth_ == 1) {
     // One column-wise sweep scores every candidate; entropies[k] matches
     // EntropyOf(state, informative[k]) bit-for-bit.
-    EntropyOfAll(state, batch, entropies);
+    EntropyOfAll(state, batch_, entropies);
   } else {
     // One scratch state for every candidate: the lookahead tree is explored
     // in place via ApplyLabelScoped/UndoLabel and restores it exactly. The
     // batch buffers are likewise shared across candidates.
     InferenceState scratch = state;
     for (ClassId c : informative) {
-      entropies.push_back(EntropyKOfInPlace(scratch, c, depth_, batch));
+      entropies.push_back(EntropyKOfInPlace(scratch, c, depth_, batch_));
     }
   }
   Entropy chosen = SkylineMaxMin(entropies);
@@ -50,13 +53,13 @@ std::optional<ClassId> ExpectedGainStrategy::SelectNext(
   uint64_t best_min = 0;
   // Batched u± sweep; column i corresponds to InformativeClassAt(i), so
   // the first-wins tie-break below visits candidates in the same order as
-  // the per-candidate loop it replaced.
-  EntropyBatchScratch batch;
-  state.CountNewlyUninformativeAll(batch.u_pos, batch.u_neg);
-  for (size_t i = 0; i < batch.u_pos.size(); ++i) {
+  // the per-candidate loop it replaced. batch_ is a member, reused across
+  // the session's questions.
+  state.CountNewlyUninformativeAll(batch_.u_pos, batch_.u_neg);
+  for (size_t i = 0; i < batch_.u_pos.size(); ++i) {
     const ClassId c = state.InformativeClassAt(i);
-    const uint64_t up = batch.u_pos[i];
-    const uint64_t un = batch.u_neg[i];
+    const uint64_t up = batch_.u_pos[i];
+    const uint64_t un = batch_.u_neg[i];
     double score = 0.5 * (static_cast<double>(up) + static_cast<double>(un));
     uint64_t min_u = std::min(up, un);
     if (!best || score > best_score ||

@@ -28,6 +28,13 @@ class LookaheadStrategy : public Strategy {
  private:
   int depth_;
   char name_[16];
+  /// Sweep/entropy buffers reused across the session's questions (a
+  /// strategy instance is per-session, owned by it): the u± columns and
+  /// entropy vector are |Ω|-class sized, and reallocating them for each
+  /// of the session's ~log|instance| questions showed up in the session
+  /// throughput profile once the sweep itself was vectorized.
+  EntropyBatchScratch batch_;
+  std::vector<Entropy> entropies_;
 };
 
 /// Expected-gain heuristic (extension; the paper's §7 suggests probabilistic
@@ -38,6 +45,9 @@ class ExpectedGainStrategy : public Strategy {
  public:
   const char* name() const override { return "EG"; }
   std::optional<ClassId> SelectNext(const InferenceState& state) override;
+
+ private:
+  EntropyBatchScratch batch_;  ///< Reused across questions, as above.
 };
 
 }  // namespace core

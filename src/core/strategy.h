@@ -51,7 +51,9 @@ class Strategy {
 
   /// Picks the next class to present. Must return an informative class, or
   /// nullopt iff no informative class remains. May be called repeatedly;
-  /// strategies are stateless apart from RNG state.
+  /// strategies carry no *semantic* state apart from RNG state — the pick
+  /// is a function of `state` alone — though they may keep reusable
+  /// scratch buffers (sweep columns, entropy vectors) between calls.
   virtual std::optional<ClassId> SelectNext(const InferenceState& state) = 0;
 
   /// True iff SelectNext is a pure function of the sample set (every

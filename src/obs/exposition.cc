@@ -1,5 +1,7 @@
 #include "obs/exposition.h"
 
+#include "obs/metric_names.h"
+#include "util/simd/dispatch.h"
 #include "util/string_util.h"
 
 namespace jinfer {
@@ -60,6 +62,12 @@ std::string RenderPrometheusText(
 }
 
 std::string RenderPrometheusText() {
+  // Refresh the backend info gauge at render time: util/simd cannot depend
+  // on obs (layering), so the exposition layer pulls rather than the
+  // dispatcher pushing.
+  Registry::Global()
+      .gauge(kKernelBackendInfo)
+      .Set(static_cast<int64_t>(util::simd::ActiveKernelBackend()));
   return RenderPrometheusText(Registry::Global().Snapshot());
 }
 

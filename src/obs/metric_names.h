@@ -112,6 +112,12 @@ inline constexpr char kServerFrameQueueNanos[] =
 inline constexpr char kServerFrameExecuteNanos[] =
     "jinfer_server_frame_execute_nanos";
 
+// --- kernels: the dispatched SIMD backend (util/simd, DESIGN.md §12.4) ---
+// Info-style gauge: the value is the active KernelBackend enum
+// (0 = scalar, 1 = avx2, 2 = avx512), refreshed at each exposition render
+// so a forced or test-set backend shows up on the next scrape.
+inline constexpr char kKernelBackendInfo[] = "jinfer_kernel_backend_info";
+
 // --- trace: the flight recorder's own health (obs/trace.cc) --------------
 inline constexpr char kTraceSpansDroppedTotal[] =
     "jinfer_trace_spans_dropped_total";

@@ -12,13 +12,17 @@
 // to pass through (property-checked against a std::vector<bool> model in
 // tests/util/bitset_fuzz_test.cc).
 //
-// The kernels are deliberately plain counted loops over uint64_t spans:
-// with a constant or small runtime bound the compiler unrolls and
-// auto-vectorizes them (AVX2/AVX-512 on the bench hardware), and the same
-// code stays portable where it cannot. Branch-free accumulator forms are
-// used for the predicates (subset, equality) so the loop body carries no
-// early-out dependence — at the W ≤ 8 word counts the sweeps run at, the
-// saved branch mispredicts outweigh the skipped words.
+// The mutation kernels (And/Or/AndNot) are deliberately plain counted
+// loops over uint64_t spans: with a constant or small runtime bound the
+// compiler unrolls and auto-vectorizes them, and they are memory-bound
+// anyway. Branch-free accumulator forms are used for the predicates
+// (subset, equality) so the loop body carries no early-out dependence —
+// at the W ≤ 8 word counts the class sweeps run at, the saved branch
+// mispredicts outweigh the skipped words. At kSimdMinWords and above the
+// predicate and popcount kernels indirect through the runtime-dispatched
+// SIMD backends (util/simd/dispatch.h, DESIGN.md §12.4); below it the
+// call-site loop with its small constant bound beats a function-pointer
+// call into a vector prologue.
 
 #ifndef JINFER_UTIL_BIT_VECTOR_H_
 #define JINFER_UTIL_BIT_VECTOR_H_
@@ -32,11 +36,17 @@
 
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/simd/dispatch.h"
 
 namespace jinfer {
 namespace util {
 
 namespace kernels {
+
+/// Word count at which the span predicates hand off to the dispatched
+/// SIMD backends: a full vector of words (AVX-512) so the call overhead
+/// amortizes; below it the inline loop wins.
+inline constexpr size_t kSimdMinWords = 8;
 
 /// dst[w] &= src[w].
 inline void AndWords(uint64_t* dst, const uint64_t* src, size_t words) {
@@ -61,6 +71,9 @@ inline void AndNotWords(uint64_t* dst, const uint64_t* src, size_t words) {
 
 /// True iff a ⊆ b over `words` words. Branch-free accumulator form.
 inline bool IsSubsetWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  if (words >= kSimdMinWords) {
+    return simd::ActiveKernelOps().is_subset_words(a, b, words);
+  }
   uint64_t stray = 0;
   for (size_t w = 0; w < words; ++w) stray |= a[w] & ~b[w];
   return stray == 0;
@@ -68,6 +81,9 @@ inline bool IsSubsetWords(const uint64_t* a, const uint64_t* b, size_t words) {
 
 /// True iff a == b over `words` words.
 inline bool EqualWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  if (words >= kSimdMinWords) {
+    return simd::ActiveKernelOps().equal_words(a, b, words);
+  }
   uint64_t diff = 0;
   for (size_t w = 0; w < words; ++w) diff |= a[w] ^ b[w];
   return diff == 0;
@@ -76,6 +92,9 @@ inline bool EqualWords(const uint64_t* a, const uint64_t* b, size_t words) {
 /// True iff a ∩ b ≠ ∅ over `words` words.
 inline bool IntersectsWords(const uint64_t* a, const uint64_t* b,
                             size_t words) {
+  if (words >= kSimdMinWords) {
+    return simd::ActiveKernelOps().intersects_words(a, b, words);
+  }
   uint64_t common = 0;
   for (size_t w = 0; w < words; ++w) common |= a[w] & b[w];
   return common != 0;
@@ -83,6 +102,9 @@ inline bool IntersectsWords(const uint64_t* a, const uint64_t* b,
 
 /// Σ popcount(a[w]).
 inline size_t PopcountWords(const uint64_t* a, size_t words) {
+  if (words >= kSimdMinWords) {
+    return simd::ActiveKernelOps().popcount_words(a, words);
+  }
   size_t c = 0;
   for (size_t w = 0; w < words; ++w) {
     c += static_cast<size_t>(std::popcount(a[w]));

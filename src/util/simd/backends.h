@@ -1,0 +1,35 @@
+// Internal: the per-backend kernel tables, one per TU. Only dispatch.cc
+// and the backend TUs (scalar tail calls from the vector sweeps) include
+// this; everything else goes through ActiveKernelOps().
+
+#ifndef JINFER_UTIL_SIMD_BACKENDS_H_
+#define JINFER_UTIL_SIMD_BACKENDS_H_
+
+#include "util/simd/dispatch.h"
+
+namespace jinfer {
+namespace util {
+namespace simd {
+namespace internal {
+
+// kernels_scalar.cc — the reference implementations, always compiled.
+extern const KernelOps kScalarOps;
+/// The scalar sweep block, callable directly: the vector backends hand it
+/// their sub-lane-width candidate tails.
+void SweepBlockScalar(const SweepBlockArgs& args);
+
+#if JINFER_SIMD_X86
+// kernels_avx2.cc / kernels_avx512.cc — function-level target attributes;
+// safe to link anywhere, must not be *called* unless DetectCpuFeatures()
+// approves. kAvx512Ops assumes VPOPCNTDQ; dispatch.cc patches in the AVX2
+// popcount on CPUs with the core AVX-512 set but not that extension.
+extern const KernelOps kAvx2Ops;
+extern const KernelOps kAvx512Ops;
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_UTIL_SIMD_BACKENDS_H_

@@ -1,0 +1,199 @@
+// AVX-512 kernel backend (F+BW+DQ+VL, VPOPCNTDQ where present): the
+// 512-bit analogue of the AVX2 TU — eight candidate lanes per sweep pass,
+// with the Lemma 3.3/3.4 predicates landing directly in opmask registers
+// feeding masked 64-bit adds. Same function-level target attributes, same
+// scalar tail for sub-lane candidate remainders, same exact mod-2^64
+// arithmetic, so the columns stay bit-identical to every other backend.
+
+#include "util/simd/backends.h"
+
+#if JINFER_SIMD_X86
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace jinfer {
+namespace util {
+namespace simd {
+namespace internal {
+
+namespace {
+
+#define JINFER_TARGET_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl")))
+#define JINFER_TARGET_AVX512_POPCNT \
+  __attribute__((target("avx512f,avx512vpopcntdq")))
+
+JINFER_TARGET_AVX512 inline __m512i Load8(const uint64_t* p) {
+  return _mm512_loadu_si512(p);
+}
+
+JINFER_TARGET_AVX512 bool IsSubsetAvx512(const uint64_t* a, const uint64_t* b,
+                                         size_t words) {
+  __m512i stray = _mm512_setzero_si512();
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    stray = _mm512_or_si512(stray,
+                            _mm512_andnot_si512(Load8(b + w), Load8(a + w)));
+  }
+  uint64_t tail = 0;
+  for (; w < words; ++w) tail |= a[w] & ~b[w];
+  return _mm512_test_epi64_mask(stray, stray) == 0 && tail == 0;
+}
+
+JINFER_TARGET_AVX512 bool EqualAvx512(const uint64_t* a, const uint64_t* b,
+                                      size_t words) {
+  __mmask8 diff = 0;
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    diff |= _mm512_cmpneq_epi64_mask(Load8(a + w), Load8(b + w));
+  }
+  uint64_t tail = 0;
+  for (; w < words; ++w) tail |= a[w] ^ b[w];
+  return diff == 0 && tail == 0;
+}
+
+JINFER_TARGET_AVX512 bool IntersectsAvx512(const uint64_t* a,
+                                           const uint64_t* b, size_t words) {
+  __mmask8 common = 0;
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    common |= _mm512_test_epi64_mask(Load8(a + w), Load8(b + w));
+  }
+  uint64_t tail = 0;
+  for (; w < words; ++w) tail |= a[w] & b[w];
+  return common != 0 || tail != 0;
+}
+
+/// VPOPCNTQ path; dispatch.cc only installs this on CPUs advertising
+/// AVX512VPOPCNTDQ (Skylake-SP gets the AVX2 kernel instead).
+JINFER_TARGET_AVX512_POPCNT size_t PopcountAvx512(const uint64_t* a,
+                                                  size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + w)));
+  }
+  size_t total = static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+  for (; w < words; ++w) {
+    total += static_cast<size_t>(std::popcount(a[w]));
+  }
+  return total;
+}
+
+/// Eight candidates per pass; structure mirrors SweepBlockAvx2Fixed with
+/// compare masks in place of compare vectors.
+template <size_t W>
+JINFER_TARGET_AVX512 void SweepBlockAvx512Fixed(const SweepBlockArgs& a) {
+  const __m512i zero = _mm512_setzero_si512();
+  size_t j = a.jb;
+  for (; j + 8 <= a.je; j += 8) {
+    __m512i sigv[W];
+    __m512i keyv[W];
+    for (size_t w = 0; w < W; ++w) {
+      if constexpr (W == 1) {
+        sigv[w] = Load8(&a.sigs[j]);
+        keyv[w] = Load8(&a.keys[j]);
+      } else {
+        sigv[w] = _mm512_set_epi64(
+            static_cast<int64_t>(a.sigs[(j + 7) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 6) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 5) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 4) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 3) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 2) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 1) * W + w]),
+            static_cast<int64_t>(a.sigs[(j + 0) * W + w]));
+        keyv[w] = _mm512_set_epi64(
+            static_cast<int64_t>(a.keys[(j + 7) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 6) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 5) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 4) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 3) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 2) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 1) * W + w]),
+            static_cast<int64_t>(a.keys[(j + 0) * W + w]));
+      }
+    }
+    __m512i upos = zero;
+    __m512i uneg = zero;
+    for (size_t i = a.ib; i < a.ie; ++i) {
+      __m512i stray = zero;
+      __m512i diff = zero;
+      __m512i key2[W];
+      for (size_t w = 0; w < W; ++w) {
+        const __m512i k =
+            _mm512_set1_epi64(static_cast<int64_t>(a.keys[i * W + w]));
+        key2[w] = _mm512_and_si512(k, sigv[w]);
+        stray = _mm512_or_si512(stray, _mm512_andnot_si512(sigv[w], k));
+        diff = _mm512_or_si512(diff, _mm512_xor_si512(key2[w], keyv[w]));
+      }
+      const __m512i cnt =
+          _mm512_set1_epi64(static_cast<int64_t>(a.cnts[i]));
+      const __mmask8 negm = _mm512_cmpeq_epi64_mask(stray, zero);
+      uneg = _mm512_mask_add_epi64(uneg, negm, uneg, cnt);
+      __mmask8 posm = _mm512_cmpeq_epi64_mask(diff, zero);
+      for (size_t g = 0; g < a.num_negs; ++g) {
+        __m512i wstray = zero;
+        for (size_t w = 0; w < W; ++w) {
+          const __m512i nb =
+              _mm512_set1_epi64(static_cast<int64_t>(a.negs[g * W + w]));
+          wstray = _mm512_or_si512(wstray, _mm512_andnot_si512(nb, key2[w]));
+        }
+        posm |= _mm512_cmpeq_epi64_mask(wstray, zero);
+      }
+      upos = _mm512_mask_add_epi64(upos, posm, upos, cnt);
+    }
+    _mm512_storeu_si512(&a.u_pos[j],
+                        _mm512_add_epi64(_mm512_loadu_si512(&a.u_pos[j]),
+                                         upos));
+    _mm512_storeu_si512(&a.u_neg[j],
+                        _mm512_add_epi64(_mm512_loadu_si512(&a.u_neg[j]),
+                                         uneg));
+  }
+  if (j < a.je) {
+    SweepBlockArgs tail = a;
+    tail.jb = j;
+    SweepBlockScalar(tail);
+  }
+}
+
+void SweepBlockAvx512(const SweepBlockArgs& a) {
+  switch (a.words) {
+    case 1:
+      SweepBlockAvx512Fixed<1>(a);
+      break;
+    case 2:
+      SweepBlockAvx512Fixed<2>(a);
+      break;
+    case 3:
+      SweepBlockAvx512Fixed<3>(a);
+      break;
+    case 4:
+      SweepBlockAvx512Fixed<4>(a);
+      break;
+    default:
+      SweepBlockScalar(a);  // Variable-width formats; bit-identical anyway.
+      break;
+  }
+}
+
+#undef JINFER_TARGET_AVX512
+#undef JINFER_TARGET_AVX512_POPCNT
+
+}  // namespace
+
+const KernelOps kAvx512Ops = {
+    KernelBackend::kAvx512, &IsSubsetAvx512,  &EqualAvx512,
+    &IntersectsAvx512,      &PopcountAvx512,  &SweepBlockAvx512,
+};
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace util
+}  // namespace jinfer
+
+#endif  // JINFER_SIMD_X86

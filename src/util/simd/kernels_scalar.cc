@@ -1,0 +1,160 @@
+// Scalar kernel backend: the reference every other backend must match
+// bit for bit. The loops are the PR 8 shapes — branch-free accumulator
+// predicates, and the fused u± sweep with per-candidate register
+// accumulators (the former InferenceState W==1 hand loop and
+// SweepUCountsFixed<2..4>, generalized to composable i×j blocks).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/simd/backends.h"
+
+namespace jinfer {
+namespace util {
+namespace simd {
+namespace internal {
+
+namespace {
+
+bool IsSubsetScalar(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t stray = 0;
+  for (size_t w = 0; w < words; ++w) stray |= a[w] & ~b[w];
+  return stray == 0;
+}
+
+bool EqualScalar(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t diff = 0;
+  for (size_t w = 0; w < words; ++w) diff |= a[w] ^ b[w];
+  return diff == 0;
+}
+
+bool IntersectsScalar(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t common = 0;
+  for (size_t w = 0; w < words; ++w) common |= a[w] & b[w];
+  return common != 0;
+}
+
+size_t PopcountScalar(const uint64_t* a, size_t words) {
+  size_t c = 0;
+  for (size_t w = 0; w < words; ++w) {
+    c += static_cast<size_t>(std::popcount(a[w]));
+  }
+  return c;
+}
+
+/// Lemma 3.4 against every witness row; early-out on the first container.
+template <size_t W>
+bool AnyWitnessContainsFixed(const uint64_t* key, const uint64_t* negs,
+                             size_t num_negs) {
+  for (size_t g = 0; g < num_negs; ++g) {
+    uint64_t stray = 0;
+    for (size_t w = 0; w < W; ++w) stray |= key[w] & ~negs[g * W + w];
+    if (stray == 0) return true;
+  }
+  return false;
+}
+
+/// The fused u± block with the word count as a compile-time constant, so
+/// every inner word loop fully unrolls. Same pair order and exact integer
+/// sums as the pre-dispatch sweep; the only difference is accumulation
+/// into the columns (`+=`), which makes i-blocks composable.
+template <size_t W>
+void SweepBlockFixed(const SweepBlockArgs& a) {
+  for (size_t j = a.jb; j < a.je; ++j) {
+    uint64_t sigw[W];
+    uint64_t keyj[W];
+    for (size_t w = 0; w < W; ++w) {
+      sigw[w] = a.sigs[j * W + w];
+      keyj[w] = a.keys[j * W + w];
+    }
+    uint64_t upos = 0, uneg = 0;
+    for (size_t i = a.ib; i < a.ie; ++i) {
+      const uint64_t* k = &a.keys[i * W];
+      const uint64_t cnt = a.cnts[i];
+      uint64_t stray = 0;
+      uint64_t diff = 0;
+      uint64_t key2[W];
+      for (size_t w = 0; w < W; ++w) {
+        key2[w] = k[w] & sigw[w];
+        stray |= k[w] & ~sigw[w];
+        diff |= key2[w] ^ keyj[w];
+      }
+      if (stray == 0) uneg += cnt;  // k ⊆ T(t_j).
+      if (diff == 0 || AnyWitnessContainsFixed<W>(key2, a.negs, a.num_negs)) {
+        upos += cnt;
+      }
+    }
+    a.u_pos[j] += upos;
+    a.u_neg[j] += uneg;
+  }
+}
+
+/// Runtime-width fallback for word counts past the fixed instantiations
+/// (the future variable-width predicate formats). Bit-identical, just not
+/// unrolled. Capped at 8 words of per-pair scratch.
+constexpr size_t kMaxSweepWords = 8;
+
+void SweepBlockGeneric(const SweepBlockArgs& a) {
+  const size_t W = a.words;
+  for (size_t j = a.jb; j < a.je; ++j) {
+    const uint64_t* sigw = &a.sigs[j * W];
+    const uint64_t* keyj = &a.keys[j * W];
+    uint64_t upos = 0, uneg = 0;
+    for (size_t i = a.ib; i < a.ie; ++i) {
+      const uint64_t* k = &a.keys[i * W];
+      const uint64_t cnt = a.cnts[i];
+      uint64_t stray = 0;
+      uint64_t diff = 0;
+      uint64_t key2[kMaxSweepWords];
+      for (size_t w = 0; w < W; ++w) {
+        key2[w] = k[w] & sigw[w];
+        stray |= k[w] & ~sigw[w];
+        diff |= key2[w] ^ keyj[w];
+      }
+      if (stray == 0) uneg += cnt;
+      bool pos = diff == 0;
+      for (size_t g = 0; !pos && g < a.num_negs; ++g) {
+        pos = IsSubsetScalar(key2, &a.negs[g * W], W);
+      }
+      if (pos) upos += cnt;
+    }
+    a.u_pos[j] += upos;
+    a.u_neg[j] += uneg;
+  }
+}
+
+}  // namespace
+
+void SweepBlockScalar(const SweepBlockArgs& a) {
+  switch (a.words) {
+    case 1:
+      SweepBlockFixed<1>(a);
+      break;
+    case 2:
+      SweepBlockFixed<2>(a);
+      break;
+    case 3:
+      SweepBlockFixed<3>(a);
+      break;
+    case 4:
+      SweepBlockFixed<4>(a);
+      break;
+    default:
+      JINFER_CHECK(a.words <= kMaxSweepWords,
+                   "sweep over %zu words exceeds the kernel cap", a.words);
+      SweepBlockGeneric(a);
+      break;
+  }
+}
+
+const KernelOps kScalarOps = {
+    KernelBackend::kScalar, &IsSubsetScalar,  &EqualScalar,
+    &IntersectsScalar,      &PopcountScalar,  &SweepBlockScalar,
+};
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace util
+}  // namespace jinfer

@@ -1,0 +1,104 @@
+#include "util/simd/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/parallel.h"
+
+namespace jinfer {
+namespace util {
+namespace simd {
+
+namespace {
+
+/// L2 budget for one streamed i-block (keys + counts). 256 KiB leaves
+/// headroom in a typical 512 KiB–1.25 MiB private L2 for the output slice
+/// and the candidate-side loads.
+constexpr size_t kSweepStreamBudgetBytes = 256 * 1024;
+
+std::atomic<int> g_sweep_threads{1};
+
+}  // namespace
+
+SweepTiling DefaultSweepTiling(size_t words) {
+  size_t bytes_per_class = (words + 1) * sizeof(uint64_t);
+  size_t i_tile = kSweepStreamBudgetBytes / bytes_per_class;
+  return SweepTiling{std::max<size_t>(i_tile, 1024), 2048};
+}
+
+void SetSweepThreads(int threads) {
+  g_sweep_threads.store(threads, std::memory_order_relaxed);
+}
+
+int SweepThreads() { return g_sweep_threads.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void SweepRangeTiled(const KernelOps& ops, const SweepArgs& args, size_t jb,
+                     size_t je, const SweepTiling& tiling, uint64_t* u_pos,
+                     uint64_t* u_neg) {
+  SweepBlockArgs block;
+  block.keys = args.keys;
+  block.sigs = args.sigs;
+  block.cnts = args.cnts;
+  block.negs = args.negs;
+  block.num_negs = args.num_negs;
+  block.words = args.words;
+  block.u_pos = u_pos;
+  block.u_neg = u_neg;
+  const size_t n = args.n;
+  if (n <= tiling.i_tile) {
+    // The whole class stream fits the cache budget: one monolithic block.
+    block.jb = jb;
+    block.je = je;
+    block.ib = 0;
+    block.ie = n;
+    ops.sweep_block(block);
+    return;
+  }
+  // j-tile outer so each output slice stays resident; i-blocks inner so a
+  // cache-sized key/count stream is reused across the whole slice. Block
+  // order is irrelevant to the results (see sweep.h), chosen for locality.
+  for (size_t tj = jb; tj < je; tj += tiling.j_tile) {
+    block.jb = tj;
+    block.je = std::min(tj + tiling.j_tile, je);
+    for (size_t ti = 0; ti < n; ti += tiling.i_tile) {
+      block.ib = ti;
+      block.ie = std::min(ti + tiling.i_tile, n);
+      ops.sweep_block(block);
+    }
+  }
+}
+
+}  // namespace internal
+
+void SweepUCounts(const SweepArgs& args, uint64_t* u_pos, uint64_t* u_neg) {
+  const size_t n = args.n;
+  std::fill_n(u_pos, n, 0);
+  std::fill_n(u_neg, n, 0);
+  if (n == 0) return;
+  const KernelOps& ops = ActiveKernelOps();
+  const SweepTiling tiling = DefaultSweepTiling(args.words);
+  size_t threads = 1;
+  if (n >= kSweepParallelMinCandidates) {
+    threads = ResolveThreadCount(SweepThreads());
+  }
+  if (threads > 1) {
+    // Contiguous candidate stripes; each j is owned by exactly one worker,
+    // so the columns are thread-count invariant (and data-race free).
+    ParallelFor(n, threads, [&](size_t jb, size_t je, size_t /*worker*/) {
+      internal::SweepRangeTiled(ops, args, jb, je, tiling, u_pos, u_neg);
+    });
+  } else {
+    internal::SweepRangeTiled(ops, args, 0, n, tiling, u_pos, u_neg);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    // Self class: count(j) counted by both tests, count(j)−1 due.
+    u_pos[j] -= 1;
+    u_neg[j] -= 1;
+  }
+}
+
+}  // namespace simd
+}  // namespace util
+}  // namespace jinfer

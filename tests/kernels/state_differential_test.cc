@@ -12,8 +12,10 @@
 
 #include "core/inference_state.h"
 #include "core/signature_index.h"
+#include "testing/kernel_backends.h"
 #include "testing/paper_fixtures.h"
 #include "util/rng.h"
+#include "util/simd/dispatch.h"
 #include "workload/synthetic.h"
 
 namespace jinfer {
@@ -238,6 +240,25 @@ TEST(StateDifferentialTest, UncompressedSessions) {
   ASSERT_TRUE(index.ok());
   for (uint64_t seed = 500; seed < 503; ++seed) {
     ASSERT_NO_FATAL_FAILURE(RunRandomSession(*index, seed));
+  }
+}
+
+// The whole differential surface, replayed under every supported SIMD
+// kernel backend with identical seeds (the tentpole bit-identity claim,
+// exercised through real sessions rather than raw kernels). The scalar
+// pass is covered by the suites above; this loop adds the vector
+// backends where the hardware has them, and shrinks to a no-op where it
+// does not — the forced-scalar CI job stays green anywhere.
+TEST(StateDifferentialTest, SessionsIdenticalUnderEveryBackend) {
+  SignatureIndex two = BuildSynthetic(9, 8, 16, 3, 11);
+  SignatureIndex four = BuildSynthetic(14, 14, 12, 3, 13);
+  for (util::simd::KernelBackend backend :
+       util::simd::SupportedKernelBackends()) {
+    testing::ScopedKernelBackend forced(backend);
+    ASSERT_NO_FATAL_FAILURE(RunRandomSession(two, 300))
+        << util::simd::KernelBackendName(backend);
+    ASSERT_NO_FATAL_FAILURE(RunRandomSession(four, 400))
+        << util::simd::KernelBackendName(backend);
   }
 }
 

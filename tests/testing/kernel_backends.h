@@ -1,0 +1,42 @@
+// Test helper for iterating and forcing the dispatched SIMD kernel
+// backends (util/simd/dispatch.h). Parity tests loop over
+// SupportedKernelBackends() — so a run on any hardware covers exactly the
+// backends that hardware can attest (scalar-only machines degenerate to a
+// one-element loop and stay green) — and restore the ambient backend
+// after, keeping a JINFER_KERNEL_BACKEND-forced CI job honest for the
+// rest of the binary.
+
+#ifndef JINFER_TESTS_TESTING_KERNEL_BACKENDS_H_
+#define JINFER_TESTS_TESTING_KERNEL_BACKENDS_H_
+
+#include "util/check.h"
+#include "util/simd/dispatch.h"
+
+namespace jinfer {
+namespace testing {
+
+/// Forces a kernel backend for a scope; restores the previously active
+/// backend on destruction. The backend must be supported (checked — a
+/// silent skip would turn a parity test into a no-op).
+class ScopedKernelBackend {
+ public:
+  explicit ScopedKernelBackend(util::simd::KernelBackend backend)
+      : previous_(util::simd::ActiveKernelBackend()) {
+    JINFER_CHECK(util::simd::SetKernelBackend(backend),
+                 "backend %s unsupported here; iterate "
+                 "SupportedKernelBackends() instead of hard-coding",
+                 util::simd::KernelBackendName(backend));
+  }
+  ~ScopedKernelBackend() { util::simd::SetKernelBackend(previous_); }
+
+  ScopedKernelBackend(const ScopedKernelBackend&) = delete;
+  ScopedKernelBackend& operator=(const ScopedKernelBackend&) = delete;
+
+ private:
+  util::simd::KernelBackend previous_;
+};
+
+}  // namespace testing
+}  // namespace jinfer
+
+#endif  // JINFER_TESTS_TESTING_KERNEL_BACKENDS_H_

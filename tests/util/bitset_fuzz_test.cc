@@ -15,9 +15,11 @@
 #include <gtest/gtest.h>
 
 #include "testing/bitset_model.h"
+#include "testing/kernel_backends.h"
 #include "util/bit_vector.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/simd/dispatch.h"
 
 namespace jinfer {
 namespace util {
@@ -220,10 +222,14 @@ void RunOpSequence(uint64_t seed, size_t universe, int rounds) {
 
 /// Universes straddling every word boundary the kernels care about. The
 /// SmallBitset instantiation stops at its 256-bit capacity; BitVector
-/// continues past it.
+/// continues past it — 511/512/513 straddle the kSimdMinWords dispatch
+/// threshold (8 words) where the predicates start routing through the
+/// runtime-selected SIMD backend, and 1024/1025 exercise the vector
+/// kernels' full-stride and tail paths.
 constexpr size_t kSmallUniverses[] = {1, 7, 63, 64, 65, 255, 256};
-constexpr size_t kVectorUniverses[] = {1,   7,   63,  64,  65, 127,
-                                       128, 129, 255, 256, 257, 300};
+constexpr size_t kVectorUniverses[] = {1,   7,   63,  64,  65,  127,  128,
+                                       129, 255, 256, 257, 300,  511,  512,
+                                       513, 1024, 1025};
 
 class SharedBitsetFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -236,6 +242,20 @@ TEST_P(SharedBitsetFuzzTest, SmallBitsetOpSequencesMatchModel) {
 TEST_P(SharedBitsetFuzzTest, BitVectorOpSequencesMatchModel) {
   for (size_t universe : kVectorUniverses) {
     RunOpSequence<BitVector>(GetParam() ^ universe, universe, 40);
+  }
+}
+
+TEST_P(SharedBitsetFuzzTest, BitVectorOpSequencesMatchModelOnEveryBackend) {
+  // Identical seeds replayed under every supported kernel backend: the
+  // op-sequence outcomes must not depend on which backend the word
+  // predicates dispatch to. Universes at and past the dispatch threshold
+  // only — below it the backends are not involved.
+  for (simd::KernelBackend backend : simd::SupportedKernelBackends()) {
+    jinfer::testing::ScopedKernelBackend forced(backend);
+    for (size_t universe : {511, 512, 513, 1024, 1025}) {
+      SCOPED_TRACE(simd::KernelBackendName(backend));
+      RunOpSequence<BitVector>(GetParam() ^ universe, universe, 25);
+    }
   }
 }
 
